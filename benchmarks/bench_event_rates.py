@@ -1,0 +1,88 @@
+"""Latency across the event-rate ladder (Table 3's event-rate row).
+
+The paper evaluates rates from 10 to 4M events/s and presents results at
+100k "as intuitively higher scale of events will benefit from
+parallelism". This bench sweeps the ladder for a 2-way join at two
+parallelism degrees, showing (i) the saturation onset moving right with
+parallelism and (ii) why the paper's headline rate sits where parallelism
+matters.
+"""
+
+from benchmarks.conftest import emit
+from repro.cluster import homogeneous_cluster
+from repro.core.runner import BenchmarkRunner, RunnerConfig
+from repro.report import FigureData, Series, render_figure
+from repro.workload import (
+    ParameterBasedEnumeration,
+    QueryStructure,
+    WorkloadGenerator,
+)
+from repro.workload.generator import scale_plan_costs
+
+RATES = (1_000.0, 10_000.0, 50_000.0, 100_000.0, 200_000.0, 500_000.0)
+
+DILATION = 25.0
+#: Simulated stream length per configuration (seconds). The tuple budget
+#: scales with the rate so high-rate runs keep enough stream time for
+#: backlogs to develop — a fixed budget would shrink the stream as the
+#: rate rises and mask saturation.
+STREAM_SECONDS = 1.5
+
+
+def _config_for(rate: float) -> RunnerConfig:
+    sim_rate = rate / DILATION
+    budget = int(max(3000, sim_rate * STREAM_SECONDS))
+    return RunnerConfig(
+        repeats=1,
+        dilation=DILATION,
+        max_tuples_per_source=budget,
+        max_sim_time=150.0,
+        seed=17,
+    )
+
+
+def _measure():
+    cluster = homogeneous_cluster("m510", 10)
+    series = []
+    for parallelism in (2, 16):
+        latencies = []
+        for rate in RATES:
+            config = _config_for(rate)
+            runner = BenchmarkRunner(cluster, config)
+            generator = WorkloadGenerator(seed=37)
+            query = generator.generate_one(
+                cluster,
+                QueryStructure.TWO_WAY_JOIN,
+                strategy=ParameterBasedEnumeration(1),
+                event_rate=rate / config.dilation,
+            )
+            scale_plan_costs(query.plan, config.dilation)
+            query.plan.set_uniform_parallelism(parallelism)
+            latencies.append(
+                runner.measure(query.plan)["mean_median_latency_ms"]
+            )
+        series.append(
+            Series(f"p={parallelism}", [f"{r:g}" for r in RATES],
+                   latencies)
+        )
+    return FigureData(
+        figure_id="event-rates",
+        title="2-way join latency across the Table 3 event-rate ladder",
+        x_label="event rate (ev/s)",
+        y_label="mean median e2e latency (ms)",
+        series=series,
+    )
+
+
+def test_event_rate_ladder(benchmark):
+    figure = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    emit(render_figure(figure))
+    low_p = figure.series_by_label("p=2")
+    high_p = figure.series_by_label("p=16")
+    # At low rates parallelism buys nothing...
+    assert high_p.value_at("1000") > 0.5 * low_p.value_at("1000")
+    # ...at the paper's headline rate and beyond, it does.
+    assert high_p.value_at("500000") < 0.5 * low_p.value_at("500000")
+    # Saturation makes latency grow with rate for the low-parallelism
+    # plan.
+    assert low_p.value_at("500000") > 2.0 * low_p.value_at("10000")

@@ -1,0 +1,53 @@
+"""Figure 3 (bottom) — Exp 1: real-world applications vs parallelism.
+
+Regenerates the per-application latency series over parallelism degrees
+1..128 on the homogeneous cluster and asserts:
+
+- O1: data-intensive UDO apps (SA, SG, SD) gain far more from
+  parallelism than standard-operator apps (WC, LR);
+- O2: SG/SD keep improving past degree 16, while AD's gains stall;
+- O3: the UDO-heavy AD scales non-monotonically (overhead can degrade
+  performance at high degrees).
+"""
+
+from benchmarks.conftest import bench_runner_config, emit
+from repro.core.experiments import figure3_bottom
+from repro.core.experiments.exp1 import EXTENDED_CATEGORIES
+from repro.report import render_figure
+
+APPS = ("WC", "LR", "MO", "SA", "SG", "SD", "CA", "AD")
+
+
+def _run():
+    return figure3_bottom(
+        runner_config=bench_runner_config(),
+        apps=APPS,
+        categories=EXTENDED_CATEGORIES,
+    )
+
+
+def _speedup(series, low="XS", high="3XL") -> float:
+    return series.value_at(low) / max(series.value_at(high), 1e-9)
+
+
+def test_fig3_bottom_realworld(benchmark):
+    figure = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit(render_figure(figure))
+
+    # O1: UDO-heavy apps benefit much more than standard-operator apps.
+    for heavy in ("SA", "SG", "SD"):
+        assert _speedup(figure.series_by_label(heavy)) > 3.0
+    for light in ("WC", "LR"):
+        assert _speedup(figure.series_by_label(light)) < 2.0
+
+    # O2: SG/SD still improve beyond degree 16 (XL -> 3XL).
+    for app in ("SG", "SD"):
+        series = figure.series_by_label(app)
+        assert series.value_at("3XL") < series.value_at("XL")
+
+    # O2/O3: AD's gains stall — best degree is modest, and very high
+    # parallelism is no better than its optimum.
+    ad = figure.series_by_label("AD")
+    best = min(ad.y)
+    assert ad.value_at("4XL") > best
+    assert ad.value_at("XS") / best < 4.0  # only modest total gain

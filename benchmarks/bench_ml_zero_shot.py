@@ -1,0 +1,69 @@
+"""Cross-hardware generalization of the learned cost models (C3).
+
+The paper motivates learned SPS models that support *heterogeneous
+placements* (ZeroTune, COSTREAM). Since our encodings carry cluster
+descriptors (cores, speeds, heterogeneity), a GNN trained on one hardware
+pool should transfer zero-shot to another. This bench trains on the
+m510 cluster, evaluates on the c6320 cluster, and compares against an
+in-domain model — quantifying the transfer gap.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.cluster import homogeneous_cluster
+from repro.core.experiments.exp3 import build_labelled_corpus
+from repro.ml.models import GNNCostModel
+from repro.report import render_table
+from repro.workload import QueryStructure, RuleBasedEnumeration
+
+
+def _measure():
+    m510 = homogeneous_cluster("m510", 10)
+    c6320 = homogeneous_cluster("c6320", 10)
+    structures = list(QueryStructure)
+    train_m510 = build_labelled_corpus(
+        m510, 300, structures, RuleBasedEnumeration(), seed=51
+    )
+    train_c6320 = build_labelled_corpus(
+        c6320, 300, structures, RuleBasedEnumeration(), seed=52
+    )
+    test_c6320 = build_labelled_corpus(
+        c6320, 120, structures, RuleBasedEnumeration(), seed=53
+    )
+    # Mixed-hardware corpus: the paper's resource-diversity axis.
+    mixed_records = train_m510.records[:150] + train_c6320.records[:150]
+    from repro.ml.dataset import Dataset
+
+    results = {}
+    for label, corpus in (
+        ("in-domain (c6320)", train_c6320),
+        ("zero-shot (m510 only)", train_m510),
+        ("mixed hardware", Dataset(mixed_records)),
+    ):
+        rng = np.random.default_rng(7)
+        train, val, _ = corpus.split(rng, test_fraction=0.02)
+        model = GNNCostModel()
+        model.fit(train, val, seed=7)
+        results[label] = model.evaluate(test_c6320)["median"]
+    return results
+
+
+def test_ml_zero_shot_hardware_transfer(benchmark):
+    results = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    emit(
+        render_table(
+            ["training corpus", "median q-error on c6320 queries"],
+            [[k, v] for k, v in results.items()],
+            title="GNN cross-hardware generalization",
+        )
+    )
+    in_domain = results["in-domain (c6320)"]
+    zero_shot = results["zero-shot (m510 only)"]
+    mixed = results["mixed hardware"]
+    # Transfer works: zero-shot predictions remain useful...
+    assert zero_shot < 3.0
+    # ...in-domain training is at least as good...
+    assert in_domain <= zero_shot * 1.5
+    # ...and resource-diverse corpora close most of the gap.
+    assert mixed <= max(zero_shot, in_domain) * 1.2

@@ -1,0 +1,66 @@
+"""Table 4: CloudLab hardware configuration.
+
+Renders the encoded node catalog and benchmarks building all four
+experiment clusters plus placing an 80-subtask plan on each.
+"""
+
+from benchmarks.conftest import emit
+from repro.cluster import HARDWARE_CATALOG
+from repro.core.experiments.exp2 import default_clusters
+from repro.report import render_table
+from repro.sps.physical import PhysicalPlan
+from repro.sps.placement import RoundRobinPlacement
+from repro.workload import QueryStructure, WorkloadGenerator
+
+
+def _build_and_place():
+    clusters = default_clusters()
+    generator = WorkloadGenerator(seed=3)
+    placements = {}
+    for name, cluster in clusters.items():
+        query = generator.generate_one(
+            cluster, QueryStructure.THREE_WAY_JOIN, event_rate=1000.0
+        )
+        query.plan.set_uniform_parallelism(8)
+        physical = PhysicalPlan.from_logical(query.plan)
+        placements[name] = RoundRobinPlacement().place(physical, cluster)
+    return clusters, placements
+
+
+def test_table4_hardware(benchmark):
+    clusters, placements = benchmark(_build_and_place)
+    rows = [
+        [
+            spec.name,
+            spec.cores,
+            spec.ram_gb,
+            spec.disk_gb,
+            spec.processor,
+            spec.clock_ghz,
+            spec.nic_gbps,
+            f"{spec.speed_factor:.2f}",
+        ]
+        for spec in HARDWARE_CATALOG.values()
+    ]
+    emit(
+        render_table(
+            [
+                "node", "cores", "RAM GB", "disk GB", "processor",
+                "GHz", "NIC Gbps", "speed",
+            ],
+            rows,
+            title="Table 4: hardware configuration (CloudLab)",
+        )
+    )
+    cluster_rows = [
+        [name, cluster.describe(), len(placements[name].nodes_used())]
+        for name, cluster in clusters.items()
+    ]
+    emit(
+        render_table(
+            ["cluster", "composition", "nodes used by 8x plan"],
+            cluster_rows,
+            title="Experiment clusters",
+        )
+    )
+    assert {"m510", "c6525_25g", "c6320"} <= set(HARDWARE_CATALOG)

@@ -1,0 +1,35 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper, prints the
+paper-style series, and asserts the qualitative observations (O1-O9). The
+profile below trades some statistical smoothness for tractable wall time;
+EXPERIMENTS.md records a full-profile run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.runner import RunnerConfig
+
+
+def bench_runner_config(repeats: int = 2) -> RunnerConfig:
+    """The benchmark harness measurement profile."""
+    return RunnerConfig(
+        repeats=repeats,
+        dilation=25.0,
+        max_tuples_per_source=2500,
+        max_sim_time=3.0,
+        seed=17,
+    )
+
+
+@pytest.fixture(scope="session")
+def runner_config() -> RunnerConfig:
+    """Session-wide runner profile."""
+    return bench_runner_config()
+
+
+def emit(text: str) -> None:
+    """Print a figure/table so `--benchmark-only` output captures it."""
+    print("\n" + text, flush=True)

@@ -1,0 +1,57 @@
+"""Quickstart: benchmark one application on the paper's default cluster.
+
+Builds PDSP-Bench on the homogeneous 10 x m510 CloudLab cluster, runs the
+Word Count application at a few parallelism degrees and prints the
+measured end-to-end latencies — the smallest complete PDSP-Bench workflow.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PDSPBench, RunnerConfig
+from repro.report import render_table
+
+
+def main() -> None:
+    bench = PDSPBench.homogeneous(
+        # the paper's setup: 10 CloudLab m510 nodes, 8 cores each
+        hardware="m510",
+        num_nodes=10,
+        runner_config=RunnerConfig(
+            repeats=3,  # paper protocol: mean of 3 runs' medians
+            dilation=25.0,  # time-dilated simulation (see DESIGN.md)
+            max_tuples_per_source=2500,
+        ),
+    )
+
+    print("Application suite:")
+    for app in sorted(bench.list_applications(), key=lambda a: a["abbrev"]):
+        print(
+            f"  {app['abbrev']:5s} {app['name']:24s} "
+            f"[{app['data_intensity']} intensity]"
+        )
+
+    rows = []
+    for parallelism in (1, 2, 4, 8):
+        record = bench.run_application(
+            "WC", parallelism=parallelism, event_rate=100_000.0
+        )
+        rows.append(
+            [
+                parallelism,
+                record.metrics["mean_median_latency_ms"],
+                record.metrics["mean_throughput"],
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["parallelism", "median latency (ms)", "throughput (res/s)"],
+            rows,
+            title="Word Count @ 100k events/s on 10 x m510",
+        )
+    )
+    print(f"\nstored runs: {bench.store['runs'].count()}")
+
+
+if __name__ == "__main__":
+    main()

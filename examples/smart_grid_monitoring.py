@@ -1,0 +1,56 @@
+"""Smart-grid monitoring across cluster types (the Exp 2 story).
+
+The DEBS 2014 smart-grid outlier query (SG) maintains per-plug and
+per-house sliding medians — one of the paper's most data-intensive
+applications. This example deploys it on the homogeneous m510 cluster and
+on the powerful c6320 cluster and sweeps parallelism, reproducing the
+observation that data-intensive UDO apps benefit hugely from both
+parallelism and stronger hardware (O1, O5).
+
+Run:  python examples/smart_grid_monitoring.py
+"""
+
+from repro import BenchmarkRunner, RunnerConfig, homogeneous_cluster
+from repro.apps import app_info
+from repro.report import render_table
+
+DEGREES = (1, 4, 16, 64)
+RUNNER = RunnerConfig(
+    repeats=2, dilation=25.0, max_tuples_per_source=2500
+)
+
+
+def main() -> None:
+    info = app_info("SG")
+    print(f"{info.name} ({info.abbrev}): {info.description}")
+    print(f"origin: {info.origin}; intensity: {info.data_intensity}\n")
+
+    clusters = {
+        "Ho 10 x m510 (8 cores/node)": homogeneous_cluster("m510", 10),
+        "He 10 x c6320 (28 cores/node)": homogeneous_cluster("c6320", 10),
+    }
+    rows = []
+    for label, cluster in clusters.items():
+        runner = BenchmarkRunner(cluster, RUNNER)
+        latencies = [
+            runner.measure_app("SG", degree, event_rate=100_000.0)[
+                "mean_median_latency_ms"
+            ]
+            for degree in DEGREES
+        ]
+        rows.append([label, *latencies])
+    print(
+        render_table(
+            ["cluster"] + [f"p={d}" for d in DEGREES],
+            rows,
+            title="SG median end-to-end latency (ms) @ 100k events/s",
+        )
+    )
+    print(
+        "\nNote how latency collapses with parallelism (saturated median "
+        "operators) and how the 28-core nodes help — the paper's O1/O5."
+    )
+
+
+if __name__ == "__main__":
+    main()

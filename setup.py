@@ -1,0 +1,11 @@
+"""Legacy shim so editable installs work without the ``wheel`` package.
+
+The offline environment ships a setuptools too old for PEP 660 editable
+wheels; ``pip install -e . --no-build-isolation`` falls back to
+``setup.py develop`` through this file. Configuration lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""PDSP-Bench reproduction: benchmarking parallel & distributed stream
+
+processing with a simulated SUT and learned cost models.
+
+Reproduces Agnihotri et al., *PDSP-Bench: A Benchmarking System for
+Parallel and Distributed Stream Processing* (TPCTC 2024; SIGMOD 2025
+demo). See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+
+Quickstart::
+
+    from repro import PDSPBench
+
+    bench = PDSPBench.homogeneous()          # 10 x m510, as in the paper
+    record = bench.run_application("WC", parallelism=8)
+    print(record.metrics["mean_median_latency_ms"])
+"""
+
+from repro.cluster import (
+    Cluster,
+    heterogeneous_cluster,
+    homogeneous_cluster,
+    mixed_cluster,
+)
+from repro.core import BenchmarkRunner, PDSPBench, RunnerConfig, RunRecord
+from repro.ml import Dataset, MLManager, encode_query, q_error
+from repro.sps import (
+    AnalyticEstimator,
+    LogicalPlan,
+    RunMetrics,
+    SimulationConfig,
+    StreamEngine,
+)
+from repro.workload import (
+    ParameterSpace,
+    QueryStructure,
+    WorkloadGenerator,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PDSPBench",
+    "BenchmarkRunner",
+    "RunnerConfig",
+    "RunRecord",
+    "Cluster",
+    "homogeneous_cluster",
+    "heterogeneous_cluster",
+    "mixed_cluster",
+    "LogicalPlan",
+    "StreamEngine",
+    "SimulationConfig",
+    "AnalyticEstimator",
+    "RunMetrics",
+    "WorkloadGenerator",
+    "QueryStructure",
+    "ParameterSpace",
+    "MLManager",
+    "Dataset",
+    "encode_query",
+    "q_error",
+    "__version__",
+]

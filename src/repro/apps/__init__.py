@@ -1,0 +1,99 @@
+"""The PDSP-Bench application suite (paper Table 2).
+
+14 real-world applications spanning text analytics, monitoring,
+transportation, social media, smart grid, IoT, e-commerce, advertising,
+web analytics and finance, plus the 9 synthetic query structures of
+:mod:`repro.workload.querygen`. Each application module exposes an ``INFO``
+record and a ``build(event_rate, seed)`` function returning an
+:class:`~repro.apps.base.AppQuery` at parallelism 1.
+
+>>> from repro import apps
+>>> query = apps.build_app("WC", event_rate=10_000)
+>>> sorted(apps.REGISTRY)[:4]
+['AD', 'BI', 'CA', 'FD']
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.apps import (
+    ad_analytics,
+    bargain_index,
+    click_analytics,
+    fraud_detection,
+    linear_road,
+    log_processing,
+    machine_outlier,
+    sentiment,
+    smart_grid,
+    spike_detection,
+    taxi,
+    tpch,
+    trending_topics,
+    wordcount,
+)
+from repro.apps.base import AppInfo, AppQuery, DataIntensity
+from repro.common.errors import ConfigurationError
+
+__all__ = [
+    "AppInfo",
+    "AppQuery",
+    "DataIntensity",
+    "REGISTRY",
+    "APP_INFOS",
+    "build_app",
+    "app_info",
+]
+
+_MODULES = (
+    wordcount,
+    machine_outlier,
+    linear_road,
+    sentiment,
+    smart_grid,
+    spike_detection,
+    tpch,
+    ad_analytics,
+    click_analytics,
+    trending_topics,
+    log_processing,
+    taxi,
+    fraud_detection,
+    bargain_index,
+)
+
+#: abbreviation -> builder function
+REGISTRY: dict[str, Callable[..., AppQuery]] = {
+    module.INFO.abbrev: module.build for module in _MODULES
+}
+
+#: abbreviation -> metadata record (one per Table 2 row)
+APP_INFOS: dict[str, AppInfo] = {
+    module.INFO.abbrev: module.INFO for module in _MODULES
+}
+
+
+def build_app(
+    abbrev: str, event_rate: float = 100_000.0, seed: int = 0
+) -> AppQuery:
+    """Build one application's dataflow by its Table 2 abbreviation."""
+    try:
+        builder = REGISTRY[abbrev]
+    except KeyError:
+        known = ", ".join(sorted(REGISTRY))
+        raise ConfigurationError(
+            f"unknown application {abbrev!r}; suite has: {known}"
+        ) from None
+    return builder(event_rate=event_rate, seed=seed)
+
+
+def app_info(abbrev: str) -> AppInfo:
+    """Metadata for one application."""
+    try:
+        return APP_INFOS[abbrev]
+    except KeyError:
+        known = ", ".join(sorted(APP_INFOS))
+        raise ConfigurationError(
+            f"unknown application {abbrev!r}; suite has: {known}"
+        ) from None

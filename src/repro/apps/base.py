@@ -1,0 +1,94 @@
+"""Shared scaffolding for the application suite (paper Table 2).
+
+Each application module defines:
+
+- an :class:`AppInfo` describing it (abbreviation, area, whether it uses
+  user-defined operators, how data-intensive those are — the properties the
+  paper's observations O1-O7 are phrased in terms of),
+- a data generator producing realistic tuples for its domain, and
+- a ``build(event_rate, seed, space)`` function returning an
+  :class:`AppQuery` whose plan starts at parallelism 1.
+
+The registry in :mod:`repro.apps` maps abbreviations to builders.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.sps.logical import LogicalPlan
+from repro.sps.tuples import StreamTuple
+from repro.sps.types import Schema
+
+__all__ = ["AppInfo", "AppQuery", "make_generator", "DataIntensity"]
+
+
+class DataIntensity:
+    """How compute-heavy an app's operators are, per the paper's grouping.
+
+    ``LOW`` apps (WC, LR) show flat latency across parallelism; ``HIGH``
+    apps (SG, SD, SA) keep improving up to parallelism 128 (O1/O2).
+    """
+
+    LOW = "low"
+    MEDIUM = "medium"
+    HIGH = "high"
+
+
+@dataclass(frozen=True)
+class AppInfo:
+    """Metadata of one benchmark application (one Table 2 row)."""
+
+    abbrev: str
+    name: str
+    area: str
+    description: str
+    uses_udo: bool
+    data_intensity: str
+    origin: str = ""
+
+    def __post_init__(self) -> None:
+        if self.data_intensity not in (
+            DataIntensity.LOW,
+            DataIntensity.MEDIUM,
+            DataIntensity.HIGH,
+        ):
+            raise ConfigurationError(
+                f"{self.abbrev}: invalid data intensity "
+                f"{self.data_intensity!r}"
+            )
+
+
+@dataclass
+class AppQuery:
+    """A built application: plan plus provenance, ready to parallelise."""
+
+    plan: LogicalPlan
+    info: AppInfo
+    event_rate: float
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def set_parallelism(self, degree: int) -> "AppQuery":
+        """Apply one parallelism degree to all non-sink operators."""
+        self.plan.set_uniform_parallelism(degree)
+        return self
+
+
+def make_generator(
+    schema: Schema,
+    sampler: Callable[[np.random.Generator], tuple],
+):
+    """Wrap a value sampler into the engine's tuple-generator signature."""
+    size = float(schema.tuple_size_bytes())
+
+    def generate(rng: np.random.Generator, now: float) -> StreamTuple:
+        return StreamTuple(
+            values=sampler(rng), event_time=now, size_bytes=size
+        )
+
+    return generate

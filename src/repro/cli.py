@@ -1,0 +1,374 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The controller's scriptable surface (the paper drives PDSP-Bench through
+a web UI; the same operations are exposed here):
+
+- ``list-apps``                   — show the Table 2 suite
+- ``run-app``                     — benchmark one application config
+- ``run-synthetic``               — benchmark one synthetic PQP config
+- ``throughput``                  — sustainable-throughput search
+- ``train``                       — build a corpus and compare cost models
+- ``experiment``                  — regenerate a paper figure
+- ``tables``                      — render the paper's config tables
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cluster import heterogeneous_cluster, homogeneous_cluster
+from repro.core.controller import PDSPBench
+from repro.core.runner import BenchmarkRunner, RunnerConfig
+from repro.core.throughput import sustainable_throughput
+from repro.report import render_figure, render_table
+from repro.report.related_work import render_table1
+from repro.workload import QueryStructure
+
+__all__ = ["main", "build_parser"]
+
+
+def _cluster_from_args(args) -> object:
+    if args.hetero:
+        return heterogeneous_cluster(num_nodes=args.nodes)
+    return homogeneous_cluster(args.cluster, num_nodes=args.nodes)
+
+
+def _runner_config(args) -> RunnerConfig:
+    return RunnerConfig(
+        repeats=args.repeats,
+        dilation=args.dilation,
+        max_tuples_per_source=args.tuples,
+        max_sim_time=args.sim_time,
+        seed=args.seed,
+    )
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cluster", default="m510",
+        help="hardware type for a homogeneous cluster (default m510)",
+    )
+    parser.add_argument(
+        "--hetero", action="store_true",
+        help="use the mixed c6525_25g+c6320 heterogeneous cluster",
+    )
+    parser.add_argument("--nodes", type=int, default=10)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--dilation", type=float, default=25.0)
+    parser.add_argument("--tuples", type=int, default=2500)
+    parser.add_argument("--sim-time", type=float, default=30.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--storage", default=None,
+        help="directory for the persistent document store",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for all ``python -m repro`` subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PDSP-Bench reproduction: benchmark parallel stream "
+        "processing and learned cost models",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list-apps", help="show the application suite")
+
+    run_app = commands.add_parser(
+        "run-app", help="benchmark one application configuration"
+    )
+    run_app.add_argument("--app", required=True)
+    run_app.add_argument("--parallelism", type=int, default=8)
+    run_app.add_argument("--rate", type=float, default=100_000.0)
+    _add_common(run_app)
+
+    run_suite = commands.add_parser(
+        "run-suite", help="benchmark the whole application suite"
+    )
+    run_suite.add_argument("--parallelism", type=int, default=8)
+    run_suite.add_argument("--rate", type=float, default=100_000.0)
+    run_suite.add_argument(
+        "--apps", nargs="*", default=None,
+        help="subset of app abbreviations (default: all 14)",
+    )
+    _add_common(run_suite)
+
+    run_syn = commands.add_parser(
+        "run-synthetic", help="benchmark one synthetic PQP"
+    )
+    run_syn.add_argument(
+        "--structure",
+        required=True,
+        choices=[s.value for s in QueryStructure],
+    )
+    run_syn.add_argument("--parallelism", type=int, default=8)
+    run_syn.add_argument("--rate", type=float, default=100_000.0)
+    _add_common(run_syn)
+
+    throughput = commands.add_parser(
+        "throughput", help="sustainable-throughput search for an app"
+    )
+    throughput.add_argument("--app", required=True)
+    throughput.add_argument("--parallelism", type=int, default=8)
+    _add_common(throughput)
+
+    train = commands.add_parser(
+        "train", help="build a corpus and fairly compare cost models"
+    )
+    train.add_argument("--count", type=int, default=400)
+    _add_common(train)
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate one paper figure"
+    )
+    experiment.add_argument(
+        "figure",
+        choices=[
+            "fig3-top", "fig3-bottom", "fig4-top", "fig4-bottom",
+            "fig5", "fig6",
+        ],
+    )
+    _add_common(experiment)
+
+    tables = commands.add_parser(
+        "tables", help="render the paper's configuration tables"
+    )
+    tables.add_argument(
+        "which", choices=["1", "2", "4"], help="table number"
+    )
+    return parser
+
+
+def _cmd_list_apps() -> int:
+    from repro.apps import APP_INFOS
+
+    rows = [
+        [
+            info.abbrev, info.name, info.area,
+            "yes" if info.uses_udo else "no", info.data_intensity,
+        ]
+        for info in APP_INFOS.values()
+    ]
+    print(
+        render_table(
+            ["abbrev", "application", "area", "UDO", "intensity"],
+            rows,
+            title="PDSP-Bench application suite (Table 2)",
+        )
+    )
+    return 0
+
+
+def _cmd_run_app(args) -> int:
+    bench = PDSPBench(
+        _cluster_from_args(args),
+        storage_dir=args.storage,
+        runner_config=_runner_config(args),
+        seed=args.seed,
+    )
+    record = bench.run_application(
+        args.app, parallelism=args.parallelism, event_rate=args.rate
+    )
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["application", record.workload_name],
+                ["cluster", record.cluster_name],
+                ["parallelism", args.parallelism],
+                ["event rate (ev/s)", args.rate],
+                [
+                    "median latency (ms)",
+                    record.metrics["mean_median_latency_ms"],
+                ],
+                ["throughput (res/s)", record.metrics["mean_throughput"]],
+            ],
+            title="run-app result",
+        )
+    )
+    return 0
+
+
+def _cmd_run_suite(args) -> int:
+    bench = PDSPBench(
+        _cluster_from_args(args),
+        storage_dir=args.storage,
+        runner_config=_runner_config(args),
+        seed=args.seed,
+    )
+    records = bench.run_suite(
+        parallelism=args.parallelism,
+        apps=args.apps,
+        event_rate=args.rate,
+    )
+    rows = [
+        [
+            record.workload_name,
+            record.metrics["mean_median_latency_ms"],
+            record.metrics["mean_throughput"],
+        ]
+        for record in records
+    ]
+    print(
+        render_table(
+            ["application", "median latency (ms)",
+             "throughput (res/s)"],
+            rows,
+            title=f"suite @ parallelism {args.parallelism}, "
+            f"{args.rate:g} ev/s",
+        )
+    )
+    return 0
+
+
+def _cmd_run_synthetic(args) -> int:
+    bench = PDSPBench(
+        _cluster_from_args(args),
+        storage_dir=args.storage,
+        runner_config=_runner_config(args),
+        seed=args.seed,
+    )
+    record = bench.run_synthetic(
+        QueryStructure(args.structure),
+        parallelism=args.parallelism,
+        event_rate=args.rate,
+    )
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["structure", args.structure],
+                ["parallelism", args.parallelism],
+                [
+                    "median latency (ms)",
+                    record.metrics["mean_median_latency_ms"],
+                ],
+            ],
+            title="run-synthetic result",
+        )
+    )
+    return 0
+
+
+def _cmd_throughput(args) -> int:
+    runner = BenchmarkRunner(
+        _cluster_from_args(args), _runner_config(args)
+    )
+    result = sustainable_throughput(
+        runner, args.app, parallelism=args.parallelism
+    )
+    print(f"{args.app} @ parallelism {args.parallelism}: "
+          f"{result.describe()}")
+    print(
+        render_table(
+            ["rate (ev/s)", "median latency (ms)"],
+            [[rate, latency] for rate, latency in result.probed],
+            title="probed configurations",
+        )
+    )
+    return 0
+
+
+def _cmd_train(args) -> int:
+    bench = PDSPBench(
+        _cluster_from_args(args),
+        storage_dir=args.storage,
+        runner_config=_runner_config(args),
+        seed=args.seed,
+    )
+    corpus = bench.build_corpus(count=args.count)
+    reports = bench.train_models(corpus)
+    rows = [
+        [
+            name,
+            report.q_error["median"],
+            report.q_error["p95"],
+            report.training.train_time_s,
+            report.training.num_parameters,
+        ]
+        for name, report in reports.items()
+    ]
+    print(
+        render_table(
+            ["model", "median q-error", "p95 q-error", "train (s)",
+             "params"],
+            rows,
+            title=f"cost models on a {args.count}-query corpus",
+        )
+    )
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.core import experiments
+
+    config = _runner_config(args)
+    if args.figure == "fig3-top":
+        figures = [experiments.figure3_top(runner_config=config)]
+    elif args.figure == "fig3-bottom":
+        figures = [experiments.figure3_bottom(runner_config=config)]
+    elif args.figure == "fig4-top":
+        figures = [experiments.figure4_top(runner_config=config)]
+    elif args.figure == "fig4-bottom":
+        figures = [experiments.figure4_bottom(runner_config=config)]
+    elif args.figure == "fig5":
+        figures = [experiments.figure5()]
+    else:
+        figures = list(experiments.figure6())
+    for figure in figures:
+        print(render_figure(figure))
+    return 0
+
+
+def _cmd_tables(args) -> int:
+    if args.which == "1":
+        print(render_table1())
+    elif args.which == "2":
+        return _cmd_list_apps()
+    else:
+        from repro.cluster import HARDWARE_CATALOG
+
+        rows = [
+            [
+                spec.name, spec.cores, spec.ram_gb, spec.disk_gb,
+                spec.processor, spec.clock_ghz, spec.nic_gbps,
+            ]
+            for spec in HARDWARE_CATALOG.values()
+        ]
+        print(
+            render_table(
+                ["node", "cores", "RAM GB", "disk GB", "processor",
+                 "GHz", "NIC Gbps"],
+                rows,
+                title="Table 4: hardware configuration",
+            )
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list-apps":
+        return _cmd_list_apps()
+    if args.command == "run-app":
+        return _cmd_run_app(args)
+    if args.command == "run-suite":
+        return _cmd_run_suite(args)
+    if args.command == "run-synthetic":
+        return _cmd_run_synthetic(args)
+    if args.command == "throughput":
+        return _cmd_throughput(args)
+    if args.command == "train":
+        return _cmd_train(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "tables":
+        return _cmd_tables(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Simulated cluster substrate.
+
+Reproduces the CloudLab testbed of the paper (Table 4): node hardware types
+``m510``, ``c6525_25g`` and ``c6320``, homogeneous and heterogeneous cluster
+builders, a task-slot resource model and a latency/bandwidth network model.
+"""
+
+from repro.cluster.cluster import (
+    Cluster,
+    heterogeneous_cluster,
+    homogeneous_cluster,
+    mixed_cluster,
+)
+from repro.cluster.hardware import (
+    HARDWARE_CATALOG,
+    HardwareSpec,
+    get_hardware,
+    register_hardware,
+)
+from repro.cluster.network import Network, NetworkSpec
+from repro.cluster.node import Node, TaskSlot
+
+__all__ = [
+    "HardwareSpec",
+    "HARDWARE_CATALOG",
+    "get_hardware",
+    "register_hardware",
+    "Node",
+    "TaskSlot",
+    "Network",
+    "NetworkSpec",
+    "Cluster",
+    "homogeneous_cluster",
+    "heterogeneous_cluster",
+    "mixed_cluster",
+]

@@ -1,0 +1,157 @@
+"""Cluster assembly.
+
+The paper's experiments run on clusters of 10 nodes each:
+
+- homogeneous:   10 x m510                    (Exp 1, Exp 2 "Ho")
+- heterogeneous: c6525_25g and c6320 mixes    (Exp 2 "He")
+
+:func:`homogeneous_cluster` and :func:`heterogeneous_cluster` reproduce those
+setups; :func:`mixed_cluster` builds arbitrary compositions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.cluster.hardware import get_hardware
+from repro.cluster.network import Network, NetworkSpec
+from repro.cluster.node import Node, TaskSlot
+from repro.common.errors import ConfigurationError
+
+__all__ = [
+    "Cluster",
+    "homogeneous_cluster",
+    "heterogeneous_cluster",
+    "mixed_cluster",
+]
+
+
+class Cluster:
+    """A set of nodes plus the network connecting them."""
+
+    def __init__(
+        self,
+        nodes: Sequence[Node],
+        network_spec: NetworkSpec | None = None,
+        name: str = "cluster",
+    ) -> None:
+        if not nodes:
+            raise ConfigurationError("a cluster needs at least one node")
+        self._nodes = tuple(nodes)
+        self._by_id = {node.node_id: node for node in self._nodes}
+        if len(self._by_id) != len(self._nodes):
+            raise ConfigurationError("duplicate node ids in cluster")
+        self._network = Network(list(self._nodes), network_spec)
+        self.name = name
+
+    @property
+    def nodes(self) -> tuple[Node, ...]:
+        """All nodes, in id order as constructed."""
+        return self._nodes
+
+    @property
+    def network(self) -> Network:
+        """The interconnect model."""
+        return self._network
+
+    def node(self, node_id: int) -> Node:
+        """Look up a node by id."""
+        try:
+            return self._by_id[node_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown node id {node_id}") from None
+
+    @property
+    def total_slots(self) -> int:
+        """Total task slots (== total cores) in the cluster."""
+        return sum(node.num_slots for node in self._nodes)
+
+    @property
+    def total_cores(self) -> int:
+        """Alias of :attr:`total_slots` for readability at call sites."""
+        return self.total_slots
+
+    def all_slots(self) -> list[TaskSlot]:
+        """Every slot, grouped by node in node order."""
+        return [slot for node in self._nodes for slot in node.slots]
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        """Whether the cluster mixes more than one hardware type."""
+        return len({node.hardware.name for node in self._nodes}) > 1
+
+    @property
+    def max_cores_per_node(self) -> int:
+        """Cores of the largest node; the paper keys parallelism to this."""
+        return max(node.num_slots for node in self._nodes)
+
+    def describe(self) -> str:
+        """One-line summary, e.g. ``cluster: 10 x m510 (80 slots)``."""
+        counts: dict[str, int] = {}
+        for node in self._nodes:
+            counts[node.hardware.name] = counts.get(node.hardware.name, 0) + 1
+        mix = " + ".join(f"{n} x {hw}" for hw, n in sorted(counts.items()))
+        return f"{self.name}: {mix} ({self.total_slots} slots)"
+
+
+def homogeneous_cluster(
+    hardware_name: str = "m510",
+    num_nodes: int = 10,
+    network_spec: NetworkSpec | None = None,
+) -> Cluster:
+    """Build the paper's homogeneous cluster (default: 10 x m510)."""
+    if num_nodes <= 0:
+        raise ConfigurationError("num_nodes must be positive")
+    hardware = get_hardware(hardware_name)
+    nodes = [Node(node_id=i, hardware=hardware) for i in range(num_nodes)]
+    return Cluster(
+        nodes, network_spec, name=f"homogeneous-{hardware_name}"
+    )
+
+
+def heterogeneous_cluster(
+    hardware_names: Iterable[str] = ("c6525_25g", "c6320"),
+    num_nodes: int = 10,
+    network_spec: NetworkSpec | None = None,
+) -> Cluster:
+    """Build a heterogeneous cluster cycling through the given node types.
+
+    The paper's heterogeneous experiments use ``c6525_25g`` and ``c6320``
+    nodes; with the default arguments this yields 5 of each in a 10-node
+    cluster, alternating.
+    """
+    names = list(hardware_names)
+    if not names:
+        raise ConfigurationError("need at least one hardware type")
+    if len(set(names)) < 2:
+        raise ConfigurationError(
+            "a heterogeneous cluster needs >= 2 distinct hardware types; "
+            "use homogeneous_cluster() otherwise"
+        )
+    if num_nodes <= 0:
+        raise ConfigurationError("num_nodes must be positive")
+    nodes = [
+        Node(node_id=i, hardware=get_hardware(names[i % len(names)]))
+        for i in range(num_nodes)
+    ]
+    label = "+".join(names)
+    return Cluster(nodes, network_spec, name=f"heterogeneous-{label}")
+
+
+def mixed_cluster(
+    composition: dict[str, int],
+    network_spec: NetworkSpec | None = None,
+    name: str = "mixed",
+) -> Cluster:
+    """Build a cluster from an explicit ``{hardware_name: count}`` mix."""
+    nodes: list[Node] = []
+    for hardware_name in sorted(composition):
+        count = composition[hardware_name]
+        if count <= 0:
+            raise ConfigurationError(
+                f"count for {hardware_name!r} must be positive, got {count}"
+            )
+        hardware = get_hardware(hardware_name)
+        for _ in range(count):
+            nodes.append(Node(node_id=len(nodes), hardware=hardware))
+    return Cluster(nodes, network_spec, name=name)

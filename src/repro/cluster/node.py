@@ -1,0 +1,61 @@
+"""Nodes and task slots.
+
+Following Flink's resource model, each node (task manager) exposes one task
+slot per CPU core. A subtask occupies exactly one slot; the slot's node
+determines its per-core speed and its network endpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.hardware import HardwareSpec
+from repro.common.errors import ConfigurationError
+
+__all__ = ["Node", "TaskSlot"]
+
+
+@dataclass(frozen=True)
+class TaskSlot:
+    """One schedulable slot on a node (one per core)."""
+
+    node_id: int
+    slot_index: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"slot({self.node_id}.{self.slot_index})"
+
+
+@dataclass(frozen=True)
+class Node:
+    """A cluster node of a given hardware type."""
+
+    node_id: int
+    hardware: HardwareSpec
+    slots: tuple[TaskSlot, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ConfigurationError("node_id must be non-negative")
+        if not self.slots:
+            object.__setattr__(
+                self,
+                "slots",
+                tuple(
+                    TaskSlot(node_id=self.node_id, slot_index=i)
+                    for i in range(self.hardware.cores)
+                ),
+            )
+
+    @property
+    def num_slots(self) -> int:
+        """Number of task slots (== number of cores)."""
+        return len(self.slots)
+
+    @property
+    def speed_factor(self) -> float:
+        """Per-core speed relative to the m510 baseline."""
+        return self.hardware.speed_factor
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"node{self.node_id}[{self.hardware.name}]"

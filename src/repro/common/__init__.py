@@ -1,0 +1,38 @@
+"""Shared utilities: errors, random-number management, units, validation."""
+
+from repro.common.errors import (
+    ConfigurationError,
+    PlacementError,
+    PlanError,
+    ReproError,
+    SimulationError,
+    StorageError,
+    TrainingError,
+)
+from repro.common.rng import RngFactory, derive_seed
+from repro.common.units import (
+    GBPS,
+    MS,
+    SECONDS,
+    bytes_per_second,
+    format_duration,
+    format_rate,
+)
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "PlanError",
+    "PlacementError",
+    "SimulationError",
+    "StorageError",
+    "TrainingError",
+    "RngFactory",
+    "derive_seed",
+    "MS",
+    "SECONDS",
+    "GBPS",
+    "bytes_per_second",
+    "format_duration",
+    "format_rate",
+]

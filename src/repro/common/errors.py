@@ -1,0 +1,38 @@
+"""Exception hierarchy for the PDSP-Bench reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base type. Subclasses mark which subsystem rejected the input, mirroring the
+components of the paper (workload generation, placement, simulation, ML
+training, storage).
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid user-supplied configuration value."""
+
+
+class PlanError(ReproError):
+    """A logical or physical query plan is malformed (cycle, dangling edge,
+
+    missing source/sink, invalid parallelism degree, ...).
+    """
+
+
+class PlacementError(ReproError):
+    """The scheduler could not place all subtasks on the cluster."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine detected an inconsistency while running."""
+
+
+class TrainingError(ReproError):
+    """An ML model could not be trained on the provided corpus."""
+
+
+class StorageError(ReproError):
+    """The embedded document store rejected an operation."""

@@ -1,0 +1,71 @@
+"""Deterministic random-number management.
+
+Every stochastic component (data generator, query enumerator, simulator,
+model initialisation) draws from its own named child generator derived from
+one root seed. Runs are therefore reproducible end-to-end while components
+stay statistically independent: reordering calls inside one component never
+perturbs another component's stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["derive_seed", "RngFactory"]
+
+
+def derive_seed(root_seed: int, *names: str) -> int:
+    """Derive a stable 63-bit seed from a root seed and a path of names.
+
+    The derivation hashes ``root_seed`` together with the names so that
+    ``derive_seed(1, "datagen")`` and ``derive_seed(1, "engine")`` are
+    unrelated, and the same path always yields the same seed.
+    """
+    digest = hashlib.sha256()
+    digest.update(str(int(root_seed)).encode("utf-8"))
+    for name in names:
+        digest.update(b"\x1f")
+        digest.update(name.encode("utf-8"))
+    return int.from_bytes(digest.digest()[:8], "big") >> 1
+
+
+class RngFactory:
+    """Factory of named, independent :class:`numpy.random.Generator` streams.
+
+    >>> rngs = RngFactory(seed=42)
+    >>> a = rngs.get("datagen")
+    >>> b = rngs.get("engine")
+    >>> a is rngs.get("datagen")
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = int(seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    @property
+    def seed(self) -> int:
+        """The root seed this factory was created with."""
+        return self._seed
+
+    def get(self, *names: str) -> np.random.Generator:
+        """Return the generator for the given name path, creating it once."""
+        key = "/".join(names)
+        if key not in self._streams:
+            self._streams[key] = np.random.default_rng(
+                derive_seed(self._seed, *names)
+            )
+        return self._streams[key]
+
+    def fresh(self, *names: str) -> np.random.Generator:
+        """Return a new generator for the path without caching it.
+
+        Useful for repeated runs that must each start from the same state.
+        """
+        return np.random.default_rng(derive_seed(self._seed, *names))
+
+    def child(self, *names: str) -> "RngFactory":
+        """Return a new factory whose root seed is derived from this one."""
+        return RngFactory(derive_seed(self._seed, *names))

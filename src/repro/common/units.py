@@ -1,0 +1,58 @@
+"""Unit helpers.
+
+The simulator's base time unit is the **second** (floats); helpers here keep
+conversions explicit at call sites instead of scattering magic constants.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "MS",
+    "SECONDS",
+    "GBPS",
+    "bytes_per_second",
+    "format_duration",
+    "format_rate",
+]
+
+#: One millisecond expressed in seconds.
+MS = 1e-3
+
+#: One second (the base unit), for symmetry at call sites.
+SECONDS = 1.0
+
+#: One gigabit per second expressed in bytes per second.
+GBPS = 1e9 / 8.0
+
+
+def bytes_per_second(gbps: float) -> float:
+    """Convert a link speed in Gbit/s to bytes/s."""
+    if gbps < 0:
+        raise ValueError(f"link speed must be non-negative, got {gbps}")
+    return gbps * GBPS
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration with a sensible unit (us / ms / s / min)."""
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds / 60.0:.1f}min"
+
+
+def format_rate(events_per_second: float) -> str:
+    """Render an event rate ('10', '5k', '1mn' per the paper's notation)."""
+    if events_per_second < 0:
+        raise ValueError("event rate must be non-negative")
+    if events_per_second >= 1e6:
+        value = events_per_second / 1e6
+        return f"{value:g}mn ev/s"
+    if events_per_second >= 1e3:
+        value = events_per_second / 1e3
+        return f"{value:g}k ev/s"
+    return f"{events_per_second:g} ev/s"

@@ -1,0 +1,7 @@
+"""PDSP-Bench core: controller, benchmark runner and experiment suite."""
+
+from repro.core.controller import PDSPBench
+from repro.core.records import RunRecord
+from repro.core.runner import BenchmarkRunner, RunnerConfig
+
+__all__ = ["PDSPBench", "BenchmarkRunner", "RunnerConfig", "RunRecord"]

@@ -1,0 +1,236 @@
+"""The PDSP-Bench controller: the system's public facade.
+
+Mirrors the paper's controller component (Section 2): it takes the user's
+cluster configuration and workload selection, orchestrates deployment on
+the simulated SUT, persists run records and generated corpora in the
+document store, and hands corpora to the ML Manager for training — the
+full PDSP-Bench workflow of Figure 1, minus the Vue.js front-end.
+
+>>> bench = PDSPBench.homogeneous()
+>>> record = bench.run_application("WC", parallelism=4)
+>>> record.metrics["mean_median_latency_ms"] > 0
+True
+"""
+
+from __future__ import annotations
+
+from repro.apps import APP_INFOS
+from repro.cluster.cluster import (
+    Cluster,
+    heterogeneous_cluster,
+    homogeneous_cluster,
+)
+from repro.common.errors import ConfigurationError
+from repro.common.rng import RngFactory
+from repro.core.records import RunRecord
+from repro.core.runner import BenchmarkRunner, RunnerConfig
+from repro.ml.dataset import Dataset, encode_query
+from repro.ml.manager import MLManager, ModelReport
+from repro.sps.analytic import AnalyticEstimator
+from repro.storage.docstore import DocumentStore
+from repro.workload.enumeration import EnumerationStrategy
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.parameter_space import ParameterSpace
+from repro.workload.querygen import QueryStructure
+
+__all__ = ["PDSPBench"]
+
+
+class PDSPBench:
+    """Benchmarking system facade: cluster + workloads + SUT + ML."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        storage_dir: str | None = None,
+        runner_config: RunnerConfig | None = None,
+        space: ParameterSpace | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.cluster = cluster
+        self.space = space or ParameterSpace()
+        self.runner = BenchmarkRunner(cluster, runner_config)
+        self.store = DocumentStore(storage_dir)
+        self.workload_generator = WorkloadGenerator(self.space, seed=seed)
+        self.ml_manager = MLManager(seed=seed)
+        self.seed = seed
+        self._rngs = RngFactory(seed)
+
+    # ------------------------------------------------------------- builders
+
+    @classmethod
+    def homogeneous(
+        cls, hardware: str = "m510", num_nodes: int = 10, **kwargs
+    ) -> "PDSPBench":
+        """The paper's homogeneous setup: 10 x m510."""
+        return cls(homogeneous_cluster(hardware, num_nodes), **kwargs)
+
+    @classmethod
+    def heterogeneous(
+        cls,
+        hardware: tuple[str, ...] = ("c6525_25g", "c6320"),
+        num_nodes: int = 10,
+        **kwargs,
+    ) -> "PDSPBench":
+        """The paper's heterogeneous setup."""
+        return cls(heterogeneous_cluster(hardware, num_nodes), **kwargs)
+
+    # ----------------------------------------------------------- app runs
+
+    def list_applications(self) -> list[dict]:
+        """The Table 2 suite as metadata dicts."""
+        return [
+            {
+                "abbrev": info.abbrev,
+                "name": info.name,
+                "area": info.area,
+                "uses_udo": info.uses_udo,
+                "data_intensity": info.data_intensity,
+            }
+            for info in APP_INFOS.values()
+        ]
+
+    def run_application(
+        self,
+        abbrev: str,
+        parallelism: int,
+        event_rate: float = 100_000.0,
+    ) -> RunRecord:
+        """Run one real-world application configuration and persist it."""
+        query = self.runner.prepare_app(abbrev, parallelism, event_rate)
+        metrics = self.runner.measure(query.plan)
+        record = RunRecord.from_run(
+            plan=query.plan,
+            cluster=self.cluster,
+            metrics=metrics,
+            workload_kind="real-world",
+            event_rate=event_rate,
+            params=query.params,
+        )
+        self.store["runs"].insert_one(record.to_document())
+        return record
+
+    def run_suite(
+        self,
+        parallelism: int,
+        apps: list[str] | None = None,
+        event_rate: float = 100_000.0,
+    ) -> list[RunRecord]:
+        """Run the whole (or a selected) application suite at one degree.
+
+        The bulk operation behind the WUI's "run suite" button; every run
+        is persisted like :meth:`run_application`.
+        """
+        selected = apps if apps is not None else sorted(APP_INFOS)
+        return [
+            self.run_application(abbrev, parallelism, event_rate)
+            for abbrev in selected
+        ]
+
+    def run_synthetic(
+        self,
+        structure: QueryStructure,
+        parallelism: int,
+        event_rate: float = 100_000.0,
+    ) -> RunRecord:
+        """Run one synthetic PQP configuration and persist it."""
+        dilation = self.runner.config.dilation
+        query = self.workload_generator.generate_one(
+            self.cluster,
+            structure,
+            event_rate=event_rate / dilation,
+        )
+        if dilation != 1.0:
+            from repro.workload.generator import scale_plan_costs
+
+            scale_plan_costs(query.plan, dilation)
+        query.plan.set_uniform_parallelism(parallelism)
+        metrics = self.runner.measure(query.plan)
+        record = RunRecord.from_run(
+            plan=query.plan,
+            cluster=self.cluster,
+            metrics=metrics,
+            workload_kind="synthetic",
+            event_rate=event_rate,
+            params={**query.params, "parallelism": parallelism},
+        )
+        self.store["runs"].insert_one(record.to_document())
+        return record
+
+    # --------------------------------------------------------- ML workflow
+
+    def build_corpus(
+        self,
+        count: int,
+        structures: list[QueryStructure] | None = None,
+        strategy: EnumerationStrategy | None = None,
+        event_rate: float | None = None,
+        collection: str = "corpus",
+        label_noise_cv: float = 0.08,
+    ) -> Dataset:
+        """Generate a labelled training corpus and persist it.
+
+        Labels come from the analytic evaluator (the engine's fast mode,
+        validated against the DES by the ablation bench), with lognormal
+        measurement noise — thousands of labelled queries in seconds, the
+        scale Exp 3 needs.
+        """
+        if count < 1:
+            raise ConfigurationError("count must be >= 1")
+        queries = self.workload_generator.generate(
+            self.cluster,
+            count=count,
+            structures=structures,
+            strategy=strategy,
+            event_rate=event_rate,
+        )
+        estimator = AnalyticEstimator(self.cluster)
+        rng = self._rngs.get("corpus-labels")
+        records = []
+        for query in queries:
+            latency = estimator.noisy_latency(
+                query.plan, rng, cv=label_noise_cv
+            )
+            records.append(
+                encode_query(
+                    query.plan,
+                    self.cluster,
+                    latency,
+                    structure=query.structure.value,
+                    meta={"strategy": query.params.get("strategy", "")},
+                )
+            )
+        dataset = Dataset(records)
+        dataset.save(self.store[collection])
+        return dataset
+
+    def load_corpus(self, collection: str = "corpus") -> Dataset:
+        """Load a previously persisted corpus."""
+        return Dataset.load(self.store[collection])
+
+    def train_models(
+        self, dataset: Dataset, test: Dataset | None = None
+    ) -> dict[str, ModelReport]:
+        """Train and fairly compare all registered cost models."""
+        reports = self.ml_manager.train_and_evaluate(dataset, test=test)
+        self.store["model_reports"].insert_many(
+            report.to_dict() for report in reports.values()
+        )
+        return reports
+
+    # ------------------------------------------------------------- queries
+
+    def stored_runs(self, query: dict | None = None) -> list[RunRecord]:
+        """Fetch persisted run records."""
+        return [
+            RunRecord.from_document(doc)
+            for doc in self.store["runs"].find(query)
+        ]
+
+    def save_figure(self, figure, collection: str = "figures") -> int:
+        """Persist an experiment figure (series + metadata) for the WUI."""
+        return self.store[collection].insert_one(figure.to_document())
+
+    def stored_figures(self, collection: str = "figures") -> list[dict]:
+        """All persisted figures, newest last."""
+        return self.store[collection].find(sort_by="_id")

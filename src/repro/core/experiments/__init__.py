@@ -1,0 +1,26 @@
+"""The paper's evaluation experiments (Section 4).
+
+- :mod:`repro.core.experiments.exp1` — impact of PQP complexity
+  (Figure 3 top and bottom; observations O1-O4);
+- :mod:`repro.core.experiments.exp2` — impact of heterogeneous hardware
+  (Figure 4 top and bottom; observations O5-O7);
+- :mod:`repro.core.experiments.exp3` — learned cost models in PDSP-Bench
+  (Figure 5 and Figure 6; observations O8-O9).
+
+Each function returns :class:`~repro.report.figures.FigureData` so the
+benchmark harness can both print the paper-style series and assert the
+observations' shapes.
+"""
+
+from repro.core.experiments.exp1 import figure3_bottom, figure3_top
+from repro.core.experiments.exp2 import figure4_bottom, figure4_top
+from repro.core.experiments.exp3 import figure5, figure6
+
+__all__ = [
+    "figure3_top",
+    "figure3_bottom",
+    "figure4_top",
+    "figure4_bottom",
+    "figure5",
+    "figure6",
+]

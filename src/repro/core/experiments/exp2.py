@@ -1,0 +1,145 @@
+"""Exp. 2: impact of heterogeneous hardware on performance (Figure 4).
+
+The paper compares the homogeneous m510 cluster against the two
+"heterogeneous" CloudLab clusters (c6525_25g, c6320 — heterogeneous
+relative to the baseline hardware), 10 nodes each:
+
+- **Figure 4 (top)** — real-world applications per cluster, with each
+  cluster's parallelism set to its node core count (m510 -> 8,
+  c6525_25g -> 16, c6320 -> 28);
+- **Figure 4 (bottom)** — synthetic PQPs: mean latency per parallelism
+  category per cluster type, plus a genuinely mixed c6525_25g+c6320
+  cluster.
+
+Expected shapes: SA/CA/SD gain strongly on the powerful clusters while AD
+does not (O5); no single optimal parallelism exists across cluster types
+(O6); synthetic PQPs favour the homogeneous cluster while real-world apps
+favour heterogeneous capability (O7).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import (
+    Cluster,
+    heterogeneous_cluster,
+    homogeneous_cluster,
+)
+from repro.core.runner import BenchmarkRunner, RunnerConfig
+from repro.report.figures import FigureData, Series
+from repro.workload.enumeration import ParameterBasedEnumeration
+from repro.workload.generator import WorkloadGenerator, scale_plan_costs
+from repro.workload.parameter_space import PARALLELISM_CATEGORIES
+from repro.workload.querygen import QueryStructure
+
+__all__ = [
+    "DEFAULT_EXP2_APPS",
+    "default_clusters",
+    "figure4_top",
+    "figure4_bottom",
+]
+
+#: Apps highlighted in the paper's Figure 4 discussion.
+DEFAULT_EXP2_APPS = ("WC", "LR", "SA", "CA", "SD", "SG", "AD")
+
+#: Synthetic structures averaged in Figure 4 (bottom).
+_EXP2_STRUCTURES = (
+    QueryStructure.LINEAR,
+    QueryStructure.TWO_WAY_JOIN,
+    QueryStructure.THREE_WAY_JOIN,
+)
+
+
+def default_clusters(num_nodes: int = 10) -> dict[str, Cluster]:
+    """The three Table 4 clusters, plus a genuinely mixed one."""
+    return {
+        "Ho-m510": homogeneous_cluster("m510", num_nodes),
+        "He-c6525_25g": homogeneous_cluster("c6525_25g", num_nodes),
+        "He-c6320": homogeneous_cluster("c6320", num_nodes),
+        "He-mixed": heterogeneous_cluster(
+            ("c6525_25g", "c6320"), num_nodes
+        ),
+    }
+
+
+def figure4_top(
+    clusters: dict[str, Cluster] | None = None,
+    runner_config: RunnerConfig | None = None,
+    apps=DEFAULT_EXP2_APPS,
+    event_rate: float = 100_000.0,
+) -> FigureData:
+    """Real-world apps across clusters, parallelism = node core count."""
+    clusters = clusters or {
+        name: cluster
+        for name, cluster in default_clusters().items()
+        if name != "He-mixed"
+    }
+    series = []
+    for cluster_name, cluster in clusters.items():
+        runner = BenchmarkRunner(cluster, runner_config)
+        parallelism = cluster.max_cores_per_node
+        latencies = []
+        for abbrev in apps:
+            result = runner.measure_app(abbrev, parallelism, event_rate)
+            latencies.append(result["mean_median_latency_ms"])
+        series.append(
+            Series(
+                f"{cluster_name} (p={parallelism})",
+                list(apps),
+                latencies,
+            )
+        )
+    return FigureData(
+        figure_id="fig4-top",
+        title="Exp 2: real-world apps across cluster types "
+        f"({event_rate:g} ev/s, parallelism = cores per node)",
+        x_label="application",
+        y_label="mean median e2e latency (ms)",
+        series=series,
+    )
+
+
+def figure4_bottom(
+    clusters: dict[str, Cluster] | None = None,
+    runner_config: RunnerConfig | None = None,
+    categories: dict[str, int] | None = None,
+    structures=_EXP2_STRUCTURES,
+    event_rate: float = 100_000.0,
+    seed: int = 13,
+) -> FigureData:
+    """Synthetic PQPs: mean latency per parallelism category per cluster."""
+    clusters = clusters or default_clusters()
+    categories = categories or PARALLELISM_CATEGORIES
+    labels = list(categories)
+    series = []
+    for cluster_name, cluster in clusters.items():
+        runner = BenchmarkRunner(cluster, runner_config)
+        dilation = runner.config.dilation
+        generator = WorkloadGenerator(seed=seed)
+        queries = []
+        for structure in structures:
+            query = generator.generate_one(
+                cluster,
+                structure,
+                strategy=ParameterBasedEnumeration(1),
+                event_rate=event_rate / dilation,
+            )
+            if dilation != 1.0:
+                scale_plan_costs(query.plan, dilation)
+            queries.append(query)
+        latencies = []
+        for label in labels:
+            total = 0.0
+            for query in queries:
+                query.plan.set_uniform_parallelism(categories[label])
+                result = runner.measure(query.plan)
+                total += result["mean_median_latency_ms"]
+            latencies.append(total / len(queries))
+        series.append(Series(cluster_name, list(labels), latencies))
+    return FigureData(
+        figure_id="fig4-bottom",
+        title="Exp 2: synthetic PQPs across parallelism categories and "
+        f"cluster types ({event_rate:g} ev/s)",
+        x_label="parallelism category",
+        y_label="mean median e2e latency (ms)",
+        series=series,
+    )

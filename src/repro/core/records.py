@@ -1,0 +1,78 @@
+"""Run records: what one benchmark execution persists.
+
+A :class:`RunRecord` couples the workload description (structure or app,
+parameters, parallelism degrees), the resource description (cluster), and
+the measured metrics — the document PDSP-Bench stores in MongoDB so the ML
+Manager can later assemble training corpora from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cluster.cluster import Cluster
+from repro.sps.logical import LogicalPlan
+
+__all__ = ["RunRecord"]
+
+
+@dataclass
+class RunRecord:
+    """One persisted benchmark run."""
+
+    workload_name: str
+    workload_kind: str  # "synthetic" | "real-world"
+    cluster_name: str
+    degrees: dict[str, int]
+    event_rate: float
+    metrics: dict[str, float]
+    params: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_run(
+        cls,
+        plan: LogicalPlan,
+        cluster: Cluster,
+        metrics: dict[str, float],
+        workload_kind: str,
+        event_rate: float,
+        params: dict[str, Any] | None = None,
+    ) -> "RunRecord":
+        """Assemble a record from a measured plan."""
+        return cls(
+            workload_name=plan.name,
+            workload_kind=workload_kind,
+            cluster_name=cluster.name,
+            degrees=plan.parallelism_degrees(),
+            event_rate=event_rate,
+            metrics=dict(metrics),
+            params=dict(params or {}),
+        )
+
+    def to_document(self) -> dict:
+        """JSON-serialisable form for the document store."""
+        return {
+            "workload_name": self.workload_name,
+            "workload_kind": self.workload_kind,
+            "cluster_name": self.cluster_name,
+            "degrees": dict(self.degrees),
+            "event_rate": self.event_rate,
+            "metrics": dict(self.metrics),
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_document(cls, document: dict) -> "RunRecord":
+        """Inverse of :meth:`to_document`."""
+        return cls(
+            workload_name=document["workload_name"],
+            workload_kind=document["workload_kind"],
+            cluster_name=document["cluster_name"],
+            degrees={
+                k: int(v) for k, v in document["degrees"].items()
+            },
+            event_rate=float(document["event_rate"]),
+            metrics=dict(document["metrics"]),
+            params=dict(document.get("params", {})),
+        )

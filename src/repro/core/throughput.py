@@ -1,0 +1,105 @@
+"""Sustainable-throughput measurement.
+
+Table 1 claims PDSP-Bench is "fully" scalable: it can scale workload
+generation until the SUT saturates. This module measures an application's
+*sustainable throughput* — the highest event rate at which the measured
+median latency stays within a bound of the unloaded baseline — by scanning
+the paper's event-rate ladder (Table 3) with a geometric refinement step,
+the standard methodology of the Karimov et al. benchmark the paper cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.core.runner import BenchmarkRunner
+
+__all__ = ["ThroughputResult", "sustainable_throughput"]
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Outcome of a sustainable-throughput search."""
+
+    sustainable_rate: float
+    baseline_latency_ms: float
+    latency_at_limit_ms: float
+    probed: tuple[tuple[float, float], ...]  # (rate, latency_ms)
+
+    def describe(self) -> str:
+        """One-line summary."""
+        return (
+            f"sustainable ~{self.sustainable_rate:,.0f} ev/s "
+            f"(baseline {self.baseline_latency_ms:.1f} ms, "
+            f"at limit {self.latency_at_limit_ms:.1f} ms)"
+        )
+
+
+def sustainable_throughput(
+    runner: BenchmarkRunner,
+    app: str,
+    parallelism: int,
+    rates: tuple[float, ...] = (
+        1_000.0,
+        5_000.0,
+        10_000.0,
+        50_000.0,
+        100_000.0,
+        200_000.0,
+        500_000.0,
+        1_000_000.0,
+    ),
+    latency_factor: float = 3.0,
+    refine_steps: int = 2,
+) -> ThroughputResult:
+    """Find the highest sustainable event rate for an application.
+
+    A rate is *sustainable* when the measured median latency is within
+    ``latency_factor`` of the latency at the lowest (unloaded) rate.
+    After the ladder scan, the boundary interval is refined
+    geometrically ``refine_steps`` times.
+    """
+    if len(rates) < 2 or sorted(rates) != list(rates):
+        raise ConfigurationError("rates must be an increasing ladder")
+    if latency_factor <= 1.0:
+        raise ConfigurationError("latency_factor must exceed 1.0")
+
+    probed: list[tuple[float, float]] = []
+
+    def latency_at(rate: float) -> float:
+        result = runner.measure_app(app, parallelism, event_rate=rate)
+        latency = result["mean_median_latency_ms"]
+        probed.append((rate, latency))
+        return latency
+
+    baseline = latency_at(rates[0])
+    bound = baseline * latency_factor
+    last_good = rates[0]
+    last_good_latency = baseline
+    first_bad: float | None = None
+    for rate in rates[1:]:
+        latency = latency_at(rate)
+        if latency <= bound:
+            last_good = rate
+            last_good_latency = latency
+        else:
+            first_bad = rate
+            break
+    if first_bad is not None:
+        low, high = last_good, first_bad
+        for _ in range(refine_steps):
+            middle = (low * high) ** 0.5
+            latency = latency_at(middle)
+            if latency <= bound:
+                low = middle
+                last_good = middle
+                last_good_latency = latency
+            else:
+                high = middle
+    return ThroughputResult(
+        sustainable_rate=last_good,
+        baseline_latency_ms=baseline,
+        latency_at_limit_ms=last_good_latency,
+        probed=tuple(probed),
+    )

@@ -1,0 +1,38 @@
+"""Learned cost models and the ML Manager (paper Section 4.3).
+
+Implements, from scratch on NumPy, the four model families the paper
+integrates and compares: Linear Regression, Multi-Layer Perceptron, Random
+Forest, and a Graph Neural Network that consumes the PQP DAG directly.
+Training uses uniform early stopping on validation loss; evaluation reports
+q-error (accuracy) plus training overhead (queries and time) — the paper's
+"fair comparison" protocol.
+"""
+
+from repro.ml.dataset import Dataset, QueryRecord, encode_query
+from repro.ml.manager import MLManager, ModelReport
+from repro.ml.models import (
+    CostModel,
+    GNNCostModel,
+    LinearRegressionModel,
+    MLPCostModel,
+    RandomForestModel,
+)
+from repro.ml.qerror import q_error, summarize_q_errors
+from repro.ml.training import EarlyStopping, TrainingResult
+
+__all__ = [
+    "q_error",
+    "summarize_q_errors",
+    "QueryRecord",
+    "Dataset",
+    "encode_query",
+    "CostModel",
+    "LinearRegressionModel",
+    "MLPCostModel",
+    "RandomForestModel",
+    "GNNCostModel",
+    "EarlyStopping",
+    "TrainingResult",
+    "MLManager",
+    "ModelReport",
+]

@@ -1,0 +1,192 @@
+"""Feature encodings of parallel query plans.
+
+Two encodings, matching the paper's model families:
+
+- a **flat vector** (plan-level aggregates) for Linear Regression, MLP and
+  Random Forest — the conventional representation;
+- a **graph encoding** (per-operator feature matrix + DAG adjacency) for the
+  GNN, which "encodes PQP as a DAG, allowing the model to treat different
+  operators within PQP as nodes, and the relationships between them as
+  edges" — the representational advantage behind observation O8.
+
+Both draw on the same per-operator features, so the comparison between
+model families is about the architecture, not the information available.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.sps.logical import LogicalOperator, LogicalPlan, OperatorKind
+from repro.sps.partitioning import ForwardPartitioner
+
+__all__ = [
+    "OPERATOR_FEATURE_DIM",
+    "operator_features",
+    "flat_features",
+    "graph_encoding",
+    "FLAT_FEATURE_NAMES",
+]
+
+_KINDS = list(OperatorKind)
+_KIND_INDEX = {kind: i for i, kind in enumerate(_KINDS)}
+
+#: Per-operator feature vector length (one-hot kind + numeric features).
+OPERATOR_FEATURE_DIM = len(_KINDS) + 10
+
+
+def operator_features(op: LogicalOperator) -> np.ndarray:
+    """The per-operator feature vector shared by both encodings."""
+    features = np.zeros(OPERATOR_FEATURE_DIM)
+    features[_KIND_INDEX[op.kind]] = 1.0
+    base = len(_KINDS)
+    features[base + 0] = math.log2(max(op.parallelism, 1))
+    features[base + 1] = min(op.selectivity, 8.0)
+    rate = float(op.metadata.get("event_rate", 0.0))
+    features[base + 2] = math.log10(rate + 1.0)
+    if op.window is not None:
+        features[base + 3] = 1.0
+        features[base + 4] = (
+            op.window.feature_length
+            if op.window.is_time_based
+            else math.log10(op.window.feature_length + 1.0)
+        )
+        features[base + 5] = op.window.feature_slide_ratio
+        features[base + 6] = 1.0 if op.window.is_time_based else 0.0
+    features[base + 7] = math.log10(op.cost.base_cpu_s * 1e6 + 1.0)
+    features[base + 8] = op.cost.coord_kappa * 100.0
+    features[base + 9] = 1.0 if op.cost.is_udo else 0.0
+    return features
+
+
+def _cluster_features(cluster: Cluster) -> np.ndarray:
+    speeds = [node.speed_factor for node in cluster.nodes]
+    return np.array(
+        [
+            math.log2(cluster.total_cores),
+            float(len(cluster.nodes)),
+            float(np.mean(speeds)),
+            float(np.std(speeds)),
+            1.0 if cluster.is_heterogeneous else 0.0,
+        ]
+    )
+
+
+#: Names of the flat feature vector entries, for model introspection.
+FLAT_FEATURE_NAMES: list[str] = (
+    [f"count_{kind.value}" for kind in _KINDS]
+    + [
+        "num_operators",
+        "num_edges",
+        "num_shuffle_edges",
+        "dag_depth",
+        "log_total_rate",
+        "log_selectivity_product",
+        "sum_log_parallelism",
+        "max_log_parallelism",
+        "min_log_parallelism",
+        "mean_window_length",
+        "max_window_length",
+        "sum_log_cost",
+        "max_log_cost",
+        "sum_coord_kappa",
+        "num_udos",
+        "total_subtasks_log",
+    ]
+    + [
+        "cluster_log_cores",
+        "cluster_nodes",
+        "cluster_mean_speed",
+        "cluster_speed_std",
+        "cluster_heterogeneous",
+    ]
+)
+
+
+def _dag_depth(plan: LogicalPlan) -> int:
+    depth: dict[str, int] = {}
+    for op_id in plan.topological_order():
+        upstream = plan.upstream(op_id)
+        depth[op_id] = 1 + max(
+            (depth[u] for u in upstream), default=0
+        )
+    return max(depth.values())
+
+
+def flat_features(plan: LogicalPlan, cluster: Cluster) -> np.ndarray:
+    """Plan-level aggregate vector for the flat models."""
+    ops = list(plan.operators.values())
+    counts = np.zeros(len(_KINDS))
+    for op in ops:
+        counts[_KIND_INDEX[op.kind]] += 1.0
+    total_rate = sum(
+        float(op.metadata.get("event_rate", 0.0))
+        for op in ops
+        if op.kind is OperatorKind.SOURCE
+    )
+    selectivity_product = 1.0
+    for op in ops:
+        selectivity_product *= max(min(op.selectivity, 8.0), 1e-4)
+    parallelisms = [math.log2(max(op.parallelism, 1)) for op in ops]
+    window_lengths = [
+        op.window.feature_length
+        for op in ops
+        if op.window is not None and op.window.is_time_based
+    ] or [0.0]
+    costs = [math.log10(op.cost.base_cpu_s * 1e6 + 1.0) for op in ops]
+    shuffle_edges = sum(
+        1
+        for edge in plan.edges
+        if not isinstance(edge.partitioner, ForwardPartitioner)
+    )
+    plan_features = np.array(
+        [
+            float(len(ops)),
+            float(len(plan.edges)),
+            float(shuffle_edges),
+            float(_dag_depth(plan)),
+            math.log10(total_rate + 1.0),
+            math.log10(selectivity_product + 1e-6),
+            float(np.sum(parallelisms)),
+            float(np.max(parallelisms)),
+            float(np.min(parallelisms)),
+            float(np.mean(window_lengths)),
+            float(np.max(window_lengths)),
+            float(np.sum(costs)),
+            float(np.max(costs)),
+            float(sum(op.cost.coord_kappa for op in ops)) * 100.0,
+            float(sum(1 for op in ops if op.cost.is_udo)),
+            math.log2(max(plan.total_subtasks(), 1)),
+        ]
+    )
+    return np.concatenate([counts, plan_features, _cluster_features(cluster)])
+
+
+def graph_encoding(
+    plan: LogicalPlan, cluster: Cluster
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """(X, A_in, A_out, globals) for the GNN.
+
+    ``X`` is the [n, d] node-feature matrix in topological order; ``A_in``
+    and ``A_out`` are row-normalised adjacency matrices for mean
+    aggregation over in- and out-neighbours; ``globals`` carries the
+    cluster features appended at readout.
+    """
+    order = plan.topological_order()
+    index = {op_id: i for i, op_id in enumerate(order)}
+    n = len(order)
+    features = np.zeros((n, OPERATOR_FEATURE_DIM))
+    for op_id, i in index.items():
+        features[i] = operator_features(plan.operator(op_id))
+    a_in = np.zeros((n, n))
+    a_out = np.zeros((n, n))
+    for edge in plan.edges:
+        a_in[index[edge.dst], index[edge.src]] = 1.0
+        a_out[index[edge.src], index[edge.dst]] = 1.0
+    for matrix in (a_in, a_out):
+        row_sums = matrix.sum(axis=1, keepdims=True)
+        np.divide(matrix, row_sums, out=matrix, where=row_sums > 0)
+    return features, a_in, a_out, _cluster_features(cluster)

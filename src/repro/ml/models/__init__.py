@@ -1,0 +1,25 @@
+"""The four learned cost model families of the paper."""
+
+from repro.ml.models.base import CostModel
+from repro.ml.models.forest import RandomForestModel
+from repro.ml.models.gnn import GNNCostModel
+from repro.ml.models.linreg import LinearRegressionModel
+from repro.ml.models.mlp import MLPCostModel
+
+__all__ = [
+    "CostModel",
+    "LinearRegressionModel",
+    "MLPCostModel",
+    "RandomForestModel",
+    "GNNCostModel",
+]
+
+
+def default_models() -> list[CostModel]:
+    """Fresh instances of all four models with paper-default settings."""
+    return [
+        LinearRegressionModel(),
+        MLPCostModel(),
+        RandomForestModel(),
+        GNNCostModel(),
+    ]

@@ -1,0 +1,47 @@
+"""Common interface of the learned cost models.
+
+All models regress **log latency** and report predictions back in seconds;
+all are trained with the same train/validation split and the same early
+stopping protocol, which is the "fair comparison" requirement the paper's
+ML Manager enforces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import TrainingError
+from repro.ml.dataset import Dataset
+from repro.ml.qerror import summarize_q_errors
+from repro.ml.training import TrainingResult
+
+__all__ = ["CostModel"]
+
+
+class CostModel:
+    """Base class: fit on a dataset, predict latencies in seconds."""
+
+    name = "abstract"
+
+    def fit(
+        self, train: Dataset, val: Dataset, seed: int = 0
+    ) -> TrainingResult:
+        """Train on ``train``, early-stopping against ``val``."""
+        raise NotImplementedError
+
+    def predict(self, data: Dataset) -> np.ndarray:
+        """Predicted latencies (seconds) for each record."""
+        raise NotImplementedError
+
+    def num_parameters(self) -> int:
+        """Number of learned parameters (model-capacity metric)."""
+        raise NotImplementedError
+
+    def evaluate(self, data: Dataset) -> dict[str, float]:
+        """Q-error summary of this model on a dataset."""
+        predictions = self.predict(data)
+        return summarize_q_errors(data.latencies(), predictions)
+
+    def _check_fitted(self, attribute: str) -> None:
+        if getattr(self, attribute, None) is None:
+            raise TrainingError(f"{self.name}: fit() must be called first")

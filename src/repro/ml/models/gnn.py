@@ -1,0 +1,216 @@
+"""Graph neural network cost model.
+
+The paper's fourth family [62, 2, 26]: "encodes PQP as a DAG within GNN,
+allowing the model to treat different operators within PQP as nodes, and
+the relationships between them as edges". Observation O8 attributes the
+GNN's consistently lowest q-error to exactly this structure awareness.
+
+Architecture (NumPy, manual backprop):
+
+- L message-passing layers; each node combines its own state with the mean
+  of its in-neighbours and out-neighbours:
+  ``H' = relu(H Ws + A_in H Wi + A_out H Wo + b)``
+- readout: ``[mean-pool(H_L) | max-pool(H_L) | cluster globals]``
+- a ReLU head regressing log latency.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.ml.dataset import Dataset, QueryRecord
+from repro.ml.encoding import OPERATOR_FEATURE_DIM
+from repro.ml.models.base import CostModel
+from repro.ml.training import Adam, EarlyStopping, TrainingResult
+
+__all__ = ["GNNCostModel"]
+
+
+class GNNCostModel(CostModel):
+    """Message-passing GNN over the PQP DAG."""
+
+    name = "GNN"
+
+    def __init__(
+        self,
+        hidden: int = 48,
+        layers: int = 3,
+        head_hidden: int = 32,
+        lr: float = 2e-3,
+        batch_size: int = 16,
+        max_epochs: int = 400,
+        patience: int = 20,
+        global_dim: int = 5,
+    ) -> None:
+        if layers < 1 or hidden < 1:
+            raise ConfigurationError("layers and hidden must be >= 1")
+        self.hidden = hidden
+        self.layers = layers
+        self.head_hidden = head_hidden
+        self.lr = lr
+        self.batch_size = batch_size
+        self.max_epochs = max_epochs
+        self.patience = patience
+        self.global_dim = global_dim
+        self.params: dict[str, np.ndarray] | None = None
+
+    # -------------------------------------------------------------- params
+
+    def _init_params(self, rng: np.random.Generator) -> dict[str, np.ndarray]:
+        params: dict[str, np.ndarray] = {}
+        in_dim = OPERATOR_FEATURE_DIM
+        for layer in range(self.layers):
+            out_dim = self.hidden
+            scale = np.sqrt(2.0 / (in_dim + out_dim))
+            for tag in ("s", "i", "o"):
+                params[f"W{tag}{layer}"] = rng.normal(
+                    0.0, scale, size=(in_dim, out_dim)
+                )
+            params[f"b{layer}"] = np.zeros(out_dim)
+            in_dim = out_dim
+        readout_dim = 2 * self.hidden + self.global_dim
+        scale = np.sqrt(2.0 / (readout_dim + self.head_hidden))
+        params["W_head1"] = rng.normal(
+            0.0, scale, size=(readout_dim, self.head_hidden)
+        )
+        params["b_head1"] = np.zeros(self.head_hidden)
+        params["w_head2"] = rng.normal(
+            0.0, np.sqrt(1.0 / self.head_hidden), size=self.head_hidden
+        )
+        params["b_head2"] = np.zeros(1)
+        return params
+
+    # -------------------------------------------------------------- forward
+
+    def _forward(
+        self, record: QueryRecord, params: dict[str, np.ndarray]
+    ) -> tuple[float, dict]:
+        h = record.node_features
+        a_in, a_out = record.adj_in, record.adj_out
+        cache: dict = {"H": [h], "Z": []}
+        for layer in range(self.layers):
+            z = (
+                h @ params[f"Ws{layer}"]
+                + a_in @ h @ params[f"Wi{layer}"]
+                + a_out @ h @ params[f"Wo{layer}"]
+                + params[f"b{layer}"]
+            )
+            h = np.maximum(z, 0.0)
+            cache["Z"].append(z)
+            cache["H"].append(h)
+        mean_pool = h.mean(axis=0)
+        max_idx = h.argmax(axis=0)
+        max_pool = h[max_idx, np.arange(h.shape[1])]
+        readout = np.concatenate(
+            [mean_pool, max_pool, record.globals_vec]
+        )
+        u_pre = readout @ params["W_head1"] + params["b_head1"]
+        u = np.maximum(u_pre, 0.0)
+        y_hat = float(u @ params["w_head2"] + params["b_head2"][0])
+        cache.update(
+            readout=readout, u=u, u_pre=u_pre, max_idx=max_idx, y_hat=y_hat
+        )
+        return y_hat, cache
+
+    # ------------------------------------------------------------- backward
+
+    def _backward(
+        self,
+        record: QueryRecord,
+        cache: dict,
+        d_yhat: float,
+        params: dict[str, np.ndarray],
+        grads: dict[str, np.ndarray],
+    ) -> None:
+        u, u_pre, readout = cache["u"], cache["u_pre"], cache["readout"]
+        grads["w_head2"] += d_yhat * u
+        grads["b_head2"] += np.array([d_yhat])
+        du = (d_yhat * params["w_head2"]) * (u_pre > 0)
+        grads["W_head1"] += np.outer(readout, du)
+        grads["b_head1"] += du
+        d_readout = params["W_head1"] @ du
+        hidden = self.hidden
+        d_mean = d_readout[:hidden]
+        d_max = d_readout[hidden : 2 * hidden]
+        h_last = cache["H"][-1]
+        n = h_last.shape[0]
+        dh = np.tile(d_mean / n, (n, 1))
+        dh[cache["max_idx"], np.arange(hidden)] += d_max
+        a_in, a_out = record.adj_in, record.adj_out
+        for layer in reversed(range(self.layers)):
+            z = cache["Z"][layer]
+            h_prev = cache["H"][layer]
+            dz = dh * (z > 0)
+            grads[f"b{layer}"] += dz.sum(axis=0)
+            grads[f"Ws{layer}"] += h_prev.T @ dz
+            grads[f"Wi{layer}"] += (a_in @ h_prev).T @ dz
+            grads[f"Wo{layer}"] += (a_out @ h_prev).T @ dz
+            if layer > 0:
+                dh = (
+                    dz @ params[f"Ws{layer}"].T
+                    + a_in.T @ dz @ params[f"Wi{layer}"].T
+                    + a_out.T @ dz @ params[f"Wo{layer}"].T
+                )
+
+    # --------------------------------------------------------------- public
+
+    def fit(
+        self, train: Dataset, val: Dataset, seed: int = 0
+    ) -> TrainingResult:
+        start = time.perf_counter()
+        rng = np.random.default_rng(seed)
+        params = self._init_params(rng)
+        optimizer = Adam(params, lr=self.lr)
+        stopper = EarlyStopping(patience=self.patience)
+        best_params = {k: v.copy() for k, v in params.items()}
+        y_train = np.array([r.log_latency for r in train.records])
+        y_val = np.array([r.log_latency for r in val.records])
+        val_losses: list[float] = []
+        epochs_run = 0
+        for epoch in range(self.max_epochs):
+            epochs_run = epoch + 1
+            order = rng.permutation(len(train.records))
+            for begin in range(0, len(order), self.batch_size):
+                batch = order[begin : begin + self.batch_size]
+                grads = {k: np.zeros_like(v) for k, v in params.items()}
+                for index in batch:
+                    record = train.records[index]
+                    y_hat, cache = self._forward(record, params)
+                    d_yhat = 2.0 * (y_hat - y_train[index]) / len(batch)
+                    self._backward(record, cache, d_yhat, params, grads)
+                optimizer.step(grads)
+            val_pred = np.array(
+                [self._forward(r, params)[0] for r in val.records]
+            )
+            val_loss = float(np.mean((val_pred - y_val) ** 2))
+            val_losses.append(val_loss)
+            stop = stopper.step(val_loss, epoch)
+            if stopper.should_snapshot:
+                best_params = {k: v.copy() for k, v in params.items()}
+            if stop:
+                break
+        self.params = best_params
+        return TrainingResult(
+            model_name=self.name,
+            train_time_s=time.perf_counter() - start,
+            epochs=epochs_run,
+            num_parameters=self.num_parameters(),
+            train_samples=len(train),
+            best_val_loss=stopper.best_loss,
+            val_losses=val_losses,
+        )
+
+    def predict(self, data: Dataset) -> np.ndarray:
+        self._check_fitted("params")
+        log_pred = np.array(
+            [self._forward(r, self.params)[0] for r in data.records]
+        )
+        return np.exp(np.clip(log_pred, -20.0, 20.0))
+
+    def num_parameters(self) -> int:
+        if self.params is None:
+            return 0
+        return int(sum(p.size for p in self.params.values()))

@@ -1,0 +1,132 @@
+"""Training utilities shared by all cost models.
+
+The paper applies *uniform* early stopping ("halting training if the
+validation loss did not improve for N consecutive epochs... applied across
+all models to maintain consistency"); :class:`EarlyStopping` implements
+exactly that, and :class:`TrainingResult` carries the training-efficiency
+metrics (time, epochs, parameters) the ML Manager reports alongside
+accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+
+__all__ = ["EarlyStopping", "TrainingResult", "Adam", "Standardizer"]
+
+
+@dataclass
+class TrainingResult:
+    """What one model training run produced and cost."""
+
+    model_name: str
+    train_time_s: float
+    epochs: int
+    num_parameters: int
+    train_samples: int
+    best_val_loss: float
+    val_losses: list[float] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for reports and storage."""
+        return {
+            "model": self.model_name,
+            "train_time_s": self.train_time_s,
+            "epochs": self.epochs,
+            "num_parameters": self.num_parameters,
+            "train_samples": self.train_samples,
+            "best_val_loss": self.best_val_loss,
+        }
+
+
+class EarlyStopping:
+    """Stop when validation loss hasn't improved for ``patience`` epochs."""
+
+    def __init__(self, patience: int = 10, min_delta: float = 1e-5) -> None:
+        if patience < 1:
+            raise ConfigurationError("patience must be >= 1")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best_loss = float("inf")
+        self.best_epoch = -1
+        self._stale = 0
+        self.should_snapshot = False
+
+    def step(self, val_loss: float, epoch: int) -> bool:
+        """Record an epoch's validation loss; True means stop now.
+
+        Sets :attr:`should_snapshot` when this epoch is the new best, so
+        callers know to store a copy of the parameters.
+        """
+        if val_loss < self.best_loss - self.min_delta:
+            self.best_loss = val_loss
+            self.best_epoch = epoch
+            self._stale = 0
+            self.should_snapshot = True
+            return False
+        self.should_snapshot = False
+        self._stale += 1
+        return self._stale >= self.patience
+
+
+class Adam:
+    """The Adam optimiser over a dict of named parameter arrays."""
+
+    def __init__(
+        self,
+        params: dict[str, np.ndarray],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        if lr <= 0:
+            raise ConfigurationError("learning rate must be positive")
+        self.params = params
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = {k: np.zeros_like(v) for k, v in params.items()}
+        self._v = {k: np.zeros_like(v) for k, v in params.items()}
+        self._t = 0
+
+    def step(self, grads: dict[str, np.ndarray]) -> None:
+        """Apply one update from gradients keyed like the parameters."""
+        self._t += 1
+        for key, grad in grads.items():
+            if key not in self.params:
+                raise ConfigurationError(f"unknown parameter {key!r}")
+            self._m[key] = self.beta1 * self._m[key] + (1 - self.beta1) * grad
+            self._v[key] = self.beta2 * self._v[key] + (1 - self.beta2) * (
+                grad * grad
+            )
+            m_hat = self._m[key] / (1 - self.beta1**self._t)
+            v_hat = self._v[key] / (1 - self.beta2**self._t)
+            self.params[key] -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class Standardizer:
+    """Column-wise (x - mean) / std, fit on the training split only."""
+
+    def __init__(self) -> None:
+        self.mean: np.ndarray | None = None
+        self.std: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "Standardizer":
+        """Learn mean/std; constant columns get std 1 to stay finite."""
+        self.mean = x.mean(axis=0)
+        std = x.std(axis=0)
+        std[std < 1e-9] = 1.0
+        self.std = std
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Apply the learned standardisation."""
+        if self.mean is None or self.std is None:
+            raise ConfigurationError("standardizer not fitted")
+        return (x - self.mean) / self.std

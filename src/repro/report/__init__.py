@@ -1,0 +1,25 @@
+"""Reporting: the WUI stand-in.
+
+Renders benchmark tables and figure series as ASCII/markdown — the
+presentation layer of the reproduction (the paper uses a Vue.js WUI; the
+data is the same).
+"""
+
+from repro.report.figures import (
+    FigureData,
+    Series,
+    figure_to_markdown,
+    render_figure,
+)
+from repro.report.related_work import TABLE1_ROWS, pdsp_bench_claims
+from repro.report.tables import render_table
+
+__all__ = [
+    "render_table",
+    "Series",
+    "FigureData",
+    "render_figure",
+    "figure_to_markdown",
+    "TABLE1_ROWS",
+    "pdsp_bench_claims",
+]

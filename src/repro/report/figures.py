@@ -1,0 +1,125 @@
+"""Figure series: the data structure every experiment emits.
+
+A :class:`FigureData` is one paper figure: named series over a shared
+x-axis. :func:`render_figure` prints the series as a table (rows = x
+values, columns = series) — the textual equivalent of the paper's plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+from repro.report.tables import render_table
+
+__all__ = ["Series", "FigureData", "render_figure", "figure_to_markdown"]
+
+
+@dataclass
+class Series:
+    """One line of a figure."""
+
+    label: str
+    x: list
+    y: list[float]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ConfigurationError(
+                f"series {self.label!r}: x and y lengths differ "
+                f"({len(self.x)} vs {len(self.y)})"
+            )
+
+    def value_at(self, x_value) -> float:
+        """The y value at one x point."""
+        try:
+            return self.y[self.x.index(x_value)]
+        except ValueError:
+            raise ConfigurationError(
+                f"series {self.label!r} has no point at {x_value!r}"
+            ) from None
+
+
+@dataclass
+class FigureData:
+    """One reproduced figure."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series] = field(default_factory=list)
+    notes: str = ""
+
+    def series_by_label(self, label: str) -> Series:
+        """Look up one series."""
+        for entry in self.series:
+            if entry.label == label:
+                return entry
+        known = ", ".join(s.label for s in self.series)
+        raise ConfigurationError(
+            f"{self.figure_id}: no series {label!r}; have: {known}"
+        )
+
+    def shared_x(self) -> list:
+        """The x-axis, validated to be common across series."""
+        if not self.series:
+            raise ConfigurationError(f"{self.figure_id}: no series")
+        x = self.series[0].x
+        for entry in self.series[1:]:
+            if entry.x != x:
+                raise ConfigurationError(
+                    f"{self.figure_id}: series have mismatched x axes"
+                )
+        return x
+
+    def to_document(self) -> dict:
+        """JSON-serialisable form."""
+        return {
+            "figure_id": self.figure_id,
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "series": [
+                {"label": s.label, "x": list(s.x), "y": list(s.y)}
+                for s in self.series
+            ],
+            "notes": self.notes,
+        }
+
+
+def figure_to_markdown(figure: FigureData) -> str:
+    """Render a figure as a GitHub-flavoured markdown table."""
+    x = figure.shared_x()
+    headers = [figure.x_label] + [s.label for s in figure.series]
+    lines = [
+        f"### {figure.figure_id}: {figure.title}",
+        "",
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for i, x_value in enumerate(x):
+        cells = [str(x_value)] + [
+            f"{s.y[i]:.3g}" for s in figure.series
+        ]
+        lines.append("| " + " | ".join(cells) + " |")
+    if figure.notes:
+        lines += ["", f"*{figure.notes}*"]
+    return "\n".join(lines)
+
+
+def render_figure(figure: FigureData) -> str:
+    """Render a figure as a table: rows = x values, columns = series."""
+    x = figure.shared_x()
+    headers = [figure.x_label] + [s.label for s in figure.series]
+    rows = []
+    for i, x_value in enumerate(x):
+        rows.append([x_value] + [s.y[i] for s in figure.series])
+    title = (
+        f"{figure.figure_id}: {figure.title} "
+        f"(y = {figure.y_label})"
+    )
+    table = render_table(headers, rows, title=title)
+    if figure.notes:
+        table += f"\nnote: {figure.notes}"
+    return table

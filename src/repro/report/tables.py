@@ -1,0 +1,63 @@
+"""ASCII table rendering."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+from repro.common.errors import ConfigurationError
+
+__all__ = ["render_table"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render rows as a boxed ASCII table."""
+    if not headers:
+        raise ConfigurationError("table needs headers")
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in str_rows))
+        if str_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+
+    def line(cells: Sequence[str]) -> str:
+        return (
+            "| "
+            + " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+            + " |"
+        )
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(sep)
+    parts.append(line([str(h) for h in headers]))
+    parts.append(sep)
+    for row in str_rows:
+        parts.append(line(row))
+    parts.append(sep)
+    return "\n".join(parts)

@@ -1,0 +1,82 @@
+"""The System Under Test substrate: a simulated parallel stream processor.
+
+This package replaces Apache Flink in the reproduction. It provides:
+
+- logical dataflow plans (:mod:`repro.sps.logical`) with parallelism degrees,
+- physical expansion into parallel subtasks (:mod:`repro.sps.physical`),
+- operators that really process tuples — filters, maps, flatMaps, windowed
+  aggregations, windowed joins and user-defined operators
+  (:mod:`repro.sps.operators`),
+- data partitioning strategies: forward, rebalance, hash, broadcast
+  (:mod:`repro.sps.partitioning`),
+- slot-based placement on a simulated cluster (:mod:`repro.sps.placement`),
+- a discrete-event engine in which end-to-end latency emerges from queueing,
+  service times, network transfers and coordination overhead
+  (:mod:`repro.sps.engine`), and
+- a fast analytic queueing estimator used for large ML corpora
+  (:mod:`repro.sps.analytic`).
+"""
+
+from repro.sps.analytic import AnalyticEstimator
+from repro.sps.engine import SimulationConfig, StallInjection, StreamEngine
+from repro.sps.logical import LogicalOperator, LogicalPlan, OperatorKind
+from repro.sps.metrics import LatencyStats, RunMetrics
+from repro.sps.partitioning import (
+    BroadcastPartitioner,
+    ForwardPartitioner,
+    HashPartitioner,
+    Partitioner,
+    RebalancePartitioner,
+)
+from repro.sps.physical import PhysicalPlan
+from repro.sps.placement import (
+    PackedPlacement,
+    PlacementStrategy,
+    RoundRobinPlacement,
+    SpeedAwarePlacement,
+)
+from repro.sps.predicates import FilterFunction, Predicate
+from repro.sps.tuples import StreamTuple
+from repro.sps.types import DataType, Field, Schema
+from repro.sps.windows import (
+    AggregateFunction,
+    SlidingCountWindows,
+    SlidingTimeWindows,
+    TumblingCountWindows,
+    TumblingTimeWindows,
+    WindowAssigner,
+)
+
+__all__ = [
+    "DataType",
+    "Field",
+    "Schema",
+    "StreamTuple",
+    "Predicate",
+    "FilterFunction",
+    "WindowAssigner",
+    "TumblingTimeWindows",
+    "SlidingTimeWindows",
+    "TumblingCountWindows",
+    "SlidingCountWindows",
+    "AggregateFunction",
+    "Partitioner",
+    "ForwardPartitioner",
+    "RebalancePartitioner",
+    "HashPartitioner",
+    "BroadcastPartitioner",
+    "OperatorKind",
+    "LogicalOperator",
+    "LogicalPlan",
+    "PhysicalPlan",
+    "PlacementStrategy",
+    "RoundRobinPlacement",
+    "PackedPlacement",
+    "SpeedAwarePlacement",
+    "StreamEngine",
+    "SimulationConfig",
+    "StallInjection",
+    "AnalyticEstimator",
+    "RunMetrics",
+    "LatencyStats",
+]

@@ -1,0 +1,274 @@
+"""Convenience constructors for logical operators.
+
+The workload generator and the application suite assemble PQPs from these;
+each helper wires the right kind, cost profile, logic factory and ML-feature
+metadata. ``logic_factory`` is called once per subtask, so state is always
+per-instance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+from repro.common.errors import ConfigurationError
+from repro.sps.costs import OperatorCost, default_cost
+from repro.sps.logical import LogicalOperator, OperatorKind
+from repro.sps.operators.aggregate import WindowAggregateLogic
+from repro.sps.operators.base import OperatorLogic
+from repro.sps.operators.filter_op import FilterLogic
+from repro.sps.operators.join import WindowJoinLogic
+from repro.sps.operators.map_op import FlatMapLogic, MapLogic
+from repro.sps.operators.sink import SinkLogic
+from repro.sps.operators.source import SourceLogic, TupleGenerator
+from repro.sps.predicates import Predicate
+from repro.sps.types import Schema
+from repro.sps.windows import AggregateFunction, WindowAssigner
+
+__all__ = [
+    "source",
+    "filter_op",
+    "map_op",
+    "flat_map",
+    "window_agg",
+    "event_window_agg",
+    "window_join",
+    "udo",
+    "sink",
+]
+
+
+def source(
+    op_id: str,
+    generator: TupleGenerator,
+    schema: Schema,
+    event_rate: float,
+    parallelism: int = 1,
+    arrival: str = "poisson",
+) -> LogicalOperator:
+    """A parallel source emitting ``event_rate`` tuples/s in total."""
+    if event_rate <= 0:
+        raise ConfigurationError("event_rate must be positive")
+    return LogicalOperator(
+        op_id=op_id,
+        kind=OperatorKind.SOURCE,
+        logic_factory=lambda: SourceLogic(generator),
+        parallelism=parallelism,
+        selectivity=1.0,
+        output_schema=schema,
+        metadata={"event_rate": float(event_rate), "arrival": arrival},
+    )
+
+
+def filter_op(
+    op_id: str,
+    predicate: Predicate,
+    parallelism: int = 1,
+    cost: OperatorCost | None = None,
+) -> LogicalOperator:
+    """A filter; its expected selectivity comes from the predicate's hint."""
+    return LogicalOperator(
+        op_id=op_id,
+        kind=OperatorKind.FILTER,
+        logic_factory=lambda: FilterLogic(predicate),
+        parallelism=parallelism,
+        selectivity=predicate.selectivity_hint,
+        cost=cost,
+        metadata={"predicate": predicate.describe()},
+    )
+
+
+def map_op(
+    op_id: str,
+    fn: Callable[[tuple[Any, ...]], tuple[Any, ...]],
+    parallelism: int = 1,
+    cost: OperatorCost | None = None,
+    output_schema: Schema | None = None,
+) -> LogicalOperator:
+    """A 1-to-1 transformation."""
+    return LogicalOperator(
+        op_id=op_id,
+        kind=OperatorKind.MAP,
+        logic_factory=lambda: MapLogic(fn),
+        parallelism=parallelism,
+        selectivity=1.0,
+        cost=cost,
+        output_schema=output_schema,
+    )
+
+
+def flat_map(
+    op_id: str,
+    fn: Callable[[tuple[Any, ...]], list[tuple[Any, ...]]],
+    expected_fanout: float = 1.0,
+    parallelism: int = 1,
+    cost: OperatorCost | None = None,
+    output_schema: Schema | None = None,
+) -> LogicalOperator:
+    """A 1-to-N transformation; selectivity is the expected fan-out."""
+    return LogicalOperator(
+        op_id=op_id,
+        kind=OperatorKind.FLATMAP,
+        logic_factory=lambda: FlatMapLogic(fn, expected_fanout),
+        parallelism=parallelism,
+        selectivity=expected_fanout,
+        cost=cost,
+        output_schema=output_schema,
+    )
+
+
+def window_agg(
+    op_id: str,
+    assigner: WindowAssigner,
+    function: AggregateFunction,
+    value_field: int,
+    key_field: int | None = None,
+    parallelism: int = 1,
+    selectivity: float | None = None,
+    cost: OperatorCost | None = None,
+) -> LogicalOperator:
+    """A keyed/global windowed aggregation.
+
+    Selectivity (output per input tuple) defaults to ``1 / window length``
+    for count windows and is left at a conservative 0.1 for time windows,
+    where it depends on the event rate.
+    """
+    if selectivity is None:
+        if assigner.is_time_based:
+            selectivity = 0.1
+        else:
+            selectivity = 1.0 / assigner.feature_length
+    return LogicalOperator(
+        op_id=op_id,
+        kind=OperatorKind.WINDOW_AGG,
+        logic_factory=lambda: WindowAggregateLogic(
+            assigner, function, value_field, key_field
+        ),
+        parallelism=parallelism,
+        selectivity=selectivity,
+        cost=cost,
+        window=assigner,
+        metadata={
+            "agg": function.value,
+            "window": assigner.describe(),
+            "key_field": key_field,
+        },
+    )
+
+
+def event_window_agg(
+    op_id: str,
+    assigner: WindowAssigner,
+    function: AggregateFunction,
+    value_field: int,
+    key_field: int | None = None,
+    max_out_of_orderness: float = 0.05,
+    allowed_lateness: float = 0.0,
+    parallelism: int = 1,
+    selectivity: float = 0.1,
+    cost: OperatorCost | None = None,
+) -> LogicalOperator:
+    """An *event-time* windowed aggregation with watermarks.
+
+    Unlike :func:`window_agg` (processing time), tuples join the windows
+    covering their source timestamps and firing is driven by a
+    bounded-out-of-orderness watermark; late tuples are dropped and
+    counted. See :mod:`repro.sps.operators.event_aggregate`.
+    """
+    from repro.sps.operators.event_aggregate import (
+        EventTimeWindowAggregateLogic,
+    )
+
+    return LogicalOperator(
+        op_id=op_id,
+        kind=OperatorKind.WINDOW_AGG,
+        logic_factory=lambda: EventTimeWindowAggregateLogic(
+            assigner,
+            function,
+            value_field,
+            key_field,
+            max_out_of_orderness,
+            allowed_lateness,
+        ),
+        parallelism=parallelism,
+        selectivity=selectivity,
+        cost=cost,
+        window=assigner,
+        metadata={
+            "agg": function.value,
+            "window": assigner.describe(),
+            "key_field": key_field,
+            "time_semantics": "event",
+            "max_out_of_orderness": max_out_of_orderness,
+        },
+    )
+
+
+def window_join(
+    op_id: str,
+    assigner: WindowAssigner,
+    left_key_field: int | None = None,
+    right_key_field: int | None = None,
+    parallelism: int = 1,
+    selectivity: float = 1.0,
+    cost: OperatorCost | None = None,
+) -> LogicalOperator:
+    """A windowed equi-join (port 0 = left input, port 1 = right input)."""
+    return LogicalOperator(
+        op_id=op_id,
+        kind=OperatorKind.WINDOW_JOIN,
+        logic_factory=lambda: WindowJoinLogic(
+            assigner, left_key_field, right_key_field
+        ),
+        parallelism=parallelism,
+        selectivity=selectivity,
+        window=assigner,
+        cost=cost,
+        metadata={
+            "window": assigner.describe(),
+            "key_fields": (left_key_field, right_key_field),
+        },
+    )
+
+
+def udo(
+    op_id: str,
+    logic_factory: Callable[[], OperatorLogic],
+    parallelism: int = 1,
+    selectivity: float = 1.0,
+    cost_scale: float = 1.0,
+    cost: OperatorCost | None = None,
+    name: str | None = None,
+) -> LogicalOperator:
+    """A user-defined operator.
+
+    ``cost_scale`` scales the default UDO cost profile: the application
+    suite uses it to express how data-intensive each custom operator is
+    (the paper's SG/SD/SA operators are far heavier than AD's parsers).
+    """
+    if cost is None:
+        cost = default_cost(OperatorKind.UDO).scaled(cost_scale)
+    return LogicalOperator(
+        op_id=op_id,
+        kind=OperatorKind.UDO,
+        logic_factory=logic_factory,
+        parallelism=parallelism,
+        selectivity=selectivity,
+        cost=cost,
+        metadata={"udo_name": name or op_id},
+    )
+
+
+def sink(
+    op_id: str = "sink",
+    parallelism: int = 1,
+    keep_values: bool = False,
+) -> LogicalOperator:
+    """The measuring sink."""
+    return LogicalOperator(
+        op_id=op_id,
+        kind=OperatorKind.SINK,
+        logic_factory=lambda: SinkLogic(keep_values=keep_values),
+        parallelism=parallelism,
+        selectivity=1.0,
+    )

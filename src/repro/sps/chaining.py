@@ -1,0 +1,159 @@
+"""Operator chaining (Flink-style task fusion).
+
+Flink fuses forward-connected operators into one task so tuples pass
+between them as function calls instead of queued exchanges. The physical
+planner reproduces this: maximal runs of forward-connected, single-in/
+single-out *stateless* operators (filters, maps, flatMaps) are fused into
+the run's head. The fused subtask pays the summed CPU cost once and skips
+the per-hop queueing/serde of the interior edges — the
+``bench_ablation_chaining`` benchmark quantifies the difference.
+
+Chaining is off by default so the calibrated experiment results are
+unaffected; enable it with ``PhysicalPlan.from_logical(plan,
+chaining=True)``.
+"""
+
+from __future__ import annotations
+
+from repro.sps.costs import OperatorCost
+from repro.sps.logical import LogicalOperator, LogicalPlan, OperatorKind
+from repro.sps.operators.base import OperatorContext, OperatorLogic
+from repro.sps.partitioning import ForwardPartitioner
+from repro.sps.tuples import StreamTuple
+
+__all__ = ["ChainedLogic", "compute_chains", "fused_cost", "fused_factory"]
+
+#: Operator kinds that may be fused as chain *tail* members.
+_CHAINABLE_KINDS = (
+    OperatorKind.FILTER,
+    OperatorKind.MAP,
+    OperatorKind.FLATMAP,
+)
+
+
+class ChainedLogic(OperatorLogic):
+    """Runs several operator logics as one task, in pipeline order.
+
+    Each member's outputs feed the next member directly; timer and flush
+    outputs of member *i* also traverse the remaining members, preserving
+    chain semantics.
+    """
+
+    def __init__(self, logics: list[OperatorLogic]) -> None:
+        if not logics:
+            raise ValueError("a chain needs at least one logic")
+        self.logics = logics
+        intervals = [
+            logic.timer_interval
+            for logic in logics
+            if logic.timer_interval is not None
+        ]
+        if intervals:
+            self.timer_interval = min(intervals)
+
+    def setup(self, ctx: OperatorContext) -> None:
+        super().setup(ctx)
+        for logic in self.logics:
+            logic.setup(ctx)
+
+    def _run_tail(
+        self, outputs: list[StreamTuple], start: int, now: float
+    ) -> list[StreamTuple]:
+        current = outputs
+        for logic in self.logics[start:]:
+            next_outputs: list[StreamTuple] = []
+            for tup in current:
+                next_outputs.extend(logic.process(tup, now))
+            current = next_outputs
+            if not current:
+                break
+        return current
+
+    def process(
+        self, tup: StreamTuple, now: float, port: int = 0
+    ) -> list[StreamTuple]:
+        outputs = self.logics[0].process(tup, now, port)
+        return self._run_tail(outputs, 1, now)
+
+    def on_time(self, now: float) -> list[StreamTuple]:
+        collected: list[StreamTuple] = []
+        for index, logic in enumerate(self.logics):
+            produced = logic.on_time(now)
+            if produced:
+                collected.extend(
+                    self._run_tail(produced, index + 1, now)
+                )
+        return collected
+
+    def flush(self, now: float) -> list[StreamTuple]:
+        collected: list[StreamTuple] = []
+        for index, logic in enumerate(self.logics):
+            produced = logic.flush(now)
+            if produced:
+                collected.extend(
+                    self._run_tail(produced, index + 1, now)
+                )
+        return collected
+
+
+def compute_chains(plan: LogicalPlan) -> dict[str, list[str]]:
+    """Maximal fusable chains: ``{head_op_id: [member ids in order]}``.
+
+    A tail member is fused into its predecessor when the connecting edge
+    is forward (equal parallelism), the predecessor has exactly one
+    output, the member has exactly one input and one output (or is
+    followed only by more chain members), and the member is stateless.
+    Sources and sinks are never fused; heads may be any non-source,
+    non-sink operator.
+    """
+    merged_into: dict[str, str] = {}
+    chains: dict[str, list[str]] = {}
+
+    def chain_head(op_id: str) -> str:
+        while op_id in merged_into:
+            op_id = merged_into[op_id]
+        return op_id
+
+    for op_id in plan.topological_order():
+        op = plan.operator(op_id)
+        if op.kind in (OperatorKind.SOURCE, OperatorKind.SINK):
+            continue
+        in_edges = plan.in_edges(op_id)
+        if len(in_edges) != 1:
+            continue
+        edge = in_edges[0]
+        if not isinstance(edge.partitioner, ForwardPartitioner):
+            continue
+        if op.kind not in _CHAINABLE_KINDS:
+            continue
+        predecessor = plan.operator(edge.src)
+        if predecessor.kind in (OperatorKind.SOURCE, OperatorKind.SINK):
+            continue
+        if len(plan.out_edges(edge.src)) != 1:
+            continue
+        if predecessor.parallelism != op.parallelism:
+            continue
+        head = chain_head(edge.src)
+        merged_into[op_id] = head
+        chains.setdefault(head, [head]).append(op_id)
+    return chains
+
+
+def fused_cost(members: list[LogicalOperator]) -> OperatorCost:
+    """Cost profile of a fused chain: summed CPU, worst-case flags."""
+    return OperatorCost(
+        base_cpu_s=sum(op.cost.base_cpu_s for op in members),
+        coord_kappa=max(op.cost.coord_kappa for op in members),
+        stateful=any(op.cost.stateful for op in members),
+        is_udo=any(op.cost.is_udo for op in members),
+        cost_noise=max(op.cost.cost_noise for op in members),
+    )
+
+
+def fused_factory(members: list[LogicalOperator]):
+    """A logic factory building the chained logic of all members."""
+
+    def build() -> ChainedLogic:
+        return ChainedLogic([op.logic_factory() for op in members])
+
+    return build

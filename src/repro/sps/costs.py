@@ -1,0 +1,104 @@
+"""Operator cost profiles.
+
+The simulator charges each tuple a CPU service time at every subtask. The
+profile of an operator gives its base per-tuple cost on one m510 core (the
+paper's baseline hardware), a coordination coefficient that inflates service
+time as the operator's parallelism grows (state synchronisation, channel
+management, checkpoint alignment — the source of the paper's *parallelism
+paradox*, O2), and flags used by placement, enumeration and ML features.
+
+Base costs are calibrated so that, at the paper's reported event rate of
+100k events/s, stateless operators are comfortable at low parallelism while
+joins and data-intensive user-defined operators saturate and need parallel
+instances — reproducing which query classes benefit from parallelism (O1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.common.errors import ConfigurationError
+from repro.sps.logical_kinds import OperatorKind
+
+__all__ = ["OperatorCost", "default_cost", "SERDE_COST_S", "COORD_LOG_COST_S"]
+
+#: Per-tuple serialization/deserialization cost paid by the producer on every
+#: non-forward (shuffle) exchange, per the Flink network stack.
+SERDE_COST_S = 1.2e-6
+
+#: Per-tuple channel-management cost factor: multiplied by log2(#channels) a
+#: producer maintains, modelling output-buffer polling and flushing.
+COORD_LOG_COST_S = 0.25e-6
+
+
+@dataclass(frozen=True)
+class OperatorCost:
+    """Cost profile of one logical operator.
+
+    ``base_cpu_s``
+        CPU seconds one tuple costs on one m510 core.
+    ``coord_kappa``
+        Per-instance service inflation: service time is multiplied by
+        ``1 + coord_kappa * (parallelism - 1)``. Stateful operators pay more.
+    ``stateful``
+        Whether the operator keeps keyed state (windows, joins, UDO state).
+    ``is_udo``
+        Whether this is a user-defined operator (paper's UDO distinction;
+        UDOs get an extra service-time variance term, producing O3's
+        unpredictable scaling).
+    ``cost_noise``
+        Coefficient of variation of the per-tuple service time.
+    """
+
+    base_cpu_s: float
+    coord_kappa: float = 0.0
+    stateful: bool = False
+    is_udo: bool = False
+    cost_noise: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.base_cpu_s <= 0:
+            raise ConfigurationError("base_cpu_s must be positive")
+        if self.coord_kappa < 0:
+            raise ConfigurationError("coord_kappa must be non-negative")
+        if not 0 <= self.cost_noise < 1:
+            raise ConfigurationError("cost_noise must be in [0, 1)")
+
+    def coordination_factor(self, parallelism: int) -> float:
+        """Service-time inflation at the given parallelism degree."""
+        if parallelism < 1:
+            raise ConfigurationError("parallelism must be >= 1")
+        return 1.0 + self.coord_kappa * (parallelism - 1)
+
+    def scaled(self, factor: float) -> "OperatorCost":
+        """Copy with the base cost multiplied (heavier/lighter variants)."""
+        if factor <= 0:
+            raise ConfigurationError("scale factor must be positive")
+        return replace(self, base_cpu_s=self.base_cpu_s * factor)
+
+
+_DEFAULTS: dict[OperatorKind, OperatorCost] = {
+    OperatorKind.SOURCE: OperatorCost(base_cpu_s=1.0e-6),
+    OperatorKind.FILTER: OperatorCost(base_cpu_s=2.0e-6),
+    OperatorKind.MAP: OperatorCost(base_cpu_s=2.5e-6),
+    OperatorKind.FLATMAP: OperatorCost(base_cpu_s=4.0e-6),
+    OperatorKind.WINDOW_AGG: OperatorCost(
+        base_cpu_s=6.0e-6, coord_kappa=0.004, stateful=True
+    ),
+    OperatorKind.WINDOW_JOIN: OperatorCost(
+        base_cpu_s=14.0e-6, coord_kappa=0.010, stateful=True
+    ),
+    OperatorKind.UDO: OperatorCost(
+        base_cpu_s=40.0e-6,
+        coord_kappa=0.006,
+        stateful=True,
+        is_udo=True,
+        cost_noise=0.25,
+    ),
+    OperatorKind.SINK: OperatorCost(base_cpu_s=1.0e-6),
+}
+
+
+def default_cost(kind: OperatorKind) -> OperatorCost:
+    """The default cost profile for an operator kind."""
+    return _DEFAULTS[kind]

@@ -1,0 +1,570 @@
+"""The discrete-event stream processing engine.
+
+This is the simulated System Under Test. Every subtask is a single-core
+server with a FIFO input queue; sources emit tuples following an arrival
+process (Poisson by default, as the paper models its data); tuples pay a
+CPU service time scaled by the hosting core's speed and contention, plus
+serialization and channel-management overhead on shuffle exchanges and
+network latency/bandwidth on cross-node channels. End-to-end latency and
+throughput therefore *emerge* from queueing dynamics rather than being
+postulated — which is what lets the simulator reproduce the paper's
+observations (speedup from parallelism, its paradox, non-linearity).
+
+Event kinds:
+
+- ``ARRIVAL`` — a source subtask's arrival process fires: generate a tuple,
+  enqueue it locally, schedule the next arrival.
+- ``DELIVER`` — a tuple reaches a subtask's input queue.
+- ``BEGIN``   — a server starts serving the head-of-queue tuple.
+- ``DONE``    — service completes: run the operator logic, route outputs.
+- ``TIMER``   — recurring callback for window operators.
+- ``STALL``   — an injected transient fault pauses a subtask.
+
+Termination: when all sources are exhausted and no work events remain, the
+engine flushes stateful operators in rounds (remaining windows fire), then
+stops once a flush round produces nothing.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+
+from repro.cluster.cluster import Cluster
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.rng import RngFactory
+from repro.sps.costs import COORD_LOG_COST_S, SERDE_COST_S
+from repro.sps.logical import LogicalPlan, OperatorKind
+from repro.sps.metrics import LatencyStats, RunMetrics
+from repro.sps.operators.base import OperatorContext
+from repro.sps.operators.sink import SinkLogic
+from repro.sps.partitioning import HashPartitioner
+from repro.sps.physical import PhysicalPlan
+from repro.sps.placement import PlacementStrategy, RoundRobinPlacement
+from repro.sps.tuples import StreamTuple
+
+__all__ = ["SimulationConfig", "StallInjection", "StreamEngine"]
+
+_ARRIVAL, _DELIVER, _BEGIN, _DONE, _TIMER, _STALL = range(6)
+
+
+@dataclass(frozen=True)
+class StallInjection:
+    """A transient fault: one operator's subtasks freeze for a while.
+
+    Models GC pauses, noisy neighbours or brief node hiccups — the
+    perturbations distributed SPS deployments absorb routinely. All
+    subtasks of ``op_id`` stop serving at ``at_time`` for ``duration``
+    simulated seconds; queued tuples wait and drain afterwards, so the
+    latency distribution shows the spike and the recovery.
+    """
+
+    at_time: float
+    op_id: str
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.at_time < 0 or self.duration <= 0:
+            raise ConfigurationError(
+                "stall needs at_time >= 0 and duration > 0"
+            )
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Knobs of one simulated run.
+
+    ``max_tuples_per_source`` bounds the run (the paper bounds runs by wall
+    time; a tuple budget keeps simulated work proportional across event
+    rates). ``warmup_fraction`` of the earliest sink samples is discarded,
+    as the paper's measurements skip ramp-up.
+
+    ``backpressure_queue_limit`` enables credit-style flow control: once
+    any subtask's input queue exceeds the limit, sources pause until the
+    congested queue drains below half the limit (hysteresis), as Flink's
+    bounded network buffers throttle sources. With backpressure, latency
+    is bounded and overload shows up as reduced source throughput
+    instead; without it (None, the default), queues grow unboundedly and
+    overload shows up as growing latency.
+    """
+
+    max_tuples_per_source: int = 4000
+    max_sim_time: float = 120.0
+    warmup_fraction: float = 0.1
+    keep_sink_values: bool = False
+    max_events: int = 30_000_000
+    backpressure_queue_limit: int | None = None
+    stalls: tuple[StallInjection, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.max_tuples_per_source < 1:
+            raise ConfigurationError("max_tuples_per_source must be >= 1")
+        if self.max_sim_time <= 0:
+            raise ConfigurationError("max_sim_time must be positive")
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise ConfigurationError("warmup_fraction must be in [0, 1)")
+        if (
+            self.backpressure_queue_limit is not None
+            and self.backpressure_queue_limit < 2
+        ):
+            raise ConfigurationError(
+                "backpressure_queue_limit must be >= 2"
+            )
+
+
+@dataclass
+class _SubtaskRuntime:
+    """Mutable per-subtask simulation state."""
+
+    gid: int
+    op_id: str
+    index: int
+    logic: object
+    node_id: int
+    base_service: float
+    noise_sigma: float
+    shuffle_cost_per_output: float
+    is_source: bool
+    is_sink: bool
+    queue: list = field(default_factory=list)
+    queue_head: int = 0
+    busy: bool = False
+    busy_time: float = 0.0
+    queue_peak: int = 0
+    emitted: int = 0
+    wait_time: float = 0.0
+    served: int = 0
+
+
+class StreamEngine:
+    """Runs one physical plan on one cluster and returns metrics."""
+
+    def __init__(
+        self,
+        plan: LogicalPlan,
+        cluster: Cluster,
+        placement: PlacementStrategy | None = None,
+        config: SimulationConfig | None = None,
+        rng_factory: RngFactory | None = None,
+        chaining: bool = False,
+    ) -> None:
+        self.logical = plan
+        self.cluster = cluster
+        self.config = config or SimulationConfig()
+        self.physical = PhysicalPlan.from_logical(plan, chaining=chaining)
+        strategy = placement or RoundRobinPlacement()
+        self.placement = strategy.place(self.physical, cluster)
+        self._rngs = rng_factory or RngFactory(seed=0)
+        self._runtimes: list[_SubtaskRuntime] = []
+        self._sinks: list[SinkLogic] = []
+        self._build_runtimes()
+
+    # ----------------------------------------------------------- build-time
+
+    def _build_runtimes(self) -> None:
+        for subtask in self.physical.subtasks:
+            op = self.logical.operator(subtask.op_id)
+            cost = self.physical.effective_cost(subtask.op_id)
+            rng = self._rngs.fresh("engine", op.op_id, str(subtask.index))
+            logic = self.physical.effective_factory(subtask.op_id)()
+            logic.setup(
+                OperatorContext(
+                    op_id=op.op_id,
+                    subtask_index=subtask.index,
+                    parallelism=subtask.parallelism,
+                    rng=rng,
+                )
+            )
+            node = self.cluster.node(self.placement.node_of(subtask.gid))
+            load = self.placement.load_of(subtask.gid)
+            coord = cost.coordination_factor(op.parallelism)
+            base_service = (
+                cost.base_cpu_s * coord * load / node.speed_factor
+            )
+            cv = cost.cost_noise
+            sigma = math.sqrt(math.log(1.0 + cv * cv)) if cv > 0 else 0.0
+            shuffle_cost = 0.0
+            for group in self.physical.out_channels[subtask.gid]:
+                if group.is_shuffle:
+                    shuffle_cost += SERDE_COST_S + COORD_LOG_COST_S * math.log2(
+                        max(group.num_channels, 2)
+                    )
+            runtime = _SubtaskRuntime(
+                gid=subtask.gid,
+                op_id=op.op_id,
+                index=subtask.index,
+                logic=logic,
+                node_id=node.node_id,
+                base_service=base_service,
+                noise_sigma=sigma,
+                shuffle_cost_per_output=shuffle_cost,
+                is_source=op.kind is OperatorKind.SOURCE,
+                is_sink=op.kind is OperatorKind.SINK,
+            )
+            self._runtimes.append(runtime)
+            if isinstance(logic, SinkLogic):
+                logic.keep_values = self.config.keep_sink_values
+                self._sinks.append(logic)
+        if not self._sinks:
+            raise SimulationError(
+                "plan has no SinkLogic sink; use builders.sink()"
+            )
+
+    # ------------------------------------------------------------- run-time
+
+    def run(self) -> RunMetrics:
+        """Execute the simulation and compute metrics."""
+        self._heap: list = []
+        self._seq = 0
+        self._work = 0
+        self._events_processed = 0
+        self._now = 0.0
+        self._finished = False
+        self._flush_rounds = 0
+        self._flush_time: float | None = None
+        self._last_source_time = 0.0
+        self._congested: set[int] = set()
+        self._throttled_arrivals = 0
+        self._rng_arrivals = self._rngs.fresh("engine", "arrivals")
+
+        for runtime in self._runtimes:
+            if runtime.is_source:
+                self._schedule_next_arrival(runtime, 0.0)
+            interval = getattr(runtime.logic, "timer_interval", None)
+            if interval:
+                self._push(interval, _TIMER, runtime.gid, None, 0)
+
+        for stall in self.config.stalls:
+            if stall.op_id not in self.physical.op_subtasks:
+                raise SimulationError(
+                    f"stall targets unknown operator {stall.op_id!r}"
+                )
+            if stall.at_time > self.config.max_sim_time:
+                continue
+            for gid in self.physical.op_subtasks[stall.op_id]:
+                self._push(
+                    stall.at_time, _STALL, gid, stall.duration, 0
+                )
+
+        max_ops = len(self.logical.operators) + 2
+        while self._heap:
+            if self._events_processed > self.config.max_events:
+                raise SimulationError(
+                    f"event budget exceeded ({self.config.max_events}); "
+                    "the configuration likely diverged"
+                )
+            time, _, kind, gid, payload, port = heapq.heappop(self._heap)
+            self._events_processed += 1
+            self._now = time
+            if kind == _TIMER:
+                if not self._finished:
+                    self._handle_timer(gid)
+                continue
+            self._work -= 1
+            if kind == _ARRIVAL:
+                self._handle_arrival(gid)
+            elif kind == _DELIVER:
+                self._handle_deliver(gid, payload, port)
+            elif kind == _BEGIN:
+                self._begin_service(gid)
+            elif kind == _DONE:
+                self._handle_done(gid, payload, port)
+            elif kind == _STALL:
+                self._handle_stall(gid, payload)
+            if self._work == 0:
+                if self._flush_rounds < max_ops and self._flush_all():
+                    self._flush_rounds += 1
+                else:
+                    self._finished = True
+                    break
+        return self._collect_metrics()
+
+    # -------------------------------------------------------------- events
+
+    def _push(
+        self, time: float, kind: int, gid: int, payload, port: int
+    ) -> None:
+        self._seq += 1
+        if kind != _TIMER:
+            self._work += 1
+        heapq.heappush(self._heap, (time, self._seq, kind, gid, payload, port))
+
+    def _schedule_next_arrival(
+        self, runtime: _SubtaskRuntime, now: float
+    ) -> None:
+        if runtime.emitted >= self._source_budget(runtime):
+            return
+        op = self.logical.operator(runtime.op_id)
+        rate = float(op.metadata.get("event_rate", 1000.0))
+        per_instance = rate / max(op.parallelism, 1)
+        if per_instance <= 0:
+            raise SimulationError(f"{runtime.op_id}: event rate must be > 0")
+        process = op.metadata.get("arrival", "poisson")
+        if process == "poisson":
+            gap = self._rng_arrivals.exponential(1.0 / per_instance)
+        elif process == "constant":
+            gap = 1.0 / per_instance
+        elif process == "bursty":
+            # On/off: bursts at 4x rate for 50ms, then silence balancing it.
+            phase = (now * 10.0) % 1.0
+            busy = phase < 0.25
+            gap = self._rng_arrivals.exponential(
+                1.0 / (per_instance * (4.0 if busy else 0.25))
+            )
+        elif process == "profile":
+            # Non-stationary Poisson: the instantaneous rate comes from a
+            # time profile (e.g. a diurnal curve replaying a recorded
+            # trace's load pattern).
+            profile = op.metadata.get("rate_profile")
+            if profile is None:
+                raise ConfigurationError(
+                    f"{runtime.op_id}: arrival 'profile' needs a "
+                    "'rate_profile' callable in the source metadata"
+                )
+            instant = max(
+                float(profile(now)) / max(op.parallelism, 1), 1e-9
+            )
+            gap = self._rng_arrivals.exponential(1.0 / instant)
+        else:
+            raise ConfigurationError(
+                f"unknown arrival process {process!r} "
+                "(use poisson, constant, bursty or profile)"
+            )
+        at = now + gap
+        if at > self.config.max_sim_time:
+            return
+        self._push(at, _ARRIVAL, runtime.gid, None, 0)
+
+    def _source_budget(self, runtime: _SubtaskRuntime) -> int:
+        op = self.logical.operator(runtime.op_id)
+        # Distribute the per-source budget over its parallel instances.
+        budget = self.config.max_tuples_per_source / max(op.parallelism, 1)
+        return max(int(budget), 1)
+
+    def _handle_arrival(self, gid: int) -> None:
+        runtime = self._runtimes[gid]
+        if self._congested:
+            # Backpressure: hold the arrival without emitting; retry
+            # shortly. The event stays "work" so the run cannot end
+            # while sources are merely paused.
+            self._throttled_arrivals += 1
+            retry = self._now + 1e-3
+            if retry <= self.config.max_sim_time:
+                self._push(retry, _ARRIVAL, gid, None, 0)
+            return
+        tup = runtime.logic.generate(self._now)
+        runtime.emitted += 1
+        self._last_source_time = max(self._last_source_time, self._now)
+        self._enqueue(runtime, tup, 0)
+        self._schedule_next_arrival(runtime, self._now)
+
+    def _handle_deliver(self, gid: int, tup: StreamTuple, port: int) -> None:
+        self._enqueue(self._runtimes[gid], tup, port)
+
+    def _enqueue(
+        self, runtime: _SubtaskRuntime, tup: StreamTuple, port: int
+    ) -> None:
+        runtime.queue.append((tup, port, self._now))
+        depth = len(runtime.queue) - runtime.queue_head
+        if depth > runtime.queue_peak:
+            runtime.queue_peak = depth
+        limit = self.config.backpressure_queue_limit
+        if limit is not None and depth >= limit:
+            self._congested.add(runtime.gid)
+        if not runtime.busy:
+            self._begin_service_now(runtime)
+
+    def _begin_service(self, gid: int) -> None:
+        runtime = self._runtimes[gid]
+        runtime.busy = False
+        if len(runtime.queue) > runtime.queue_head:
+            self._begin_service_now(runtime)
+
+    def _begin_service_now(self, runtime: _SubtaskRuntime) -> None:
+        tup, port, enqueued_at = runtime.queue[runtime.queue_head]
+        runtime.wait_time += self._now - enqueued_at
+        runtime.served += 1
+        runtime.queue_head += 1
+        if runtime.queue_head > 256 and runtime.queue_head * 2 >= len(
+            runtime.queue
+        ):
+            del runtime.queue[: runtime.queue_head]
+            runtime.queue_head = 0
+        limit = self.config.backpressure_queue_limit
+        if limit is not None and runtime.gid in self._congested:
+            depth = len(runtime.queue) - runtime.queue_head
+            if depth <= limit // 2:
+                self._congested.discard(runtime.gid)
+        runtime.busy = True
+        service = runtime.base_service * runtime.logic.work_units(tup)
+        if runtime.noise_sigma > 0:
+            sigma = runtime.noise_sigma
+            service *= self._rng_arrivals.lognormal(
+                -0.5 * sigma * sigma, sigma
+            )
+        runtime.busy_time += service
+        self._push(self._now + service, _DONE, runtime.gid, tup, port)
+
+    def _handle_done(self, gid: int, tup: StreamTuple, port: int) -> None:
+        runtime = self._runtimes[gid]
+        if runtime.is_source:
+            outputs = [tup]
+        else:
+            outputs = runtime.logic.process(tup, self._now, port)
+        overhead = self._route(runtime, outputs)
+        runtime.busy_time += overhead
+        if overhead > 0:
+            self._push(self._now + overhead, _BEGIN, gid, None, 0)
+        else:
+            runtime.busy = False
+            if len(runtime.queue) > runtime.queue_head:
+                self._begin_service_now(runtime)
+
+    def _handle_stall(self, gid: int, duration: float) -> None:
+        runtime = self._runtimes[gid]
+        if runtime.busy:
+            # Pause begins once the in-flight tuple completes.
+            self._push(self._now + 1e-4, _STALL, gid, duration, 0)
+            return
+        runtime.busy = True
+        self._push(self._now + duration, _BEGIN, gid, None, 0)
+
+    def _handle_timer(self, gid: int) -> None:
+        runtime = self._runtimes[gid]
+        outputs = runtime.logic.on_time(self._now)
+        overhead = self._route(runtime, outputs)
+        runtime.busy_time += overhead
+        interval = runtime.logic.timer_interval
+        next_time = self._now + interval
+        horizon = self.config.max_sim_time + 10.0 * interval
+        if next_time <= horizon:
+            self._push(next_time, _TIMER, gid, None, 0)
+
+    # -------------------------------------------------------------- routing
+
+    def _route(
+        self, runtime: _SubtaskRuntime, outputs: list[StreamTuple]
+    ) -> float:
+        """Send outputs downstream; return sender CPU overhead (serde)."""
+        if not outputs:
+            return 0.0
+        groups = self.physical.out_channels[runtime.gid]
+        if not groups:
+            return 0.0
+        network = self.cluster.network
+        src_node = runtime.node_id
+        total_overhead = 0.0
+        for group in groups:
+            partitioner = group.partitioner
+            rekey = (
+                partitioner.extract_key
+                if isinstance(partitioner, HashPartitioner)
+                and partitioner.key_field is not None
+                else None
+            )
+            for tup in outputs:
+                out = tup.with_key(rekey(tup)) if rekey else tup
+                indices = partitioner.select(out, group.num_channels)
+                if group.is_shuffle:
+                    total_overhead += runtime.shuffle_cost_per_output * len(
+                        indices
+                    )
+                for idx in indices:
+                    consumer = group.consumer_gids[idx]
+                    dst_node = self._runtimes[consumer].node_id
+                    delay = network.transfer_delay(
+                        src_node, dst_node, out.size_bytes
+                    )
+                    self._push(
+                        self._now + delay + total_overhead,
+                        _DELIVER,
+                        consumer,
+                        out,
+                        group.port,
+                    )
+        return total_overhead
+
+    # ---------------------------------------------------------------- flush
+
+    def _flush_all(self) -> bool:
+        """Flush stateful logics once; True if anything was emitted."""
+        if self._flush_time is None:
+            self._flush_time = self._now
+        emitted = False
+        for op_id in self.logical.topological_order():
+            # Fused chain tails have no subtasks of their own; their
+            # flush runs inside the chain head's ChainedLogic.
+            if op_id not in self.physical.op_subtasks:
+                continue
+            for gid in self.physical.op_subtasks[op_id]:
+                runtime = self._runtimes[gid]
+                outputs = runtime.logic.flush(self._now)
+                if outputs:
+                    emitted = True
+                    self._route(runtime, outputs)
+        return emitted
+
+    # -------------------------------------------------------------- metrics
+
+    def _collect_metrics(self) -> RunMetrics:
+        samples: list[tuple[float, float]] = []
+        for sink in self._sinks:
+            samples.extend(zip(sink.arrival_times, sink.latencies))
+        samples.sort()
+        total_results = len(samples)
+        # Results forced out by the end-of-stream flush carry artificially
+        # short window residence; exclude them from latency stats unless
+        # they are all we have (e.g. windows longer than the whole run).
+        if self._flush_time is not None:
+            steady = [s for s in samples if s[0] <= self._flush_time]
+            if steady:
+                samples = steady
+        skip = int(len(samples) * self.config.warmup_fraction)
+        kept = [latency for _, latency in samples[skip:]]
+        latency = LatencyStats.from_samples(kept)
+        span = max(self._now, 1e-9)
+        first = samples[0][0] if samples else 0.0
+        window = max(span - first, 1e-9)
+        throughput = total_results / window
+        utilization: dict[str, list[float]] = {}
+        queue_peaks: dict[str, int] = {}
+        wait_sums: dict[str, float] = {}
+        served_sums: dict[str, int] = {}
+        source_events = 0
+        for runtime in self._runtimes:
+            utilization.setdefault(runtime.op_id, []).append(
+                runtime.busy_time / span
+            )
+            previous = queue_peaks.get(runtime.op_id, 0)
+            queue_peaks[runtime.op_id] = max(previous, runtime.queue_peak)
+            wait_sums[runtime.op_id] = (
+                wait_sums.get(runtime.op_id, 0.0) + runtime.wait_time
+            )
+            served_sums[runtime.op_id] = (
+                served_sums.get(runtime.op_id, 0) + runtime.served
+            )
+            if runtime.is_source:
+                source_events += runtime.emitted
+        avg_wait = {
+            op_id: wait_sums[op_id] / served
+            for op_id, served in served_sums.items()
+            if served > 0
+        }
+        return RunMetrics(
+            latency=latency,
+            throughput=throughput,
+            results=total_results,
+            source_events=source_events,
+            sim_duration=span,
+            operator_utilization={
+                op_id: float(sum(vals) / len(vals))
+                for op_id, vals in utilization.items()
+            },
+            operator_queue_peak=queue_peaks,
+            operator_avg_wait=avg_wait,
+            extras={
+                "events_processed": self._events_processed,
+                "throttled_arrivals": self._throttled_arrivals,
+            },
+        )

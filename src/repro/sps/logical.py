@@ -1,0 +1,360 @@
+"""Logical query plans (the paper's PQPs).
+
+A :class:`LogicalPlan` is a DAG of :class:`LogicalOperator` nodes, each
+carrying a parallelism degree — the paper's *parallel query plan* (PQP)
+abstraction: "a given query structure with parallelism degrees". Edges carry
+the partitioning strategy of the exchange. The physical planner
+(:mod:`repro.sps.physical`) expands the logical DAG into parallel subtasks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.errors import PlanError
+from repro.sps.costs import OperatorCost, default_cost
+from repro.sps.logical_kinds import OperatorKind
+from repro.sps.partitioning import (
+    ForwardPartitioner,
+    HashPartitioner,
+    Partitioner,
+    RebalancePartitioner,
+)
+from repro.sps.types import Schema
+from repro.sps.windows import WindowAssigner
+
+__all__ = ["OperatorKind", "LogicalOperator", "LogicalEdge", "LogicalPlan"]
+
+
+@dataclass
+class LogicalOperator:
+    """One logical operator of a PQP.
+
+    ``logic_factory`` builds a fresh operator-logic instance per subtask
+    (state is per-instance, as in Flink). ``selectivity`` is the expected
+    output/input tuple ratio used by the analytic model, the rule-based
+    parallelism enumerator and the ML features.
+    """
+
+    op_id: str
+    kind: OperatorKind
+    logic_factory: Callable[..., Any]
+    parallelism: int = 1
+    selectivity: float = 1.0
+    cost: OperatorCost | None = None
+    output_schema: Schema | None = None
+    window: WindowAssigner | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.op_id:
+            raise PlanError("operator id must be non-empty")
+        if self.parallelism < 1:
+            raise PlanError(
+                f"{self.op_id}: parallelism must be >= 1, "
+                f"got {self.parallelism}"
+            )
+        if self.selectivity < 0:
+            raise PlanError(f"{self.op_id}: selectivity must be >= 0")
+        if self.cost is None:
+            self.cost = default_cost(self.kind)
+
+    def describe(self) -> str:
+        """e.g. ``filter_1[filter x8]``."""
+        return f"{self.op_id}[{self.kind.value} x{self.parallelism}]"
+
+
+@dataclass(frozen=True)
+class LogicalEdge:
+    """A directed exchange between two logical operators.
+
+    ``port`` distinguishes the two inputs of a join (0 = left, 1 = right);
+    single-input operators only use port 0.
+    """
+
+    src: str
+    dst: str
+    partitioner: Partitioner
+    port: int = 0
+
+    def __post_init__(self) -> None:
+        if self.port < 0:
+            raise PlanError("edge port must be non-negative")
+
+
+class LogicalPlan:
+    """A validated DAG of logical operators."""
+
+    def __init__(self, name: str = "query") -> None:
+        self.name = name
+        self._ops: dict[str, LogicalOperator] = {}
+        self._edges: list[LogicalEdge] = []
+
+    # ------------------------------------------------------------- building
+
+    def add_operator(self, op: LogicalOperator) -> LogicalOperator:
+        """Add an operator; ids must be unique within the plan."""
+        if op.op_id in self._ops:
+            raise PlanError(f"duplicate operator id {op.op_id!r}")
+        self._ops[op.op_id] = op
+        return op
+
+    def connect(
+        self,
+        src: str,
+        dst: str,
+        partitioner: Partitioner | None = None,
+        port: int = 0,
+    ) -> LogicalEdge:
+        """Add an edge; defaults the partitioner from the consumer's kind.
+
+        Default selection mirrors Flink: keyed (stateful) consumers get hash
+        partitioning, equal-parallelism stateless pairs get forward, and
+        everything else gets rebalance.
+        """
+        if src not in self._ops:
+            raise PlanError(f"unknown source operator {src!r}")
+        if dst not in self._ops:
+            raise PlanError(f"unknown destination operator {dst!r}")
+        if src == dst:
+            raise PlanError(f"self-loop on {src!r}")
+        if partitioner is None:
+            partitioner = self._default_partitioner(
+                self._ops[src], self._ops[dst], port
+            )
+        edge = LogicalEdge(src=src, dst=dst, partitioner=partitioner, port=port)
+        self._edges.append(edge)
+        return edge
+
+    @staticmethod
+    def _default_partitioner(
+        src: LogicalOperator, dst: LogicalOperator, port: int = 0
+    ) -> Partitioner:
+        if dst.kind is OperatorKind.WINDOW_JOIN:
+            key_fields = dst.metadata.get("key_fields", (None, None))
+            return HashPartitioner(key_field=key_fields[port])
+        if dst.kind is OperatorKind.WINDOW_AGG:
+            return HashPartitioner(key_field=dst.metadata.get("key_field"))
+        if dst.kind.is_stateful:
+            # UDOs: key when they declare a key field, spread otherwise.
+            key_field = dst.metadata.get("key_field")
+            if key_field is not None:
+                return HashPartitioner(key_field=key_field)
+            return RebalancePartitioner()
+        if (
+            src.parallelism == dst.parallelism
+            and not dst.kind.is_stateful
+            and dst.kind is not OperatorKind.SINK
+        ):
+            return ForwardPartitioner()
+        return RebalancePartitioner()
+
+    # ------------------------------------------------------------ accessors
+
+    @property
+    def operators(self) -> dict[str, LogicalOperator]:
+        """Operators by id."""
+        return dict(self._ops)
+
+    @property
+    def edges(self) -> tuple[LogicalEdge, ...]:
+        """All edges in insertion order."""
+        return tuple(self._edges)
+
+    def operator(self, op_id: str) -> LogicalOperator:
+        """Look up an operator by id."""
+        try:
+            return self._ops[op_id]
+        except KeyError:
+            raise PlanError(f"unknown operator {op_id!r}") from None
+
+    def sources(self) -> list[LogicalOperator]:
+        """All source operators, in insertion order."""
+        return [
+            op for op in self._ops.values() if op.kind is OperatorKind.SOURCE
+        ]
+
+    def sinks(self) -> list[LogicalOperator]:
+        """All sink operators, in insertion order."""
+        return [
+            op for op in self._ops.values() if op.kind is OperatorKind.SINK
+        ]
+
+    def in_edges(self, op_id: str) -> list[LogicalEdge]:
+        """Edges arriving at an operator, sorted by port."""
+        return sorted(
+            (e for e in self._edges if e.dst == op_id), key=lambda e: e.port
+        )
+
+    def out_edges(self, op_id: str) -> list[LogicalEdge]:
+        """Edges leaving an operator."""
+        return [e for e in self._edges if e.src == op_id]
+
+    def upstream(self, op_id: str) -> list[str]:
+        """Ids of direct upstream operators."""
+        return [e.src for e in self.in_edges(op_id)]
+
+    def downstream(self, op_id: str) -> list[str]:
+        """Ids of direct downstream operators."""
+        return [e.dst for e in self.out_edges(op_id)]
+
+    @property
+    def num_operators(self) -> int:
+        """Number of logical operators."""
+        return len(self._ops)
+
+    def total_subtasks(self) -> int:
+        """Sum of parallelism degrees over all operators."""
+        return sum(op.parallelism for op in self._ops.values())
+
+    # ----------------------------------------------------------- validation
+
+    def topological_order(self) -> list[str]:
+        """Operator ids in a topological order; raises on cycles."""
+        in_degree = {op_id: 0 for op_id in self._ops}
+        for edge in self._edges:
+            in_degree[edge.dst] += 1
+        ready = [op_id for op_id, deg in in_degree.items() if deg == 0]
+        order: list[str] = []
+        while ready:
+            op_id = ready.pop(0)
+            order.append(op_id)
+            for edge in self.out_edges(op_id):
+                in_degree[edge.dst] -= 1
+                if in_degree[edge.dst] == 0:
+                    ready.append(edge.dst)
+        if len(order) != len(self._ops):
+            raise PlanError(f"plan {self.name!r} contains a cycle")
+        return order
+
+    def validate(self) -> None:
+        """Check structural well-formedness; raises :class:`PlanError`."""
+        if not self._ops:
+            raise PlanError("plan has no operators")
+        if not self.sources():
+            raise PlanError("plan has no source operator")
+        if not self.sinks():
+            raise PlanError("plan has no sink operator")
+        self.topological_order()
+        for op in self._ops.values():
+            ins = self.in_edges(op.op_id)
+            outs = self.out_edges(op.op_id)
+            if op.kind is OperatorKind.SOURCE:
+                if ins:
+                    raise PlanError(f"source {op.op_id!r} has inputs")
+                if not outs:
+                    raise PlanError(f"source {op.op_id!r} has no consumers")
+            elif op.kind is OperatorKind.SINK:
+                if outs:
+                    raise PlanError(f"sink {op.op_id!r} has outputs")
+                if not ins:
+                    raise PlanError(f"sink {op.op_id!r} has no inputs")
+            else:
+                if not ins:
+                    raise PlanError(f"operator {op.op_id!r} has no inputs")
+                if not outs:
+                    raise PlanError(f"operator {op.op_id!r} has no outputs")
+            if op.kind is OperatorKind.WINDOW_JOIN:
+                ports = sorted(e.port for e in ins)
+                if ports != [0, 1]:
+                    raise PlanError(
+                        f"join {op.op_id!r} needs exactly inputs on ports "
+                        f"0 and 1, got ports {ports}"
+                    )
+            elif ins:
+                if any(e.port != 0 for e in ins):
+                    raise PlanError(
+                        f"single-input operator {op.op_id!r} must use port 0"
+                    )
+        for edge in self._edges:
+            if edge.partitioner.requires_equal_parallelism:
+                src_p = self._ops[edge.src].parallelism
+                dst_p = self._ops[edge.dst].parallelism
+                if src_p != dst_p:
+                    raise PlanError(
+                        f"forward edge {edge.src!r}->{edge.dst!r} requires "
+                        f"equal parallelism, got {src_p} vs {dst_p}"
+                    )
+
+    # ------------------------------------------------------------- mutation
+
+    def set_uniform_parallelism(
+        self,
+        degree: int,
+        include_sources: bool = True,
+        sink_parallelism: int = 1,
+    ) -> None:
+        """Set every operator's parallelism to one degree (paper's
+
+        parallelism *categories* XS..XXL apply one degree to the whole PQP).
+        Sinks default to 1, as the benchmark measures a single collection
+        point. Forward edges whose endpoints no longer match are downgraded
+        to rebalance.
+        """
+        if degree < 1:
+            raise PlanError("parallelism degree must be >= 1")
+        for op in self._ops.values():
+            if op.kind is OperatorKind.SINK:
+                op.parallelism = sink_parallelism
+            elif op.kind is OperatorKind.SOURCE and not include_sources:
+                continue
+            else:
+                op.parallelism = degree
+        self._fix_forward_edges()
+
+    def set_parallelism(self, degrees: dict[str, int]) -> None:
+        """Set per-operator parallelism degrees (enumerator output)."""
+        for op_id, degree in degrees.items():
+            op = self.operator(op_id)
+            if degree < 1:
+                raise PlanError(
+                    f"{op_id}: parallelism must be >= 1, got {degree}"
+                )
+            op.parallelism = degree
+        self._fix_forward_edges()
+
+    def _fix_forward_edges(self) -> None:
+        fixed = []
+        for edge in self._edges:
+            if (
+                edge.partitioner.requires_equal_parallelism
+                and self._ops[edge.src].parallelism
+                != self._ops[edge.dst].parallelism
+            ):
+                fixed.append(
+                    LogicalEdge(
+                        src=edge.src,
+                        dst=edge.dst,
+                        partitioner=RebalancePartitioner(),
+                        port=edge.port,
+                    )
+                )
+            else:
+                fixed.append(edge)
+        self._edges = fixed
+
+    def parallelism_degrees(self) -> dict[str, int]:
+        """Current per-operator parallelism assignment."""
+        return {op_id: op.parallelism for op_id, op in self._ops.items()}
+
+    # ------------------------------------------------------------ rendering
+
+    def describe(self) -> str:
+        """Multi-line dump of operators and exchanges."""
+        lines = [f"plan {self.name!r}:"]
+        for op_id in self.topological_order():
+            op = self._ops[op_id]
+            lines.append(f"  {op.describe()}")
+            for edge in self.out_edges(op_id):
+                lines.append(
+                    f"    -> {edge.dst} via {edge.partitioner.describe()}"
+                    + (f" [port {edge.port}]" if edge.port else "")
+                )
+        return "\n".join(lines)
+
+    def operators_in_order(self) -> Iterable[LogicalOperator]:
+        """Operators in topological order."""
+        for op_id in self.topological_order():
+            yield self._ops[op_id]

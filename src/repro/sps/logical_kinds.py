@@ -1,0 +1,37 @@
+"""Operator kinds, in their own module to avoid import cycles between the
+
+plan layer and the cost layer.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["OperatorKind"]
+
+
+class OperatorKind(enum.Enum):
+    """The operator vocabulary of the dataflow graphs.
+
+    ``UDO`` marks user-defined operators, which the paper distinguishes from
+    standard stream-processing operators because their custom logic and state
+    handling scale differently with parallelism (observation O3).
+    """
+
+    SOURCE = "source"
+    FILTER = "filter"
+    MAP = "map"
+    FLATMAP = "flatMap"
+    WINDOW_AGG = "windowAgg"
+    WINDOW_JOIN = "windowJoin"
+    UDO = "udo"
+    SINK = "sink"
+
+    @property
+    def is_stateful(self) -> bool:
+        """Whether instances of this kind hold window/operator state."""
+        return self in (
+            OperatorKind.WINDOW_AGG,
+            OperatorKind.WINDOW_JOIN,
+            OperatorKind.UDO,
+        )

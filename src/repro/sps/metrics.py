@@ -1,0 +1,117 @@
+"""Run metrics.
+
+The paper reports end-to-end latency (median of each run, mean over three
+runs) and throughput; :class:`RunMetrics` carries those plus diagnostics
+(per-operator utilisation, queue peaks) that the rule-based enumerator and
+the experiment analyses use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.common.errors import SimulationError
+
+__all__ = ["LatencyStats", "RunMetrics", "aggregate_runs"]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary statistics of a latency sample (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def from_samples(cls, samples: list[float]) -> "LatencyStats":
+        """Compute stats; raises if there are no samples."""
+        if not samples:
+            raise SimulationError(
+                "no latency samples: the query produced no results "
+                "(check selectivities, window sizes and run length)"
+            )
+        arr = np.asarray(samples, dtype=float)
+        return cls(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            p50=float(np.percentile(arr, 50)),
+            p95=float(np.percentile(arr, 95)),
+            p99=float(np.percentile(arr, 99)),
+            minimum=float(arr.min()),
+            maximum=float(arr.max()),
+        )
+
+    def to_dict(self) -> dict[str, float]:
+        """Plain-dict form for the document store."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+@dataclass
+class RunMetrics:
+    """Everything measured in one simulated benchmark run."""
+
+    latency: LatencyStats
+    throughput: float
+    results: int
+    source_events: int
+    sim_duration: float
+    operator_utilization: dict[str, float] = field(default_factory=dict)
+    operator_queue_peak: dict[str, int] = field(default_factory=dict)
+    #: mean queueing delay per served tuple (seconds), per operator —
+    #: the latency-breakdown diagnostic behind bottleneck analysis
+    operator_avg_wait: dict[str, float] = field(default_factory=dict)
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def median_latency_ms(self) -> float:
+        """Median end-to-end latency in milliseconds (headline metric)."""
+        return self.latency.p50 * 1e3
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form for the document store."""
+        return {
+            "latency": self.latency.to_dict(),
+            "throughput": self.throughput,
+            "results": self.results,
+            "source_events": self.source_events,
+            "sim_duration": self.sim_duration,
+            "operator_utilization": dict(self.operator_utilization),
+            "operator_queue_peak": dict(self.operator_queue_peak),
+            "operator_avg_wait": dict(self.operator_avg_wait),
+            "extras": dict(self.extras),
+        }
+
+
+def aggregate_runs(runs: list[RunMetrics]) -> dict[str, float]:
+    """Mean-of-medians over repeated runs, as the paper reports.
+
+    "We report the mean of three runs of measuring median latency (50th
+    percentile)."
+    """
+    if not runs:
+        raise SimulationError("no runs to aggregate")
+    medians = [run.latency.p50 for run in runs]
+    throughputs = [run.throughput for run in runs]
+    return {
+        "mean_median_latency_s": float(np.mean(medians)),
+        "mean_median_latency_ms": float(np.mean(medians)) * 1e3,
+        "std_median_latency_s": float(np.std(medians)),
+        "mean_throughput": float(np.mean(throughputs)),
+        "runs": float(len(runs)),
+    }

@@ -1,0 +1,23 @@
+"""Operator logics: the per-subtask code that actually processes tuples."""
+
+from repro.sps.operators.aggregate import WindowAggregateLogic
+from repro.sps.operators.base import OperatorContext, OperatorLogic
+from repro.sps.operators.filter_op import FilterLogic
+from repro.sps.operators.join import WindowJoinLogic
+from repro.sps.operators.map_op import FlatMapLogic, MapLogic
+from repro.sps.operators.sink import SinkLogic
+from repro.sps.operators.source import SourceLogic
+from repro.sps.operators.udo import FunctionUDO
+
+__all__ = [
+    "OperatorContext",
+    "OperatorLogic",
+    "SourceLogic",
+    "FilterLogic",
+    "MapLogic",
+    "FlatMapLogic",
+    "WindowAggregateLogic",
+    "WindowJoinLogic",
+    "FunctionUDO",
+    "SinkLogic",
+]

@@ -1,0 +1,64 @@
+"""Operator logic interface.
+
+One :class:`OperatorLogic` instance exists per *subtask* (parallel operator
+instance); its state is therefore naturally partitioned, as in Flink. The
+engine drives the instance through :meth:`process` for each delivered tuple,
+:meth:`on_time` on its recurring timer (if it requests one via
+:attr:`timer_interval`) and :meth:`flush` at end of stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sps.tuples import StreamTuple
+
+__all__ = ["OperatorContext", "OperatorLogic"]
+
+
+@dataclass(frozen=True)
+class OperatorContext:
+    """Runtime information handed to a logic instance at setup."""
+
+    op_id: str
+    subtask_index: int
+    parallelism: int
+    rng: np.random.Generator
+
+
+class OperatorLogic:
+    """Base class for all operator logics."""
+
+    #: If set, the engine fires :meth:`on_time` every ``timer_interval``
+    #: simulated seconds (used by time-window operators to emit results even
+    #: when input pauses).
+    timer_interval: float | None = None
+
+    #: Relative per-tuple work factor; the engine multiplies the operator's
+    #: base cost by this. Logics may override :meth:`work_units` for
+    #: data-dependent costs instead.
+    work_factor: float = 1.0
+
+    def setup(self, ctx: OperatorContext) -> None:
+        """Bind the logic to its subtask. Default: store the context."""
+        self.ctx = ctx
+
+    def process(
+        self, tup: StreamTuple, now: float, port: int = 0
+    ) -> list[StreamTuple]:
+        """Handle one input tuple; return output tuples (possibly empty)."""
+        raise NotImplementedError
+
+    def on_time(self, now: float) -> list[StreamTuple]:
+        """Timer callback; return output tuples. Default: nothing."""
+        return []
+
+    def flush(self, now: float) -> list[StreamTuple]:
+        """End-of-stream: emit whatever is still buffered. Default: nothing."""
+        return []
+
+    def work_units(self, tup: StreamTuple) -> float:
+        """Per-tuple work multiplier (default: :attr:`work_factor`)."""
+        return self.work_factor

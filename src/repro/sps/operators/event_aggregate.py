@@ -1,0 +1,170 @@
+"""Event-time windowed aggregation with watermarks.
+
+The processing-time aggregate (:mod:`repro.sps.operators.aggregate`)
+windows tuples by *arrival* time, as Flink does by default. Real
+deployments frequently window by *event* time instead, tolerating network
+and queueing reorder via watermarks. This operator implements the
+bounded-out-of-orderness model:
+
+- tuples join the window(s) covering their ``event_time``;
+- the operator's watermark trails the maximum event time seen by
+  ``max_out_of_orderness`` seconds;
+- a window fires when the watermark passes its end (plus
+  ``allowed_lateness``);
+- tuples arriving behind the watermark for an already-fired window are
+  *late* and dropped (counted in :attr:`late_dropped`).
+
+In the simulator, event time is stamped at the source, so queueing delay
+and cross-node network transfer are exactly the disorder the watermark
+must absorb — the same trade-off (latency vs completeness) operators face
+in production.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError
+from repro.sps.operators.base import OperatorLogic
+from repro.sps.tuples import StreamTuple
+from repro.sps.windows import AggregateFunction, WindowAssigner
+
+__all__ = ["EventTimeWindowAggregateLogic"]
+
+_GLOBAL_KEY = "__global__"
+
+
+class _WindowState:
+    __slots__ = ("values", "min_origin", "end")
+
+    def __init__(self, end: float) -> None:
+        self.values: list[float] = []
+        self.min_origin = float("inf")
+        self.end = end
+
+
+class EventTimeWindowAggregateLogic(OperatorLogic):
+    """Keyed event-time window aggregation under a bounded-disorder
+
+    watermark."""
+
+    def __init__(
+        self,
+        assigner: WindowAssigner,
+        function: AggregateFunction,
+        value_field: int,
+        key_field: int | None = None,
+        max_out_of_orderness: float = 0.05,
+        allowed_lateness: float = 0.0,
+    ) -> None:
+        if not assigner.is_time_based:
+            raise ConfigurationError(
+                "event-time aggregation requires time-based windows"
+            )
+        if max_out_of_orderness < 0 or allowed_lateness < 0:
+            raise ConfigurationError(
+                "out-of-orderness and lateness bounds must be >= 0"
+            )
+        self.assigner = assigner
+        self.function = function
+        self.value_field = value_field
+        self.key_field = key_field
+        self.max_out_of_orderness = max_out_of_orderness
+        self.allowed_lateness = allowed_lateness
+        self._max_event_time = float("-inf")
+        self._fired_horizon = float("-inf")
+        # key -> {window_start -> _WindowState}
+        self._state: dict[object, dict[float, _WindowState]] = {}
+        self.late_dropped = 0
+        self.windows_fired = 0
+        interval = getattr(assigner, "slide", None) or getattr(
+            assigner, "duration"
+        )
+        self.timer_interval = float(interval)
+
+    @property
+    def watermark(self) -> float:
+        """Current watermark: max event time seen minus the bound."""
+        return self._max_event_time - self.max_out_of_orderness
+
+    def _key_of(self, tup: StreamTuple) -> object:
+        if self.key_field is not None:
+            return tup.values[self.key_field]
+        if tup.key is not None:
+            return tup.key
+        return _GLOBAL_KEY
+
+    def process(
+        self, tup: StreamTuple, now: float, port: int = 0
+    ) -> list[StreamTuple]:
+        if tup.event_time > self._max_event_time:
+            self._max_event_time = tup.event_time
+        # Late: every window this tuple belongs to has already fired.
+        newest_window_end = max(
+            w.end for w in self.assigner.assign(tup.event_time)
+        )
+        if newest_window_end + self.allowed_lateness <= self._fired_horizon:
+            self.late_dropped += 1
+            return self._fire_ready(now)
+        key = self._key_of(tup)
+        value = float(tup.values[self.value_field])
+        per_key = self._state.setdefault(key, {})
+        for window in self.assigner.assign(tup.event_time):
+            if window.end + self.allowed_lateness <= self._fired_horizon:
+                continue  # this overlap already fired; count the rest
+            state = per_key.get(window.start)
+            if state is None:
+                state = _WindowState(window.end)
+                per_key[window.start] = state
+            state.values.append(value)
+            if tup.origin_time < state.min_origin:
+                state.min_origin = tup.origin_time
+        return self._fire_ready(now)
+
+    def _fire_ready(self, now: float) -> list[StreamTuple]:
+        watermark = self.watermark
+        outputs: list[StreamTuple] = []
+        for key, per_key in self._state.items():
+            ready = [
+                start
+                for start, state in per_key.items()
+                if state.end + self.allowed_lateness <= watermark
+            ]
+            for start in sorted(ready):
+                state = per_key.pop(start)
+                if state.values:
+                    outputs.append(self._emit(key, state, now))
+        if watermark > self._fired_horizon:
+            self._fired_horizon = watermark
+        return outputs
+
+    def on_time(self, now: float) -> list[StreamTuple]:
+        # Idle-source advancement: in the absence of new input the
+        # watermark may still advance with the simulation clock, as
+        # Flink's idleness timeout does.
+        if self._max_event_time > float("-inf"):
+            idle_watermark = now - 2.0 * self.max_out_of_orderness
+            if idle_watermark > self._max_event_time:
+                self._max_event_time = idle_watermark
+        return self._fire_ready(now)
+
+    def flush(self, now: float) -> list[StreamTuple]:
+        outputs: list[StreamTuple] = []
+        for key, per_key in self._state.items():
+            for start in sorted(per_key):
+                state = per_key[start]
+                if state.values:
+                    outputs.append(self._emit(key, state, now))
+        self._state.clear()
+        return outputs
+
+    def _emit(
+        self, key: object, state: _WindowState, now: float
+    ) -> StreamTuple:
+        self.windows_fired += 1
+        out_key = None if key is _GLOBAL_KEY else key
+        return StreamTuple(
+            values=(out_key, self.function.apply(state.values)),
+            event_time=now,
+            origin_time=state.min_origin,
+            key=out_key,
+            size_bytes=40.0,
+        )

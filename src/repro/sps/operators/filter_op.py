@@ -1,0 +1,34 @@
+"""Filter logic: drops tuples failing a predicate."""
+
+from __future__ import annotations
+
+from repro.sps.operators.base import OperatorLogic
+from repro.sps.predicates import Predicate
+from repro.sps.tuples import StreamTuple
+
+__all__ = ["FilterLogic"]
+
+
+class FilterLogic(OperatorLogic):
+    """Evaluates a :class:`Predicate` on every tuple."""
+
+    def __init__(self, predicate: Predicate) -> None:
+        self.predicate = predicate
+        self.seen = 0
+        self.passed = 0
+
+    def process(
+        self, tup: StreamTuple, now: float, port: int = 0
+    ) -> list[StreamTuple]:
+        self.seen += 1
+        if self.predicate.evaluate(tup):
+            self.passed += 1
+            return [tup]
+        return []
+
+    @property
+    def observed_selectivity(self) -> float:
+        """Fraction of tuples passed so far (1.0 before any input)."""
+        if self.seen == 0:
+            return 1.0
+        return self.passed / self.seen

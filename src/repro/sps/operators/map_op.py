@@ -1,0 +1,55 @@
+"""Map and flatMap logics."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+from repro.sps.operators.base import OperatorLogic
+from repro.sps.tuples import StreamTuple
+
+__all__ = ["MapLogic", "FlatMapLogic"]
+
+
+class MapLogic(OperatorLogic):
+    """1-to-1 value transformation.
+
+    ``fn`` maps a values tuple to a new values tuple; provenance timestamps
+    are preserved by :meth:`StreamTuple.with_values`.
+    """
+
+    def __init__(self, fn: Callable[[tuple[Any, ...]], tuple[Any, ...]]):
+        self._fn = fn
+
+    def process(
+        self, tup: StreamTuple, now: float, port: int = 0
+    ) -> list[StreamTuple]:
+        return [tup.with_values(self._fn(tup.values))]
+
+
+class FlatMapLogic(OperatorLogic):
+    """1-to-N value transformation (e.g. tokenising a line into words).
+
+    ``fn`` maps a values tuple to an iterable of values tuples. The work
+    units of a tuple scale with its fan-out, modelling that a line producing
+    many words costs more than an empty one.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[tuple[Any, ...]], list[tuple[Any, ...]]],
+        expected_fanout: float = 1.0,
+    ):
+        self._fn = fn
+        self._expected_fanout = max(expected_fanout, 1e-9)
+        self._last_fanout = 1.0
+
+    def process(
+        self, tup: StreamTuple, now: float, port: int = 0
+    ) -> list[StreamTuple]:
+        outputs = [tup.with_values(values) for values in self._fn(tup.values)]
+        self._last_fanout = max(len(outputs), 1)
+        return outputs
+
+    def work_units(self, tup: StreamTuple) -> float:
+        return max(self._last_fanout / self._expected_fanout, 0.25)

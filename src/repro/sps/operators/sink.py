@@ -1,0 +1,35 @@
+"""Sink logic: terminates the dataflow and records result latencies."""
+
+from __future__ import annotations
+
+from repro.sps.operators.base import OperatorLogic
+from repro.sps.tuples import StreamTuple
+
+__all__ = ["SinkLogic"]
+
+
+class SinkLogic(OperatorLogic):
+    """Collects end-to-end latency samples.
+
+    Latency of a result = sink arrival time - origin time of the earliest
+    source tuple contributing to it (the paper's end-to-end definition).
+    ``keep_values`` optionally retains result values for correctness tests.
+    """
+
+    def __init__(self, keep_values: bool = False, max_kept: int = 100_000):
+        self.latencies: list[float] = []
+        self.arrival_times: list[float] = []
+        self.keep_values = keep_values
+        self.max_kept = max_kept
+        self.results: list[tuple] = []
+        self.received = 0
+
+    def process(
+        self, tup: StreamTuple, now: float, port: int = 0
+    ) -> list[StreamTuple]:
+        self.received += 1
+        self.latencies.append(now - tup.origin_time)
+        self.arrival_times.append(now)
+        if self.keep_values and len(self.results) < self.max_kept:
+            self.results.append(tup.values)
+        return []

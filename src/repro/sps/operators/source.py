@@ -1,0 +1,41 @@
+"""Source logic.
+
+Sources do not consume tuples; the engine polls them through
+:meth:`SourceLogic.generate` each time the subtask's arrival process fires.
+The tuple generator is any callable ``(rng, event_time) -> StreamTuple`` —
+the workload layer supplies synthetic and application-specific generators.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.sps.operators.base import OperatorLogic
+from repro.sps.tuples import StreamTuple
+
+__all__ = ["SourceLogic"]
+
+TupleGenerator = Callable[[np.random.Generator, float], StreamTuple]
+
+
+class SourceLogic(OperatorLogic):
+    """Wraps a tuple generator; one instance per source subtask."""
+
+    def __init__(self, generator: TupleGenerator) -> None:
+        self._generator = generator
+        self.emitted = 0
+
+    def generate(self, now: float) -> StreamTuple:
+        """Produce the next tuple at simulated time ``now``."""
+        tup = self._generator(self.ctx.rng, now)
+        tup.origin_time = now
+        tup.event_time = now
+        self.emitted += 1
+        return tup
+
+    def process(
+        self, tup: StreamTuple, now: float, port: int = 0
+    ) -> list[StreamTuple]:
+        raise RuntimeError("sources are polled via generate(), not process()")

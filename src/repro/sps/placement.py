@@ -1,0 +1,142 @@
+"""Placement of subtasks on cluster slots.
+
+The paper's controller hides "the complex mechanism of machine creation and
+query deployment"; here the complexity is choosing which node (and core)
+runs each subtask. Slots may be shared by several subtasks (Flink's slot
+sharing); co-located subtasks then contend for the core and their service
+times stretch by the slot's load factor.
+
+Strategies:
+
+- :class:`RoundRobinPlacement` — spread subtasks evenly over nodes (the
+  default, mirroring Flink's default slot spreading);
+- :class:`PackedPlacement` — fill one node before the next (minimises
+  network hops, maximises contention);
+- :class:`SpeedAwarePlacement` — heaviest operators to fastest nodes, a
+  simple heterogeneity-aware heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import TaskSlot
+from repro.common.errors import PlacementError
+from repro.sps.physical import PhysicalPlan
+
+__all__ = [
+    "Placement",
+    "PlacementStrategy",
+    "RoundRobinPlacement",
+    "PackedPlacement",
+    "SpeedAwarePlacement",
+]
+
+
+@dataclass
+class Placement:
+    """The result: a slot per subtask plus per-slot load factors."""
+
+    slot_of: dict[int, TaskSlot]
+    slot_load: dict[TaskSlot, int]
+
+    def node_of(self, gid: int) -> int:
+        """Node id hosting a subtask."""
+        return self.slot_of[gid].node_id
+
+    def load_of(self, gid: int) -> int:
+        """How many subtasks share this subtask's core (>= 1)."""
+        return self.slot_load[self.slot_of[gid]]
+
+    def nodes_used(self) -> set[int]:
+        """Distinct node ids hosting at least one subtask."""
+        return {slot.node_id for slot in self.slot_of.values()}
+
+
+class PlacementStrategy:
+    """Base class: assigns every subtask of a plan to a slot."""
+
+    name = "abstract"
+
+    def place(self, plan: PhysicalPlan, cluster: Cluster) -> Placement:
+        """Compute a placement; must cover every subtask."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _finish(slot_of: dict[int, TaskSlot]) -> Placement:
+        slot_load: dict[TaskSlot, int] = {}
+        for slot in slot_of.values():
+            slot_load[slot] = slot_load.get(slot, 0) + 1
+        return Placement(slot_of=slot_of, slot_load=slot_load)
+
+
+class RoundRobinPlacement(PlacementStrategy):
+    """Cycle across nodes, taking each node's next free slot.
+
+    When every slot is taken the cycle wraps and slots are shared. Subtasks
+    of one operator therefore land on distinct nodes whenever possible —
+    the data-parallel spreading the paper's experiments rely on.
+    """
+
+    name = "round-robin"
+
+    def place(self, plan: PhysicalPlan, cluster: Cluster) -> Placement:
+        if not plan.subtasks:
+            raise PlacementError("physical plan has no subtasks")
+        nodes = cluster.nodes
+        cursor = {node.node_id: 0 for node in nodes}
+        slot_of: dict[int, TaskSlot] = {}
+        node_index = 0
+        for subtask in plan.subtasks:
+            node = nodes[node_index % len(nodes)]
+            slot_index = cursor[node.node_id] % node.num_slots
+            cursor[node.node_id] += 1
+            slot_of[subtask.gid] = node.slots[slot_index]
+            node_index += 1
+        return self._finish(slot_of)
+
+
+class PackedPlacement(PlacementStrategy):
+    """Fill node 0's slots, then node 1's, wrapping when the cluster is full."""
+
+    name = "packed"
+
+    def place(self, plan: PhysicalPlan, cluster: Cluster) -> Placement:
+        if not plan.subtasks:
+            raise PlacementError("physical plan has no subtasks")
+        all_slots = cluster.all_slots()
+        slot_of = {
+            subtask.gid: all_slots[i % len(all_slots)]
+            for i, subtask in enumerate(plan.subtasks)
+        }
+        return self._finish(slot_of)
+
+
+class SpeedAwarePlacement(PlacementStrategy):
+    """Assign the most expensive operators' subtasks to the fastest cores.
+
+    Operators are sorted by base CPU cost (descending); nodes by speed factor
+    (descending). This is the "careful orchestration" the paper says
+    heterogeneous environments need (O5): data-intensive operators benefit
+    from the faster AMD cores while cheap operators can live anywhere.
+    """
+
+    name = "speed-aware"
+
+    def place(self, plan: PhysicalPlan, cluster: Cluster) -> Placement:
+        if not plan.subtasks:
+            raise PlacementError("physical plan has no subtasks")
+        slots = sorted(
+            cluster.all_slots(),
+            key=lambda slot: -cluster.node(slot.node_id).speed_factor,
+        )
+        ordered = sorted(
+            plan.subtasks,
+            key=lambda st: -plan.logical.operator(st.op_id).cost.base_cpu_s,
+        )
+        slot_of = {
+            subtask.gid: slots[i % len(slots)]
+            for i, subtask in enumerate(ordered)
+        }
+        return self._finish(slot_of)

@@ -1,0 +1,115 @@
+"""Filter predicates.
+
+Table 3 lists the filter functions the workload generator enumerates over:
+``<, >, <=, >=, ==, !=`` for numeric fields plus ``startswith, endswith,
+contains`` for strings. A :class:`Predicate` binds one such function to a
+field index and a literal; it is a plain callable on tuple values, so the
+simulated filters evaluate real data.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common.errors import ConfigurationError
+from repro.sps.tuples import StreamTuple
+from repro.sps.types import DataType
+
+__all__ = ["FilterFunction", "Predicate"]
+
+
+class FilterFunction(enum.Enum):
+    """The comparison functions available to generated filters."""
+
+    LT = "<"
+    GT = ">"
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+    NE = "!="
+    STARTS_WITH = "startswith"
+    ENDS_WITH = "endswith"
+    CONTAINS = "contains"
+
+    @property
+    def is_string_function(self) -> bool:
+        """Whether the function applies only to string fields."""
+        return self in (
+            FilterFunction.STARTS_WITH,
+            FilterFunction.ENDS_WITH,
+            FilterFunction.CONTAINS,
+        )
+
+    def applies_to(self, dtype: DataType) -> bool:
+        """Whether this function is valid on a field of the given type."""
+        if self.is_string_function:
+            return dtype is DataType.STRING
+        if self in (FilterFunction.EQ, FilterFunction.NE):
+            return True
+        return dtype.is_numeric
+
+
+_NUMERIC_OPS = {
+    FilterFunction.LT: lambda value, literal: value < literal,
+    FilterFunction.GT: lambda value, literal: value > literal,
+    FilterFunction.LE: lambda value, literal: value <= literal,
+    FilterFunction.GE: lambda value, literal: value >= literal,
+    FilterFunction.EQ: lambda value, literal: value == literal,
+    FilterFunction.NE: lambda value, literal: value != literal,
+}
+
+_STRING_OPS = {
+    FilterFunction.STARTS_WITH: lambda value, literal: value.startswith(
+        literal
+    ),
+    FilterFunction.ENDS_WITH: lambda value, literal: value.endswith(literal),
+    FilterFunction.CONTAINS: lambda value, literal: literal in value,
+}
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """``field[field_index] <function> literal`` over tuple values.
+
+    ``selectivity_hint`` records the selectivity the workload generator
+    targeted when drawing the literal (see :mod:`repro.workload.selectivity`);
+    the cost models use it as an operator feature, exactly as the paper feeds
+    operator selectivities into its learned models.
+    """
+
+    field_index: int
+    function: FilterFunction
+    literal: Any
+    selectivity_hint: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.field_index < 0:
+            raise ConfigurationError("field_index must be non-negative")
+        if not 0.0 <= self.selectivity_hint <= 1.0:
+            raise ConfigurationError(
+                f"selectivity_hint must be in [0, 1], "
+                f"got {self.selectivity_hint}"
+            )
+        if self.function.is_string_function and not isinstance(
+            self.literal, str
+        ):
+            raise ConfigurationError(
+                f"{self.function.value} needs a string literal, "
+                f"got {type(self.literal).__name__}"
+            )
+
+    def evaluate(self, tup: StreamTuple) -> bool:
+        """Evaluate the predicate against one tuple's values."""
+        value = tup.values[self.field_index]
+        if self.function.is_string_function:
+            return _STRING_OPS[self.function](value, self.literal)
+        return _NUMERIC_OPS[self.function](value, self.literal)
+
+    def __call__(self, tup: StreamTuple) -> bool:
+        return self.evaluate(tup)
+
+    def describe(self) -> str:
+        """Human-readable form, e.g. ``f2 < 0.37``."""
+        return f"f{self.field_index} {self.function.value} {self.literal!r}"

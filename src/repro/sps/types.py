@@ -1,0 +1,114 @@
+"""Tuple schemas.
+
+The paper's workload generator varies tuple width (1-15 data items) and the
+data type of each item (string, integer, double); a :class:`Schema` captures
+one such choice and knows how to estimate the wire size of its tuples, which
+the network model charges for cross-node transfers.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+__all__ = ["DataType", "Field", "Schema"]
+
+
+class DataType(enum.Enum):
+    """Data item types supported by the workload generator (Table 3)."""
+
+    INT = "int"
+    DOUBLE = "double"
+    STRING = "string"
+
+    @property
+    def wire_size(self) -> int:
+        """Estimated serialized size in bytes of one value."""
+        if self is DataType.STRING:
+            return 24  # length header + typical short string payload
+        return 8
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether order comparisons (<, >) are meaningful natively."""
+        return self is not DataType.STRING
+
+
+@dataclass(frozen=True)
+class Field:
+    """One named, typed data item of a tuple."""
+
+    name: str
+    dtype: DataType
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("field name must be non-empty")
+
+
+class Schema:
+    """An ordered set of fields describing every tuple of a stream."""
+
+    def __init__(self, fields: Sequence[Field]) -> None:
+        if not fields:
+            raise ConfigurationError("a schema needs at least one field")
+        names = [field.name for field in fields]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate field names in {names}")
+        self._fields = tuple(fields)
+        self._index = {field.name: i for i, field in enumerate(self._fields)}
+
+    @property
+    def fields(self) -> tuple[Field, ...]:
+        """The fields in tuple order."""
+        return self._fields
+
+    @property
+    def width(self) -> int:
+        """Tuple width: number of data items per tuple."""
+        return len(self._fields)
+
+    def index_of(self, name: str) -> int:
+        """Position of a field by name."""
+        try:
+            return self._index[name]
+        except KeyError:
+            known = ", ".join(self._index)
+            raise ConfigurationError(
+                f"unknown field {name!r}; schema has: {known}"
+            ) from None
+
+    def field(self, name: str) -> Field:
+        """Look up a field by name."""
+        return self._fields[self.index_of(name)]
+
+    def tuple_size_bytes(self) -> int:
+        """Estimated serialized tuple size (values + per-tuple header)."""
+        header = 16  # timestamp + key header
+        return header + sum(f.dtype.wire_size for f in self._fields)
+
+    def fields_of_type(self, dtype: DataType) -> list[Field]:
+        """All fields with the given type, in order."""
+        return [field for field in self._fields if field.dtype is dtype]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._fields == other._fields
+
+    def __hash__(self) -> int:
+        return hash(self._fields)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{f.name}:{f.dtype.value}" for f in self._fields)
+        return f"Schema({inner})"
+
+
+def uniform_schema(width: int, dtype: DataType, prefix: str = "f") -> Schema:
+    """Build a schema of ``width`` identically-typed fields."""
+    if width <= 0:
+        raise ConfigurationError("schema width must be positive")
+    return Schema([Field(f"{prefix}{i}", dtype) for i in range(width)])

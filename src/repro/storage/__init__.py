@@ -1,0 +1,10 @@
+"""Embedded document store — the MongoDB stand-in.
+
+The paper stores generated workloads and their measured metrics in MongoDB
+for later ML training; this package provides the same insert/find surface
+as an embedded, optionally persistent (JSON-lines) store.
+"""
+
+from repro.storage.docstore import Collection, DocumentStore
+
+__all__ = ["DocumentStore", "Collection"]

@@ -1,0 +1,66 @@
+"""Workload generator: the core component of PDSP-Bench (paper Section 3).
+
+Generates *data streams* (synthetic tuple distributions and arrival
+processes) and *parallel query plans* (synthetic structures from single
+filters to 5-way joins), enumerating over the parameter ranges of Table 3,
+with selectivity-aware filter literal generation and six parallelism
+enumeration strategies.
+"""
+
+from repro.workload.datagen import FieldSpec, StreamSpec, random_stream_spec
+from repro.workload.distributions import (
+    GaussianDouble,
+    StringVocabulary,
+    UniformDouble,
+    UniformInt,
+    ValueDistribution,
+    ZipfInt,
+)
+from repro.workload.enumeration import (
+    EnumerationStrategy,
+    ExhaustiveEnumeration,
+    IncreasingEnumeration,
+    MinAvgMaxEnumeration,
+    ParameterBasedEnumeration,
+    RandomEnumeration,
+    RuleBasedEnumeration,
+    strategy_by_name,
+)
+from repro.workload.generator import GeneratedQuery, WorkloadGenerator
+from repro.workload.parameter_space import (
+    PARALLELISM_CATEGORIES,
+    ParameterSpace,
+)
+from repro.workload.querygen import QueryStructure, build_structure
+from repro.workload.selectivity import (
+    draw_predicate,
+    estimate_selectivity,
+)
+
+__all__ = [
+    "ValueDistribution",
+    "UniformInt",
+    "UniformDouble",
+    "GaussianDouble",
+    "ZipfInt",
+    "StringVocabulary",
+    "FieldSpec",
+    "StreamSpec",
+    "random_stream_spec",
+    "estimate_selectivity",
+    "draw_predicate",
+    "QueryStructure",
+    "build_structure",
+    "ParameterSpace",
+    "PARALLELISM_CATEGORIES",
+    "EnumerationStrategy",
+    "RandomEnumeration",
+    "RuleBasedEnumeration",
+    "ExhaustiveEnumeration",
+    "MinAvgMaxEnumeration",
+    "IncreasingEnumeration",
+    "ParameterBasedEnumeration",
+    "strategy_by_name",
+    "WorkloadGenerator",
+    "GeneratedQuery",
+]

@@ -1,0 +1,265 @@
+"""Parallelism enumeration strategies (paper Section 3.1).
+
+Random parallelism degrees produce noisy or wasteful PQPs (the paper's
+example: one filter instance feeding many join instances), so PDSP-Bench
+offers six strategies; the choice matters both for benchmarking coverage and
+for ML training efficiency (Exp 3(2) shows rule-based enumeration trains a
+GNN with ~3x less time than random).
+
+- **Random** — degrees uniform over the allowed set, up to the cores
+  available;
+- **Rule-based** — the Kalavri et al. "three steps" heuristic: instances
+  proportional to each operator's input rate x service time, respecting
+  upstream selectivities and core counts;
+- **Exhaustive** — every combination of candidate degrees;
+- **MinAvgMax** — cycles minimum, average, maximum uniform degrees;
+- **Increasing** — steps the uniform degree up through the allowed list;
+- **Parameter-based** — exactly the degrees the user asked for.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.common.errors import ConfigurationError
+from repro.sps.logical import LogicalPlan, OperatorKind
+from repro.workload.parameter_space import ParameterSpace
+
+__all__ = [
+    "EnumerationStrategy",
+    "RandomEnumeration",
+    "RuleBasedEnumeration",
+    "ExhaustiveEnumeration",
+    "MinAvgMaxEnumeration",
+    "IncreasingEnumeration",
+    "ParameterBasedEnumeration",
+    "strategy_by_name",
+]
+
+
+class EnumerationStrategy:
+    """Base class: yields per-operator parallelism assignments."""
+
+    name = "abstract"
+
+    def __init__(self, space: ParameterSpace | None = None) -> None:
+        self.space = space or ParameterSpace()
+
+    def assignments(
+        self,
+        plan: LogicalPlan,
+        cluster: Cluster,
+        rng: np.random.Generator,
+    ) -> Iterator[dict[str, int]]:
+        """Yield assignments ``{op_id: degree}``; sinks stay at 1."""
+        raise NotImplementedError
+
+    def max_degree(self, cluster: Cluster) -> int:
+        """Upper bound on degrees: cores available, capped at the space."""
+        return min(max(self.space.parallelism_degrees), cluster.total_cores)
+
+    def _scalable_ops(self, plan: LogicalPlan) -> list[str]:
+        return [
+            op.op_id
+            for op in plan.operators_in_order()
+            if op.kind is not OperatorKind.SINK
+        ]
+
+    def _allowed_degrees(self, cluster: Cluster) -> list[int]:
+        cap = self.max_degree(cluster)
+        return [d for d in self.space.parallelism_degrees if d <= cap] or [1]
+
+
+class RandomEnumeration(EnumerationStrategy):
+    """Uniformly random degree per operator, for coverage of corner cases."""
+
+    name = "random"
+
+    def assignments(self, plan, cluster, rng) -> Iterator[dict[str, int]]:
+        allowed = self._allowed_degrees(cluster)
+        ops = self._scalable_ops(plan)
+        while True:
+            yield {
+                op_id: int(allowed[int(rng.integers(len(allowed)))])
+                for op_id in ops
+            }
+
+
+class RuleBasedEnumeration(EnumerationStrategy):
+    """Workload-aware degrees (Kalavri-style three-step heuristic).
+
+    For each operator in topological order: its steady-state input rate
+    follows from source rates and upstream selectivities; the cores needed
+    are ``rate x service time / target utilization``; the degree is that
+    requirement rounded up, jittered by ``exploration`` to generate several
+    distinct-but-sane plans per query, and capped by the cluster.
+    """
+
+    name = "rule-based"
+
+    def __init__(
+        self,
+        space: ParameterSpace | None = None,
+        target_utilization: float = 0.6,
+        exploration: float = 0.35,
+    ) -> None:
+        super().__init__(space)
+        if not 0.0 < target_utilization <= 1.0:
+            raise ConfigurationError("target_utilization must be in (0, 1]")
+        if exploration < 0:
+            raise ConfigurationError("exploration must be non-negative")
+        self.target_utilization = target_utilization
+        self.exploration = exploration
+
+    def required_degrees(
+        self, plan: LogicalPlan, cluster: Cluster
+    ) -> dict[str, int]:
+        """The deterministic core of the heuristic (before jitter)."""
+        avg_speed = float(
+            np.mean([node.speed_factor for node in cluster.nodes])
+        )
+        cap = self.max_degree(cluster)
+        output_rate: dict[str, float] = {}
+        degrees: dict[str, int] = {}
+        for op in plan.operators_in_order():
+            if op.kind is OperatorKind.SOURCE:
+                rate_in = float(op.metadata.get("event_rate", 1000.0))
+            else:
+                rate_in = sum(
+                    output_rate[e.src] for e in plan.in_edges(op.op_id)
+                )
+            output_rate[op.op_id] = rate_in * op.selectivity
+            if op.kind is OperatorKind.SINK:
+                degrees[op.op_id] = 1
+                continue
+            service = op.cost.base_cpu_s / avg_speed
+            cores_needed = rate_in * service / self.target_utilization
+            degrees[op.op_id] = int(
+                min(max(math.ceil(cores_needed), 1), cap)
+            )
+        return degrees
+
+    def assignments(self, plan, cluster, rng) -> Iterator[dict[str, int]]:
+        base = self.required_degrees(plan, cluster)
+        cap = self.max_degree(cluster)
+        while True:
+            jittered = {}
+            for op_id, degree in base.items():
+                if plan.operator(op_id).kind is OperatorKind.SINK:
+                    jittered[op_id] = 1
+                    continue
+                factor = float(
+                    rng.uniform(1.0 - self.exploration,
+                                1.0 + self.exploration)
+                )
+                jittered[op_id] = int(
+                    min(max(round(degree * factor), 1), cap)
+                )
+            yield jittered
+
+
+class ExhaustiveEnumeration(EnumerationStrategy):
+    """Every combination of candidate degrees (bounded by the caller)."""
+
+    name = "exhaustive"
+
+    def __init__(
+        self,
+        space: ParameterSpace | None = None,
+        candidate_degrees: tuple[int, ...] | None = None,
+    ) -> None:
+        super().__init__(space)
+        self.candidate_degrees = candidate_degrees
+
+    def assignments(self, plan, cluster, rng) -> Iterator[dict[str, int]]:
+        candidates = list(
+            self.candidate_degrees or self._allowed_degrees(cluster)
+        )
+        ops = self._scalable_ops(plan)
+        for combo in itertools.product(candidates, repeat=len(ops)):
+            yield dict(zip(ops, combo))
+
+
+class MinAvgMaxEnumeration(EnumerationStrategy):
+    """Cycles minimum, average and maximum uniform degrees."""
+
+    name = "min-avg-max"
+
+    def assignments(self, plan, cluster, rng) -> Iterator[dict[str, int]]:
+        allowed = self._allowed_degrees(cluster)
+        ops = self._scalable_ops(plan)
+        minimum = allowed[0]
+        maximum = allowed[-1]
+        average = allowed[len(allowed) // 2]
+        for degree in itertools.cycle((minimum, average, maximum)):
+            yield {op_id: degree for op_id in ops}
+
+
+class IncreasingEnumeration(EnumerationStrategy):
+    """Steps the uniform degree up through the allowed list, then repeats."""
+
+    name = "increasing"
+
+    def assignments(self, plan, cluster, rng) -> Iterator[dict[str, int]]:
+        allowed = self._allowed_degrees(cluster)
+        ops = self._scalable_ops(plan)
+        for degree in itertools.cycle(allowed):
+            yield {op_id: degree for op_id in ops}
+
+
+class ParameterBasedEnumeration(EnumerationStrategy):
+    """Exactly the degrees the user configured (rapid targeted testing)."""
+
+    name = "parameter-based"
+
+    def __init__(
+        self,
+        degrees: int | dict[str, int],
+        space: ParameterSpace | None = None,
+    ) -> None:
+        super().__init__(space)
+        self.degrees = degrees
+
+    def assignments(self, plan, cluster, rng) -> Iterator[dict[str, int]]:
+        ops = self._scalable_ops(plan)
+        if isinstance(self.degrees, dict):
+            missing = [op for op in ops if op not in self.degrees]
+            if missing:
+                raise ConfigurationError(
+                    f"parameter-based degrees missing operators: {missing}"
+                )
+            assignment = {op: int(self.degrees[op]) for op in ops}
+        else:
+            assignment = {op: int(self.degrees) for op in ops}
+        while True:
+            yield dict(assignment)
+
+
+_STRATEGIES = {
+    cls.name: cls
+    for cls in (
+        RandomEnumeration,
+        RuleBasedEnumeration,
+        ExhaustiveEnumeration,
+        MinAvgMaxEnumeration,
+        IncreasingEnumeration,
+    )
+}
+
+
+def strategy_by_name(name: str, **kwargs) -> EnumerationStrategy:
+    """Construct a strategy by its paper name (parameter-based needs args)."""
+    if name == ParameterBasedEnumeration.name:
+        return ParameterBasedEnumeration(**kwargs)
+    try:
+        return _STRATEGIES[name](**kwargs)
+    except KeyError:
+        known = ", ".join(sorted(_STRATEGIES) + ["parameter-based"])
+        raise ConfigurationError(
+            f"unknown enumeration strategy {name!r}; known: {known}"
+        ) from None

@@ -1,0 +1,108 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import homogeneous_cluster
+from repro.common.rng import RngFactory
+from repro.core.runner import RunnerConfig
+from repro.sps import builders
+from repro.sps.engine import SimulationConfig
+from repro.sps.logical import LogicalPlan
+from repro.sps.predicates import FilterFunction, Predicate
+from repro.sps.tuples import StreamTuple
+from repro.sps.types import DataType, Field, Schema
+from repro.sps.windows import AggregateFunction, TumblingTimeWindows
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for test randomness."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def rngs() -> RngFactory:
+    """A deterministic RNG factory."""
+    return RngFactory(1234)
+
+
+@pytest.fixture
+def small_cluster():
+    """A 4-node m510 cluster — fast to simulate."""
+    return homogeneous_cluster("m510", num_nodes=4)
+
+
+@pytest.fixture
+def kv_schema() -> Schema:
+    """(int key, double value) schema used across engine tests."""
+    return Schema([Field("k", DataType.INT), Field("v", DataType.DOUBLE)])
+
+
+def kv_generator(num_keys: int = 10):
+    """A (rng, now) -> StreamTuple generator over the kv schema."""
+
+    def generate(gen_rng: np.random.Generator, now: float) -> StreamTuple:
+        return StreamTuple(
+            values=(int(gen_rng.integers(num_keys)),
+                    float(gen_rng.random())),
+            event_time=now,
+            size_bytes=24.0,
+        )
+
+    return generate
+
+
+@pytest.fixture
+def simple_plan(kv_schema) -> LogicalPlan:
+    """source -> filter -> windowed sum -> sink, all at parallelism 2."""
+    plan = LogicalPlan("test-plan")
+    plan.add_operator(
+        builders.source(
+            "src", kv_generator(), kv_schema, event_rate=2000.0,
+            parallelism=2,
+        )
+    )
+    plan.add_operator(
+        builders.filter_op(
+            "flt",
+            Predicate(1, FilterFunction.GT, 0.5, selectivity_hint=0.5),
+            parallelism=2,
+        )
+    )
+    plan.add_operator(
+        builders.window_agg(
+            "agg",
+            TumblingTimeWindows(0.1),
+            AggregateFunction.SUM,
+            value_field=1,
+            key_field=0,
+            parallelism=2,
+        )
+    )
+    plan.add_operator(builders.sink("sink"))
+    plan.connect("src", "flt")
+    plan.connect("flt", "agg")
+    plan.connect("agg", "sink")
+    return plan
+
+
+@pytest.fixture
+def quick_sim_config() -> SimulationConfig:
+    """A small, fast simulation configuration."""
+    return SimulationConfig(
+        max_tuples_per_source=800, max_sim_time=2.0, warmup_fraction=0.1
+    )
+
+
+@pytest.fixture
+def quick_runner_config() -> RunnerConfig:
+    """A fast runner profile for integration tests."""
+    return RunnerConfig(
+        repeats=1,
+        dilation=20.0,
+        max_tuples_per_source=1500,
+        max_sim_time=2.5,
+    )

@@ -1,0 +1,274 @@
+"""Tests for the application suite (Table 2): registry + every dataflow."""
+
+import numpy as np
+import pytest
+
+from repro.apps import APP_INFOS, REGISTRY, app_info, build_app
+from repro.apps.base import AppInfo, DataIntensity
+from repro.cluster import homogeneous_cluster
+from repro.common.errors import ConfigurationError
+from repro.common.rng import RngFactory
+from repro.sps.engine import SimulationConfig, StreamEngine
+from repro.sps.logical import OperatorKind
+
+
+class TestRegistry:
+    def test_fourteen_real_world_apps(self):
+        """Table 1 claims 14 real-world applications."""
+        assert len(REGISTRY) == 14
+        assert len(APP_INFOS) == 14
+
+    def test_expected_abbreviations(self):
+        expected = {
+            "WC", "MO", "LR", "SA", "SG", "SD", "TPCH", "AD", "CA",
+            "TM", "LP", "TQ", "FD", "BI",
+        }
+        assert set(REGISTRY) == expected
+
+    def test_paper_intensity_grouping(self):
+        """The paper groups SA/SG/SD as data-intensive, WC/LR as not."""
+        for abbrev in ("SA", "SG", "SD", "FD"):
+            assert APP_INFOS[abbrev].data_intensity == DataIntensity.HIGH
+        for abbrev in ("WC", "LR", "TPCH", "LP"):
+            assert APP_INFOS[abbrev].data_intensity == DataIntensity.LOW
+
+    def test_udo_flags(self):
+        assert not APP_INFOS["WC"].uses_udo
+        assert not APP_INFOS["TPCH"].uses_udo
+        assert APP_INFOS["AD"].uses_udo
+        assert APP_INFOS["SG"].uses_udo
+
+    def test_unknown_app(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            build_app("XX")
+        with pytest.raises(ConfigurationError):
+            app_info("XX")
+
+    def test_info_validation(self):
+        with pytest.raises(ConfigurationError):
+            AppInfo("X", "x", "area", "desc", False, "extreme")
+
+
+class TestEveryAppBuildsAndRuns:
+    @pytest.mark.parametrize("abbrev", sorted(REGISTRY))
+    def test_plan_is_valid(self, abbrev):
+        query = build_app(abbrev, event_rate=1000.0)
+        query.plan.validate()
+        assert query.info.abbrev == abbrev
+        assert query.plan.sources()
+        assert query.plan.sinks()
+
+    @pytest.mark.parametrize("abbrev", sorted(REGISTRY))
+    def test_produces_results_in_engine(self, abbrev):
+        query = build_app(abbrev, event_rate=2000.0)
+        query.plan.set_uniform_parallelism(2)
+        # SD's per-sensor moving average needs >= 8 readings per sensor
+        # (500 sensors) before any spike can fire.
+        tuples = 8000 if abbrev == "SD" else 1200
+        engine = StreamEngine(
+            query.plan,
+            homogeneous_cluster(num_nodes=2),
+            config=SimulationConfig(
+                max_tuples_per_source=tuples,
+                max_sim_time=6.0,
+                warmup_fraction=0.0,
+            ),
+            rng_factory=RngFactory(7),
+        )
+        metrics = engine.run()
+        assert metrics.results > 0
+        assert metrics.latency.p50 > 0
+
+    @pytest.mark.parametrize("abbrev", sorted(REGISTRY))
+    def test_event_rate_propagates_to_sources(self, abbrev):
+        query = build_app(abbrev, event_rate=6000.0)
+        total = sum(
+            float(op.metadata["event_rate"])
+            for op in query.plan.sources()
+        )
+        assert total == pytest.approx(6000.0)
+
+    def test_udo_apps_have_udo_operators(self):
+        for abbrev, info in APP_INFOS.items():
+            kinds = {
+                op.kind
+                for op in build_app(abbrev, 100.0).plan.operators.values()
+            }
+            assert (OperatorKind.UDO in kinds) == info.uses_udo
+
+    def test_intensity_reflected_in_costs(self):
+        """HIGH-intensity apps must carry heavier per-tuple costs than
+
+        LOW-intensity ones — the paper's O1 grouping depends on it."""
+
+        def max_cost(abbrev):
+            return max(
+                op.cost.base_cpu_s
+                for op in build_app(abbrev, 100.0).plan.operators.values()
+            )
+
+        heavy = min(max_cost(a) for a in ("SA", "SG", "SD"))
+        light = max(max_cost(a) for a in ("WC", "LR", "TPCH", "LP"))
+        assert heavy > 5 * light
+
+
+class TestAppLogicCorrectness:
+    def test_wordcount_counts(self):
+        from repro.apps.wordcount import _tokenize
+
+        out = _tokenize(("stream data stream",))
+        assert out == [("stream", 1.0), ("data", 1.0), ("stream", 1.0)]
+
+    def test_sentiment_scores_sign(self):
+        from repro.apps.sentiment import SentimentLogic
+        from repro.sps.tuples import StreamTuple
+
+        logic = SentimentLogic()
+        positive = logic.process(
+            StreamTuple(values=(1, "good great love"), event_time=0.0),
+            0.0,
+        )[0]
+        negative = logic.process(
+            StreamTuple(values=(1, "bad awful hate"), event_time=0.0),
+            0.0,
+        )[0]
+        assert positive.values[1] > 0 > negative.values[1]
+
+    def test_sentiment_negation_flips(self):
+        from repro.apps.sentiment import SentimentLogic
+        from repro.sps.tuples import StreamTuple
+
+        logic = SentimentLogic()
+        flipped = logic.process(
+            StreamTuple(values=(1, "not good"), event_time=0.0), 0.0
+        )[0]
+        assert flipped.values[1] < 0
+
+    def test_spike_detector_flags_spike(self):
+        from repro.apps.spike_detection import SpikeLogic
+        from repro.sps.tuples import StreamTuple
+
+        logic = SpikeLogic(window=16, threshold=1.5)
+        out = []
+        for value in [10.0] * 10 + [30.0]:
+            out = logic.process(
+                StreamTuple(values=(1, value), event_time=0.0), 0.0
+            )
+        assert len(out) == 1
+        sensor, value, average = out[0].values
+        assert value == 30.0
+        assert average < 15.0
+
+    def test_smart_grid_sliding_median(self):
+        from repro.apps.smart_grid import _SlidingMedian
+
+        median = _SlidingMedian(capacity=3)
+        for value in (1.0, 100.0, 2.0):
+            median.add(value)
+        assert median.median() == 2.0
+        median.add(3.0)  # evicts 1.0 -> window [100, 2, 3]
+        assert median.median() == 3.0
+
+    def test_fraud_markov_scores_random_jumps_higher(self):
+        from repro.apps.fraud_detection import MarkovScoreLogic
+        from repro.sps.tuples import StreamTuple
+
+        logic = MarkovScoreLogic(history=4)
+
+        def feed(account, states):
+            last = []
+            for state in states:
+                last = logic.process(
+                    StreamTuple(
+                        values=(account, state, 10.0), event_time=0.0
+                    ),
+                    0.0,
+                )
+            return last[0].values[1] if last else None
+
+        normal = feed(1, [1, 1, 2, 1, 1, 2, 1])
+        jumpy = feed(2, [1, 7, 3, 11, 0, 9, 5])
+        assert jumpy > normal
+
+    def test_linear_road_toll_formula(self):
+        from repro.apps.linear_road import TollLogic
+        from repro.sps.tuples import StreamTuple
+
+        logic = TollLogic()
+        fast = logic.process(
+            StreamTuple(values=(7, 25.0), event_time=0.0), 0.0
+        )
+        assert fast == []
+        congested = logic.process(
+            StreamTuple(values=(7, 10.0), event_time=0.0), 0.0
+        )[0]
+        assert congested.values == (7, pytest.approx(2.0))
+
+    def test_click_analytics_sessions(self):
+        from repro.apps.click_analytics import SessionizerLogic
+        from repro.sps.tuples import StreamTuple
+
+        logic = SessionizerLogic(session_gap_s=1.0)
+        first = logic.process(
+            StreamTuple(values=(5, 2, 10), event_time=0.0), now=0.0
+        )[0]
+        assert first.values == (2, 1.0, 0.0)  # first session, not repeat
+        second = logic.process(
+            StreamTuple(values=(5, 2, 11), event_time=0.1), now=0.1
+        )[0]
+        assert second.values[1] == 2.0  # same session, second click
+        returned = logic.process(
+            StreamTuple(values=(5, 2, 12), event_time=5.0), now=5.0
+        )[0]
+        assert returned.values == (2, 1.0, 1.0)  # new session, repeat
+
+    def test_bargain_index_emits_only_bargains(self):
+        from repro.apps.bargain_index import BargainLogic
+        from repro.sps.tuples import StreamTuple
+
+        logic = BargainLogic()
+        expensive = logic.process(
+            StreamTuple(
+                values=(1, 50.0, 1, 55.0, 100.0), event_time=0.0
+            ),
+            0.0,
+        )
+        assert expensive == []
+        bargain = logic.process(
+            StreamTuple(
+                values=(1, 50.0, 1, 45.0, 100.0), event_time=0.0
+            ),
+            0.0,
+        )[0]
+        assert bargain.values == (1, pytest.approx(500.0))
+
+    def test_trending_topics_topk(self):
+        from repro.apps.trending_topics import TopKLogic
+        from repro.sps.tuples import StreamTuple
+
+        logic = TopKLogic(k=2)
+        outputs = []
+        for tag, count in [("#a", 5.0), ("#b", 3.0), ("#c", 10.0)]:
+            outputs.extend(
+                logic.process(
+                    StreamTuple(values=(tag, count), event_time=0.0), 0.0
+                )
+            )
+        # #c enters top-2 with rank 0
+        assert any(o.values[0] == "#c" and o.values[2] == 0.0
+                   for o in outputs)
+
+    def test_machine_outlier_zscore_spikes(self):
+        from repro.apps.machine_outlier import ZScoreLogic
+        from repro.sps.tuples import StreamTuple
+
+        logic = ZScoreLogic(decay=0.1)
+        z = 0.0
+        for _ in range(50):
+            z = logic.process(
+                StreamTuple(values=(1, 0.5, 0.5), event_time=0.0), 0.0
+            )[0].values[2]
+        spike_z = logic.process(
+            StreamTuple(values=(1, 0.95, 0.5), event_time=0.0), 0.0
+        )[0].values[2]
+        assert spike_z > 2.0 > z

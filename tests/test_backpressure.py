@@ -1,0 +1,95 @@
+"""Tests for backpressure (bounded queues with source throttling)."""
+
+import pytest
+
+from repro.cluster import homogeneous_cluster
+from repro.common.errors import ConfigurationError
+from repro.common.rng import RngFactory
+from repro.sps import builders
+from repro.sps.engine import SimulationConfig, StreamEngine
+from repro.sps.logical import LogicalPlan
+from repro.sps.operators.udo import FunctionUDO
+from repro.sps.types import DataType, Field, Schema
+from tests.conftest import kv_generator
+
+SCHEMA = Schema([Field("k", DataType.INT), Field("v", DataType.DOUBLE)])
+
+
+def overloaded_plan(rate=20_000.0):
+    """A single slow operator fed far beyond its capacity."""
+    plan = LogicalPlan("overloaded")
+    plan.add_operator(
+        builders.source("src", kv_generator(), SCHEMA, event_rate=rate)
+    )
+    plan.add_operator(
+        builders.udo(
+            "slow",
+            lambda: FunctionUDO(lambda state, t, now: [t]),
+            cost_scale=10.0,  # 400us/tuple: ~2.5k/s capacity
+        )
+    )
+    plan.add_operator(builders.sink("sink"))
+    plan.connect("src", "slow")
+    plan.connect("slow", "sink")
+    return plan
+
+
+def run(limit, tuples=3000, rate=20_000.0, seed=4):
+    engine = StreamEngine(
+        overloaded_plan(rate),
+        homogeneous_cluster(num_nodes=2),
+        config=SimulationConfig(
+            max_tuples_per_source=tuples,
+            max_sim_time=3.0,
+            warmup_fraction=0.0,
+            backpressure_queue_limit=limit,
+        ),
+        rng_factory=RngFactory(seed),
+    )
+    return engine.run()
+
+
+class TestBackpressure:
+    def test_queues_bounded(self):
+        unbounded = run(limit=None)
+        bounded = run(limit=64)
+        assert unbounded.operator_queue_peak["slow"] > 200
+        # Small overshoot allowed: deliveries in flight when the limit
+        # trips still land.
+        assert bounded.operator_queue_peak["slow"] < 64 + 32
+
+    def test_latency_bounded_under_overload(self):
+        unbounded = run(limit=None)
+        bounded = run(limit=64)
+        assert bounded.latency.p50 < unbounded.latency.p50 / 3
+
+    def test_overload_shows_as_reduced_throughput(self):
+        # A budget the throttled source cannot finish within the horizon
+        # (capacity ~2.5k/s x 3s << 12000 tuples).
+        bounded = run(limit=64, tuples=12_000)
+        assert bounded.extras["throttled_arrivals"] > 0
+        assert bounded.source_events < 12_000
+
+    def test_no_throttling_when_unloaded(self):
+        engine = StreamEngine(
+            overloaded_plan(rate=500.0),  # well under capacity
+            homogeneous_cluster(num_nodes=2),
+            config=SimulationConfig(
+                max_tuples_per_source=500,
+                max_sim_time=4.0,
+                warmup_fraction=0.0,
+                backpressure_queue_limit=64,
+            ),
+            rng_factory=RngFactory(4),
+        )
+        metrics = engine.run()
+        assert metrics.extras["throttled_arrivals"] == 0
+        assert metrics.source_events == 500
+
+    def test_results_still_flow_under_backpressure(self):
+        bounded = run(limit=32)
+        assert bounded.results > 100
+
+    def test_limit_validation(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(backpressure_queue_limit=1)

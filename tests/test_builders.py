@@ -1,0 +1,173 @@
+"""Direct tests for the plan-construction helpers."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.sps import builders
+from repro.sps.costs import OperatorCost, default_cost
+from repro.sps.logical import OperatorKind
+from repro.sps.operators.aggregate import WindowAggregateLogic
+from repro.sps.operators.event_aggregate import (
+    EventTimeWindowAggregateLogic,
+)
+from repro.sps.operators.filter_op import FilterLogic
+from repro.sps.operators.join import WindowJoinLogic
+from repro.sps.operators.sink import SinkLogic
+from repro.sps.predicates import FilterFunction, Predicate
+from repro.sps.types import DataType, Field, Schema
+from repro.sps.windows import (
+    AggregateFunction,
+    TumblingCountWindows,
+    TumblingTimeWindows,
+)
+from tests.conftest import kv_generator
+
+SCHEMA = Schema([Field("k", DataType.INT), Field("v", DataType.DOUBLE)])
+
+
+class TestSourceBuilder:
+    def test_metadata(self):
+        op = builders.source(
+            "s", kv_generator(), SCHEMA, event_rate=1234.0,
+            arrival="constant",
+        )
+        assert op.kind is OperatorKind.SOURCE
+        assert op.metadata["event_rate"] == 1234.0
+        assert op.metadata["arrival"] == "constant"
+        assert op.output_schema is SCHEMA
+
+    def test_rejects_zero_rate(self):
+        with pytest.raises(ConfigurationError):
+            builders.source("s", kv_generator(), SCHEMA, event_rate=0.0)
+
+    def test_fresh_logic_per_call(self):
+        op = builders.source("s", kv_generator(), SCHEMA, 10.0)
+        assert op.logic_factory() is not op.logic_factory()
+
+
+class TestFilterBuilder:
+    def test_selectivity_from_hint(self):
+        predicate = Predicate(
+            0, FilterFunction.GT, 5, selectivity_hint=0.3
+        )
+        op = builders.filter_op("f", predicate)
+        assert op.selectivity == pytest.approx(0.3)
+        assert isinstance(op.logic_factory(), FilterLogic)
+        assert "f0 > 5" in op.metadata["predicate"]
+
+
+class TestAggBuilders:
+    def test_count_window_default_selectivity(self):
+        op = builders.window_agg(
+            "a",
+            TumblingCountWindows(50),
+            AggregateFunction.SUM,
+            value_field=1,
+        )
+        assert op.selectivity == pytest.approx(1.0 / 50)
+        assert isinstance(op.logic_factory(), WindowAggregateLogic)
+
+    def test_time_window_keeps_window_feature(self):
+        assigner = TumblingTimeWindows(0.25)
+        op = builders.window_agg(
+            "a", assigner, AggregateFunction.AVG, value_field=1,
+            key_field=0,
+        )
+        assert op.window is assigner
+        assert op.metadata["key_field"] == 0
+
+    def test_event_window_agg_builder(self):
+        op = builders.event_window_agg(
+            "a",
+            TumblingTimeWindows(0.25),
+            AggregateFunction.SUM,
+            value_field=1,
+            key_field=0,
+            max_out_of_orderness=0.02,
+        )
+        logic = op.logic_factory()
+        assert isinstance(logic, EventTimeWindowAggregateLogic)
+        assert logic.max_out_of_orderness == pytest.approx(0.02)
+        assert op.metadata["time_semantics"] == "event"
+        assert op.kind is OperatorKind.WINDOW_AGG
+
+
+class TestJoinAndUdoBuilders:
+    def test_join_key_fields_metadata(self):
+        op = builders.window_join(
+            "j",
+            TumblingTimeWindows(0.5),
+            left_key_field=0,
+            right_key_field=2,
+        )
+        assert op.metadata["key_fields"] == (0, 2)
+        assert isinstance(op.logic_factory(), WindowJoinLogic)
+
+    def test_udo_cost_scale(self):
+        from repro.sps.operators.udo import FunctionUDO
+
+        base = default_cost(OperatorKind.UDO).base_cpu_s
+        op = builders.udo(
+            "u",
+            lambda: FunctionUDO(lambda s, t, n: [t]),
+            cost_scale=3.0,
+        )
+        assert op.cost.base_cpu_s == pytest.approx(3.0 * base)
+        assert op.cost.is_udo
+
+    def test_udo_explicit_cost_wins(self):
+        from repro.sps.operators.udo import FunctionUDO
+
+        custom = OperatorCost(
+            base_cpu_s=1e-3, coord_kappa=0.1, stateful=True, is_udo=True
+        )
+        op = builders.udo(
+            "u",
+            lambda: FunctionUDO(lambda s, t, n: [t]),
+            cost_scale=99.0,  # must be ignored
+            cost=custom,
+        )
+        assert op.cost is custom
+
+
+class TestSinkBuilder:
+    def test_keep_values_propagates(self):
+        op = builders.sink(keep_values=True)
+        logic = op.logic_factory()
+        assert isinstance(logic, SinkLogic)
+        assert logic.keep_values
+
+
+class TestCostProfiles:
+    def test_defaults_ordering(self):
+        """Cost calibration: join > window agg > flatMap > filter."""
+        filter_cost = default_cost(OperatorKind.FILTER).base_cpu_s
+        flatmap_cost = default_cost(OperatorKind.FLATMAP).base_cpu_s
+        agg_cost = default_cost(OperatorKind.WINDOW_AGG).base_cpu_s
+        join_cost = default_cost(OperatorKind.WINDOW_JOIN).base_cpu_s
+        assert filter_cost < flatmap_cost < agg_cost < join_cost
+
+    def test_stateful_ops_have_coordination(self):
+        for kind in (
+            OperatorKind.WINDOW_AGG,
+            OperatorKind.WINDOW_JOIN,
+            OperatorKind.UDO,
+        ):
+            assert default_cost(kind).coord_kappa > 0
+        for kind in (OperatorKind.FILTER, OperatorKind.MAP):
+            assert default_cost(kind).coord_kappa == 0
+
+    def test_coordination_factor(self):
+        cost = OperatorCost(base_cpu_s=1e-6, coord_kappa=0.01)
+        assert cost.coordination_factor(1) == 1.0
+        assert cost.coordination_factor(101) == pytest.approx(2.0)
+        with pytest.raises(ConfigurationError):
+            cost.coordination_factor(0)
+
+    def test_scaled(self):
+        cost = default_cost(OperatorKind.FILTER)
+        assert cost.scaled(2.0).base_cpu_s == pytest.approx(
+            2.0 * cost.base_cpu_s
+        )
+        with pytest.raises(ConfigurationError):
+            cost.scaled(0.0)

@@ -1,0 +1,217 @@
+"""Tests for operator chaining (task fusion)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import homogeneous_cluster
+from repro.common.rng import RngFactory
+from repro.sps import builders
+from repro.sps.chaining import ChainedLogic, compute_chains, fused_cost
+from repro.sps.engine import SimulationConfig, StreamEngine
+from repro.sps.logical import LogicalPlan
+from repro.sps.operators.base import OperatorContext
+from repro.sps.operators.filter_op import FilterLogic
+from repro.sps.operators.map_op import MapLogic
+from repro.sps.physical import PhysicalPlan
+from repro.sps.predicates import FilterFunction, Predicate
+from repro.sps.tuples import StreamTuple
+from repro.sps.types import DataType, Field, Schema
+from tests.conftest import kv_generator
+
+SCHEMA = Schema([Field("k", DataType.INT), Field("v", DataType.DOUBLE)])
+
+
+def chainable_plan(parallelism=2):
+    """source -> filter -> map -> filter -> sink, all forward-connected."""
+    plan = LogicalPlan("chainable")
+    plan.add_operator(
+        builders.source(
+            "src", kv_generator(), SCHEMA, event_rate=2000.0,
+            parallelism=parallelism,
+        )
+    )
+    plan.add_operator(
+        builders.filter_op(
+            "f1",
+            Predicate(1, FilterFunction.GT, 0.2, selectivity_hint=0.8),
+            parallelism=parallelism,
+        )
+    )
+    plan.add_operator(
+        builders.map_op(
+            "m1", lambda values: (values[0], values[1] * 2.0),
+            parallelism=parallelism,
+        )
+    )
+    plan.add_operator(
+        builders.filter_op(
+            "f2",
+            Predicate(1, FilterFunction.LT, 1.0, selectivity_hint=0.6),
+            parallelism=parallelism,
+        )
+    )
+    plan.add_operator(builders.sink("sink"))
+    plan.connect("src", "f1")
+    plan.connect("f1", "m1")
+    plan.connect("m1", "f2")
+    plan.connect("f2", "sink")
+    return plan
+
+
+class TestComputeChains:
+    def test_detects_maximal_chain(self):
+        chains = compute_chains(chainable_plan())
+        assert chains == {"f1": ["f1", "m1", "f2"]}
+
+    def test_parallelism_mismatch_breaks_chain(self):
+        plan = chainable_plan()
+        plan.set_parallelism({"m1": 4})  # forward edges downgraded
+        chains = compute_chains(plan)
+        assert "m1" not in chains.get("f1", ["f1"])
+
+    def test_stateful_ops_not_fused(self, simple_plan):
+        # simple_plan's agg is stateful (hash exchange): no chains form.
+        assert compute_chains(simple_plan) == {}
+
+    def test_fan_out_breaks_chain(self):
+        plan = chainable_plan()
+        # Add a second consumer of m1: m1 can no longer fuse f2.
+        plan.add_operator(builders.sink("sink2"))
+        plan.connect("m1", "sink2")
+        chains = compute_chains(plan)
+        assert chains == {"f1": ["f1", "m1"]}
+
+
+class TestFusedExecution:
+    def test_chained_physical_plan_has_fewer_subtasks(self):
+        plan = chainable_plan(parallelism=2)
+        unchained = PhysicalPlan.from_logical(plan)
+        chained = PhysicalPlan.from_logical(plan, chaining=True)
+        assert chained.num_subtasks == unchained.num_subtasks - 4
+        assert "m1" not in chained.op_subtasks
+        assert "f2" not in chained.op_subtasks
+
+    def test_downstream_edges_rewired_to_head(self):
+        plan = chainable_plan(parallelism=2)
+        chained = PhysicalPlan.from_logical(plan, chaining=True)
+        head_gid = chained.op_subtasks["f1"][0]
+        groups = chained.out_channels[head_gid]
+        assert len(groups) == 1
+        assert groups[0].edge.src == "f2"  # last member's out-edge
+        assert groups[0].edge.dst == "sink"
+
+    def test_fused_cost_sums(self):
+        plan = chainable_plan()
+        members = [plan.operator(op) for op in ("f1", "m1", "f2")]
+        cost = fused_cost(members)
+        assert cost.base_cpu_s == pytest.approx(
+            sum(op.cost.base_cpu_s for op in members)
+        )
+
+    def test_results_identical_with_and_without_chaining(self):
+        """Chaining is an execution optimization: the query's results
+
+        must not change."""
+
+        def run(chaining):
+            engine = StreamEngine(
+                chainable_plan(parallelism=2),
+                homogeneous_cluster(num_nodes=2),
+                config=SimulationConfig(
+                    max_tuples_per_source=800,
+                    max_sim_time=3.0,
+                    warmup_fraction=0.0,
+                ),
+                rng_factory=RngFactory(9),
+                chaining=chaining,
+            )
+            return engine.run()
+
+        plain = run(False)
+        fused = run(True)
+        assert fused.results == plain.results
+
+    def test_chaining_reduces_latency(self):
+        """Interior chain edges become function calls: the cross-node
+
+        hops (and their network latency) of the unchained pipeline
+        disappear. A 3-node cluster misaligns the round-robin placement
+        so the forward hops do cross nodes."""
+
+        def median(chaining):
+            engine = StreamEngine(
+                chainable_plan(parallelism=2),
+                homogeneous_cluster(num_nodes=3),
+                config=SimulationConfig(
+                    max_tuples_per_source=1500, max_sim_time=3.0
+                ),
+                rng_factory=RngFactory(9),
+                chaining=chaining,
+            )
+            return engine.run().latency.p50
+
+        assert median(True) < 0.7 * median(False)
+
+
+class TestChainedLogic:
+    def ctx(self):
+        return OperatorContext(
+            op_id="chain", subtask_index=0, parallelism=1,
+            rng=np.random.default_rng(0),
+        )
+
+    def _chain(self):
+        logic = ChainedLogic(
+            [
+                FilterLogic(Predicate(0, FilterFunction.GT, 10)),
+                MapLogic(lambda values: (values[0] * 2,)),
+            ]
+        )
+        logic.setup(self.ctx())
+        return logic
+
+    def test_pipeline_order(self):
+        logic = self._chain()
+        out = logic.process(
+            StreamTuple(values=(20,), event_time=0.0), 0.0
+        )
+        assert out[0].values == (40,)
+
+    def test_filter_short_circuits(self):
+        logic = self._chain()
+        assert logic.process(
+            StreamTuple(values=(5,), event_time=0.0), 0.0
+        ) == []
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            ChainedLogic([])
+
+    def test_flush_traverses_tail(self):
+        from repro.sps.operators.aggregate import WindowAggregateLogic
+        from repro.sps.windows import (
+            AggregateFunction,
+            TumblingTimeWindows,
+        )
+
+        # agg (stateful) followed by a doubling map: flush output of the
+        # agg must pass through the map. (Stateful heads are possible in
+        # ChainedLogic even though compute_chains never fuses them as
+        # tails.)
+        logic = ChainedLogic(
+            [
+                WindowAggregateLogic(
+                    TumblingTimeWindows(1.0),
+                    AggregateFunction.SUM,
+                    value_field=1,
+                    key_field=0,
+                ),
+                MapLogic(lambda values: (values[0], values[1] * 2.0)),
+            ]
+        )
+        logic.setup(self.ctx())
+        logic.process(
+            StreamTuple(values=("a", 3.0), event_time=0.1), now=0.1
+        )
+        out = logic.flush(now=0.5)
+        assert out[0].values == ("a", 6.0)

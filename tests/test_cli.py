@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST = [
+    "--nodes", "4", "--repeats", "1", "--tuples", "1200",
+    "--sim-time", "3.0", "--dilation", "25.0",
+]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fly"])
+
+    def test_run_app_defaults(self):
+        args = build_parser().parse_args(["run-app", "--app", "WC"])
+        assert args.parallelism == 8
+        assert args.rate == 100_000.0
+        assert args.cluster == "m510"
+
+    def test_structure_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run-synthetic", "--structure", "octopus_join"]
+            )
+
+
+class TestCommands:
+    def test_list_apps(self, capsys):
+        assert main(["list-apps"]) == 0
+        out = capsys.readouterr().out
+        assert "WC" in out and "Smart Grid" in out
+        assert out.count("\n") > 14
+
+    def test_run_app(self, capsys):
+        code = main(
+            ["run-app", "--app", "TPCH", "--parallelism", "2", *FAST]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "median latency" in out
+        assert "TPCH" in out
+
+    def test_run_synthetic(self, capsys):
+        code = main(
+            [
+                "run-synthetic", "--structure", "linear",
+                "--parallelism", "2", *FAST,
+            ]
+        )
+        assert code == 0
+        assert "linear" in capsys.readouterr().out
+
+    def test_run_app_persists(self, capsys, tmp_path):
+        storage = str(tmp_path / "db")
+        main(
+            ["run-app", "--app", "WC", "--parallelism", "1",
+             "--storage", storage, *FAST]
+        )
+        from repro.storage import DocumentStore
+
+        assert DocumentStore(storage)["runs"].count() == 1
+
+    def test_tables(self, capsys):
+        assert main(["tables", "1"]) == 0
+        assert "PDSP-Bench" in capsys.readouterr().out
+        assert main(["tables", "4"]) == 0
+        assert "c6320" in capsys.readouterr().out
+        assert main(["tables", "2"]) == 0
+        assert "intensity" in capsys.readouterr().out
+
+    def test_run_suite_subset(self, capsys):
+        code = main(
+            ["run-suite", "--apps", "WC", "LP", "--parallelism", "2",
+             *FAST]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "WC" in out and "LP" in out
+        assert "SG" not in out
+
+    def test_hetero_flag(self, capsys):
+        code = main(
+            ["run-app", "--app", "LP", "--parallelism", "2",
+             "--hetero", *FAST]
+        )
+        assert code == 0
+        assert "heterogeneous" in capsys.readouterr().out

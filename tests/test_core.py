@@ -1,0 +1,134 @@
+"""Tests for the core facade: runner, controller, run records."""
+
+import pytest
+
+from repro.cluster import homogeneous_cluster
+from repro.common.errors import ConfigurationError
+from repro.core import BenchmarkRunner, PDSPBench, RunnerConfig, RunRecord
+from repro.workload import QueryStructure
+
+
+@pytest.fixture
+def runner(small_cluster, quick_runner_config):
+    return BenchmarkRunner(small_cluster, quick_runner_config)
+
+
+class TestRunnerConfig:
+    def test_defaults_match_paper_protocol(self):
+        config = RunnerConfig()
+        assert config.repeats == 3  # paper: three runs
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RunnerConfig(repeats=0)
+        with pytest.raises(ConfigurationError):
+            RunnerConfig(dilation=0.0)
+
+
+class TestBenchmarkRunner:
+    def test_prepare_app_dilates(self, runner):
+        query = runner.prepare_app("WC", parallelism=2,
+                                   event_rate=100_000.0)
+        source = query.plan.sources()[0]
+        assert float(source.metadata["event_rate"]) == pytest.approx(
+            100_000.0 / runner.config.dilation
+        )
+        assert query.params["parallelism"] == 2
+        degrees = query.plan.parallelism_degrees()
+        assert degrees["tokenize"] == 2
+        assert degrees["sink"] == 1
+
+    def test_run_plan_repeats(self, small_cluster):
+        config = RunnerConfig(
+            repeats=3, dilation=20.0, max_tuples_per_source=600,
+            max_sim_time=2.0,
+        )
+        runner = BenchmarkRunner(small_cluster, config)
+        query = runner.prepare_app("WC", 2)
+        runs = runner.run_plan(query.plan)
+        assert len(runs) == 3
+        medians = {run.latency.p50 for run in runs}
+        assert len(medians) == 3  # independent randomness per repeat
+
+    def test_measure_aggregates(self, runner):
+        result = runner.measure_app("LR", parallelism=2)
+        assert result["mean_median_latency_ms"] > 0
+        assert result["runs"] == runner.config.repeats
+        assert result["parallelism"] == 2.0
+
+
+class TestPDSPBench:
+    @pytest.fixture
+    def bench(self, quick_runner_config):
+        return PDSPBench.homogeneous(
+            num_nodes=4, runner_config=quick_runner_config
+        )
+
+    def test_list_applications(self, bench):
+        apps = bench.list_applications()
+        assert len(apps) == 14
+        assert {"abbrev", "name", "area", "uses_udo",
+                "data_intensity"} <= set(apps[0])
+
+    def test_run_application_persists(self, bench):
+        record = bench.run_application("TPCH", parallelism=2)
+        assert record.workload_kind == "real-world"
+        assert record.metrics["mean_median_latency_ms"] > 0
+        assert bench.store["runs"].count() == 1
+        stored = bench.stored_runs()[0]
+        assert stored.workload_name == "TPCH"
+        assert stored.degrees["pricing_summary"] == 2
+
+    def test_run_synthetic_persists(self, bench):
+        record = bench.run_synthetic(
+            QueryStructure.LINEAR, parallelism=2, event_rate=50_000.0
+        )
+        assert record.workload_kind == "synthetic"
+        assert record.params["parallelism"] == 2
+        assert bench.store["runs"].count() == 1
+
+    def test_build_corpus_and_train(self, bench):
+        corpus = bench.build_corpus(
+            count=40,
+            structures=[
+                QueryStructure.LINEAR, QueryStructure.TWO_WAY_JOIN,
+            ],
+        )
+        assert len(corpus) == 40
+        assert bench.store["corpus"].count() == 40
+        reloaded = bench.load_corpus()
+        assert len(reloaded) == 40
+        from repro.ml.models import LinearRegressionModel
+
+        bench.ml_manager.models = [LinearRegressionModel()]
+        reports = bench.train_models(corpus)
+        assert "LR" in reports
+        assert bench.store["model_reports"].count() == 1
+
+    def test_heterogeneous_builder(self):
+        bench = PDSPBench.heterogeneous(num_nodes=4)
+        assert bench.cluster.is_heterogeneous
+
+    def test_invalid_corpus_count(self, bench):
+        with pytest.raises(ConfigurationError):
+            bench.build_corpus(count=0)
+
+
+class TestRunRecord:
+    def test_document_roundtrip(self, small_cluster, quick_runner_config):
+        runner = BenchmarkRunner(small_cluster, quick_runner_config)
+        query = runner.prepare_app("WC", 2)
+        metrics = runner.measure(query.plan)
+        record = RunRecord.from_run(
+            plan=query.plan,
+            cluster=small_cluster,
+            metrics=metrics,
+            workload_kind="real-world",
+            event_rate=100_000.0,
+            params={"note": "test"},
+        )
+        restored = RunRecord.from_document(record.to_document())
+        assert restored.workload_name == "WC"
+        assert restored.degrees == record.degrees
+        assert restored.metrics == record.metrics
+        assert restored.params["note"] == "test"

@@ -1,0 +1,185 @@
+"""Property-based tests on the discrete-event engine itself."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import homogeneous_cluster
+from repro.common.rng import RngFactory
+from repro.sps import builders
+from repro.sps.engine import SimulationConfig, StreamEngine
+from repro.sps.logical import LogicalPlan
+from repro.sps.operators.sink import SinkLogic
+from repro.sps.predicates import FilterFunction, Predicate
+from repro.sps.types import DataType, Field, Schema
+from tests.conftest import kv_generator
+
+SCHEMA = Schema([Field("k", DataType.INT), Field("v", DataType.DOUBLE)])
+
+
+def run_engine(plan, tuples, seed, chaining=False, nodes=2):
+    engine = StreamEngine(
+        plan,
+        homogeneous_cluster(num_nodes=nodes),
+        config=SimulationConfig(
+            max_tuples_per_source=tuples,
+            max_sim_time=6.0,
+            warmup_fraction=0.0,
+            keep_sink_values=True,
+        ),
+        rng_factory=RngFactory(seed),
+        chaining=chaining,
+    )
+    metrics = engine.run()
+    sink_values = [
+        values
+        for rt in engine._runtimes
+        if isinstance(rt.logic, SinkLogic)
+        for values in rt.logic.results
+    ]
+    return metrics, sink_values
+
+
+class TestConservation:
+    @given(
+        rate=st.floats(min_value=100.0, max_value=5000.0),
+        parallelism=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_passthrough_conserves_tuples(self, rate, parallelism, seed):
+        """Every emitted tuple reaches the sink exactly once, for any
+
+        rate/parallelism/seed combination."""
+        plan = LogicalPlan("conserve")
+        plan.add_operator(
+            builders.source(
+                "src", kv_generator(), SCHEMA, event_rate=rate,
+                parallelism=parallelism,
+            )
+        )
+        plan.add_operator(builders.sink("sink"))
+        plan.connect("src", "sink")
+        metrics, _ = run_engine(plan, tuples=300, seed=seed)
+        assert metrics.results == metrics.source_events
+
+    @given(
+        threshold=st.floats(min_value=0.1, max_value=0.9),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_filter_partition(self, threshold, seed):
+        """sink(pass) + dropped == emitted for any filter threshold."""
+        plan = LogicalPlan("filter-partition")
+        plan.add_operator(
+            builders.source(
+                "src", kv_generator(), SCHEMA, event_rate=1500.0
+            )
+        )
+        plan.add_operator(
+            builders.filter_op(
+                "flt",
+                Predicate(
+                    1, FilterFunction.GT, threshold,
+                    selectivity_hint=max(1.0 - threshold, 0.01),
+                ),
+            )
+        )
+        plan.add_operator(builders.sink("sink"))
+        plan.connect("src", "flt")
+        plan.connect("flt", "sink")
+        metrics, values = run_engine(plan, tuples=400, seed=seed)
+        assert metrics.results <= metrics.source_events
+        assert all(v[1] > threshold for v in values)
+
+
+class TestChainingEquivalence:
+    @given(
+        threshold=st.floats(min_value=0.2, max_value=0.8),
+        factor=st.floats(min_value=0.5, max_value=3.0),
+        seed=st.integers(min_value=0, max_value=500),
+        nodes=st.integers(min_value=2, max_value=4),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_chained_equals_unchained(
+        self, threshold, factor, seed, nodes
+    ):
+        """Chaining must never change what the query computes."""
+
+        def build():
+            plan = LogicalPlan("equiv")
+            plan.add_operator(
+                builders.source(
+                    "src", kv_generator(), SCHEMA, event_rate=1000.0,
+                    parallelism=2,
+                )
+            )
+            plan.add_operator(
+                builders.filter_op(
+                    "flt",
+                    Predicate(
+                        1, FilterFunction.GT, threshold,
+                        selectivity_hint=max(1.0 - threshold, 0.01),
+                    ),
+                    parallelism=2,
+                )
+            )
+            plan.add_operator(
+                builders.map_op(
+                    "map",
+                    lambda values: (values[0], values[1] * factor),
+                    parallelism=2,
+                )
+            )
+            plan.add_operator(builders.sink("sink"))
+            plan.connect("src", "flt")
+            plan.connect("flt", "map")
+            plan.connect("map", "sink")
+            return plan
+
+        _, plain = run_engine(
+            build(), tuples=300, seed=seed, chaining=False, nodes=nodes
+        )
+        _, fused = run_engine(
+            build(), tuples=300, seed=seed, chaining=True, nodes=nodes
+        )
+        assert sorted(plain) == sorted(fused)
+
+
+class TestWaitTimeDiagnostics:
+    def test_saturated_operator_has_dominant_wait(self):
+        from repro.sps.operators.udo import FunctionUDO
+
+        plan = LogicalPlan("wait")
+        plan.add_operator(
+            builders.source(
+                "src", kv_generator(), SCHEMA, event_rate=20_000.0
+            )
+        )
+        plan.add_operator(
+            builders.udo(
+                "slow",
+                lambda: FunctionUDO(lambda state, t, now: [t]),
+                cost_scale=10.0,
+            )
+        )
+        plan.add_operator(builders.sink("sink"))
+        plan.connect("src", "slow")
+        plan.connect("slow", "sink")
+        metrics, _ = run_engine(plan, tuples=2000, seed=3)
+        waits = metrics.operator_avg_wait
+        assert waits["slow"] > 10 * waits["src"]
+        assert waits["slow"] > 1e-3  # queueing dominates
+
+    def test_unloaded_operator_waits_near_zero(self):
+        plan = LogicalPlan("idle")
+        plan.add_operator(
+            builders.source(
+                "src", kv_generator(), SCHEMA, event_rate=200.0
+            )
+        )
+        plan.add_operator(builders.sink("sink"))
+        plan.connect("src", "sink")
+        metrics, _ = run_engine(plan, tuples=200, seed=3)
+        assert metrics.operator_avg_wait["sink"] < 1e-4

@@ -1,0 +1,190 @@
+"""Tests for the six parallelism enumeration strategies (Section 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import homogeneous_cluster
+from repro.common.errors import ConfigurationError
+from repro.sps.logical import OperatorKind
+from repro.workload import (
+    ExhaustiveEnumeration,
+    IncreasingEnumeration,
+    MinAvgMaxEnumeration,
+    ParameterBasedEnumeration,
+    RandomEnumeration,
+    RuleBasedEnumeration,
+    build_structure,
+    strategy_by_name,
+)
+from repro.workload.parameter_space import ParameterSpace
+from repro.workload.querygen import QueryStructure
+
+
+@pytest.fixture
+def plan(rng):
+    return build_structure(
+        QueryStructure.TWO_WAY_JOIN, rng, event_rate=100_000.0
+    ).plan
+
+
+@pytest.fixture
+def cluster():
+    return homogeneous_cluster("m510", 10)  # 80 cores
+
+
+def take(strategy, plan, cluster, n, seed=0):
+    rng = np.random.default_rng(seed)
+    out = []
+    iterator = strategy.assignments(plan, cluster, rng)
+    for _ in range(n):
+        out.append(next(iterator))
+    return out
+
+
+class TestRandom:
+    def test_degrees_within_cluster_cap(self, plan, cluster):
+        for assignment in take(RandomEnumeration(), plan, cluster, 20):
+            assert all(1 <= d <= 80 for d in assignment.values())
+
+    def test_covers_multiple_degrees(self, plan, cluster):
+        seen = set()
+        for assignment in take(RandomEnumeration(), plan, cluster, 30):
+            seen.update(assignment.values())
+        assert len(seen) >= 4
+
+    def test_sink_not_scaled(self, plan, cluster):
+        assignment = take(RandomEnumeration(), plan, cluster, 1)[0]
+        assert "sink" not in assignment
+
+
+class TestRuleBased:
+    def test_degrees_track_load(self, plan, cluster):
+        strategy = RuleBasedEnumeration(exploration=0.0)
+        base = strategy.required_degrees(plan, cluster)
+        # Joins carry ~200k tuples/s at 14us each: needs several cores.
+        assert base["join0"] > base["src0"]
+        assert base["sink"] == 1
+
+    def test_higher_rate_more_instances(self, cluster, rng):
+        strategy = RuleBasedEnumeration(exploration=0.0)
+        low = build_structure(
+            QueryStructure.LINEAR, np.random.default_rng(1),
+            event_rate=1_000.0,
+        ).plan
+        high = build_structure(
+            QueryStructure.LINEAR, np.random.default_rng(1),
+            event_rate=2_000_000.0,
+        ).plan
+        low_d = strategy.required_degrees(low, cluster)
+        high_d = strategy.required_degrees(high, cluster)
+        assert sum(high_d.values()) > sum(low_d.values())
+
+    def test_jitter_produces_variants(self, plan, cluster):
+        assignments = take(
+            RuleBasedEnumeration(exploration=0.5), plan, cluster, 10
+        )
+        distinct = {tuple(sorted(a.items())) for a in assignments}
+        assert len(distinct) > 1
+
+    def test_capped_by_cluster(self, cluster):
+        plan = build_structure(
+            QueryStructure.FIVE_WAY_JOIN,
+            np.random.default_rng(2),
+            event_rate=4_000_000.0,
+        ).plan
+        degrees = RuleBasedEnumeration(
+            exploration=0.0
+        ).required_degrees(plan, cluster)
+        assert all(d <= 80 for d in degrees.values())
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            RuleBasedEnumeration(target_utilization=0.0)
+        with pytest.raises(ConfigurationError):
+            RuleBasedEnumeration(exploration=-1.0)
+
+
+class TestExhaustive:
+    def test_covers_cartesian_product(self, plan, cluster):
+        strategy = ExhaustiveEnumeration(candidate_degrees=(1, 2))
+        scalable = [
+            op.op_id
+            for op in plan.operators.values()
+            if op.kind is not OperatorKind.SINK
+        ]
+        assignments = take(strategy, plan, cluster, 2 ** len(scalable))
+        distinct = {tuple(sorted(a.items())) for a in assignments}
+        assert len(distinct) == 2 ** len(scalable)
+
+    def test_exhausts(self, plan, cluster):
+        strategy = ExhaustiveEnumeration(candidate_degrees=(1,))
+        rng = np.random.default_rng(0)
+        assignments = list(strategy.assignments(plan, cluster, rng))
+        assert len(assignments) == 1
+
+
+class TestMinAvgMax:
+    def test_cycle(self, plan, cluster):
+        space = ParameterSpace(parallelism_degrees=(1, 2, 4, 8, 16))
+        assignments = take(
+            MinAvgMaxEnumeration(space), plan, cluster, 6
+        )
+        uniform = [set(a.values()).pop() for a in assignments]
+        assert uniform == [1, 4, 16, 1, 4, 16]
+
+
+class TestIncreasing:
+    def test_steps_up_then_cycles(self, plan, cluster):
+        space = ParameterSpace(parallelism_degrees=(1, 2, 4))
+        assignments = take(
+            IncreasingEnumeration(space), plan, cluster, 5
+        )
+        uniform = [set(a.values()).pop() for a in assignments]
+        assert uniform == [1, 2, 4, 1, 2]
+
+
+class TestParameterBased:
+    def test_uniform_degree(self, plan, cluster):
+        assignments = take(
+            ParameterBasedEnumeration(6), plan, cluster, 2
+        )
+        assert all(
+            all(d == 6 for d in a.values()) for a in assignments
+        )
+
+    def test_explicit_dict(self, plan, cluster):
+        degrees = {
+            op.op_id: 2
+            for op in plan.operators.values()
+            if op.kind is not OperatorKind.SINK
+        }
+        degrees["join0"] = 8
+        assignment = take(
+            ParameterBasedEnumeration(degrees), plan, cluster, 1
+        )[0]
+        assert assignment["join0"] == 8
+
+    def test_missing_operator_rejected(self, plan, cluster):
+        strategy = ParameterBasedEnumeration({"join0": 2})
+        with pytest.raises(ConfigurationError, match="missing"):
+            take(strategy, plan, cluster, 1)
+
+
+class TestStrategyByName:
+    def test_all_names_resolve(self):
+        for name in (
+            "random",
+            "rule-based",
+            "exhaustive",
+            "min-avg-max",
+            "increasing",
+        ):
+            assert strategy_by_name(name).name == name
+
+    def test_parameter_based_needs_degrees(self):
+        strategy = strategy_by_name("parameter-based", degrees=4)
+        assert strategy.degrees == 4
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            strategy_by_name("oracle")

@@ -1,0 +1,246 @@
+"""Tests for event-time windowing with watermarks."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import homogeneous_cluster
+from repro.common.errors import ConfigurationError
+from repro.common.rng import RngFactory
+from repro.sps import builders
+from repro.sps.engine import SimulationConfig, StreamEngine
+from repro.sps.logical import LogicalPlan
+from repro.sps.operators.base import OperatorContext
+from repro.sps.operators.event_aggregate import (
+    EventTimeWindowAggregateLogic,
+)
+from repro.sps.tuples import StreamTuple
+from repro.sps.types import DataType, Field, Schema
+from repro.sps.windows import (
+    AggregateFunction,
+    SlidingTimeWindows,
+    TumblingCountWindows,
+    TumblingTimeWindows,
+)
+from tests.conftest import kv_generator
+
+
+def ctx():
+    return OperatorContext(
+        op_id="op", subtask_index=0, parallelism=1,
+        rng=np.random.default_rng(0),
+    )
+
+
+def tup(key, value, event_time):
+    return StreamTuple(
+        values=(key, value), event_time=event_time,
+        origin_time=event_time,
+    )
+
+
+def make_logic(**kwargs):
+    defaults = dict(
+        assigner=TumblingTimeWindows(1.0),
+        function=AggregateFunction.SUM,
+        value_field=1,
+        key_field=0,
+        max_out_of_orderness=0.1,
+    )
+    defaults.update(kwargs)
+    logic = EventTimeWindowAggregateLogic(**defaults)
+    logic.setup(ctx())
+    return logic
+
+
+class TestWatermark:
+    def test_watermark_trails_max_event_time(self):
+        logic = make_logic()
+        logic.process(tup("a", 1.0, event_time=0.5), now=0.6)
+        assert logic.watermark == pytest.approx(0.4)
+
+    def test_window_fires_on_watermark_not_arrival(self):
+        logic = make_logic()
+        # Arrival time is way past the window end, but event time is not:
+        # the window must NOT fire yet.
+        out = logic.process(tup("a", 1.0, event_time=0.5), now=5.0)
+        assert out == []
+        # An event past 1.1 pushes the watermark past the window end.
+        out = logic.process(tup("a", 2.0, event_time=1.2), now=5.1)
+        assert len(out) == 1
+        assert out[0].values == ("a", 1.0)
+
+    def test_out_of_order_tuple_still_counted(self):
+        logic = make_logic()
+        logic.process(tup("a", 1.0, event_time=0.8), now=1.0)
+        # Late-ish but within the bound: watermark is 0.7, window [0,1)
+        # not fired yet, so the 0.3-timestamped tuple still counts.
+        logic.process(tup("a", 2.0, event_time=0.3), now=1.1)
+        out = logic.process(tup("a", 9.0, event_time=1.5), now=1.2)
+        assert out[0].values == ("a", 3.0)
+        assert logic.late_dropped == 0
+
+    def test_late_tuple_dropped_and_counted(self):
+        logic = make_logic()
+        logic.process(tup("a", 1.0, event_time=0.5), now=0.5)
+        logic.process(tup("a", 1.0, event_time=2.0), now=2.0)  # fires [0,1)
+        before = logic.windows_fired
+        out = logic.process(tup("a", 99.0, event_time=0.2), now=2.1)
+        assert out == []
+        assert logic.late_dropped == 1
+        assert logic.windows_fired == before
+
+    def test_allowed_lateness_rescues_tuples(self):
+        strict = make_logic(allowed_lateness=0.0)
+        lenient = make_logic(allowed_lateness=5.0)
+        for logic in (strict, lenient):
+            logic.process(tup("a", 1.0, event_time=0.5), now=0.5)
+            logic.process(tup("a", 1.0, event_time=2.0), now=2.0)
+            logic.process(tup("a", 9.0, event_time=0.4), now=2.1)
+        assert strict.late_dropped == 1
+        assert lenient.late_dropped == 0
+
+    def test_idle_advancement_via_timer(self):
+        logic = make_logic()
+        logic.process(tup("a", 1.0, event_time=0.5), now=0.5)
+        # No further input; a much later timer advances the watermark
+        # and fires the pending window.
+        out = logic.on_time(now=10.0)
+        assert len(out) == 1
+        assert out[0].values == ("a", 1.0)
+
+    def test_flush_emits_pending(self):
+        logic = make_logic()
+        logic.process(tup("a", 4.0, event_time=0.5), now=0.5)
+        out = logic.flush(now=0.6)
+        assert out[0].values == ("a", 4.0)
+        assert logic.flush(now=0.7) == []
+
+
+class TestSlidingEventTime:
+    def test_value_in_overlapping_windows(self):
+        logic = make_logic(assigner=SlidingTimeWindows(1.0, 0.5))
+        logic.process(tup("a", 1.0, event_time=0.75), now=0.75)
+        outs = logic.process(tup("a", 0.0, event_time=3.0), now=3.0)
+        # windows [0,1) and [0.5,1.5) both contained the tuple
+        sums = sorted(o.values[1] for o in outs if o.values[1] > 0)
+        assert sums == [1.0, 1.0]
+
+
+class TestValidation:
+    def test_count_windows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EventTimeWindowAggregateLogic(
+                TumblingCountWindows(10),
+                AggregateFunction.SUM,
+                value_field=1,
+            )
+
+    def test_negative_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_logic(max_out_of_orderness=-1.0)
+        with pytest.raises(ConfigurationError):
+            make_logic(allowed_lateness=-0.5)
+
+
+class TestEndToEndEventTime:
+    def _run(self, max_out_of_orderness):
+        schema = Schema(
+            [Field("k", DataType.INT), Field("v", DataType.DOUBLE)]
+        )
+        plan = LogicalPlan("event-time")
+        plan.add_operator(
+            builders.source(
+                "src", kv_generator(), schema, event_rate=2000.0
+            )
+        )
+        plan.add_operator(
+            builders.event_window_agg(
+                "agg",
+                TumblingTimeWindows(0.1),
+                AggregateFunction.COUNT,
+                value_field=1,
+                key_field=0,
+                max_out_of_orderness=max_out_of_orderness,
+            )
+        )
+        plan.add_operator(builders.sink("sink"))
+        plan.connect("src", "agg")
+        plan.connect("agg", "sink")
+        engine = StreamEngine(
+            plan,
+            homogeneous_cluster(num_nodes=2),
+            config=SimulationConfig(
+                max_tuples_per_source=2000, max_sim_time=4.0,
+                warmup_fraction=0.0,
+            ),
+            rng_factory=RngFactory(5),
+        )
+        metrics = engine.run()
+        agg_logics = [
+            rt.logic
+            for rt in engine._runtimes
+            if isinstance(rt.logic, EventTimeWindowAggregateLogic)
+        ]
+        late = sum(logic.late_dropped for logic in agg_logics)
+        return metrics, late
+
+    def test_produces_results(self):
+        metrics, _ = self._run(max_out_of_orderness=0.05)
+        assert metrics.results > 0
+
+    def test_no_late_drops_with_generous_bound(self):
+        # Queueing delay in this unloaded plan is far below 50ms.
+        _, late = self._run(max_out_of_orderness=0.05)
+        assert late == 0
+
+    def test_total_counts_conserved(self):
+        """Every non-late source tuple lands in exactly one tumbling
+
+        window: the COUNT sums must add up to source events."""
+        schema = Schema(
+            [Field("k", DataType.INT), Field("v", DataType.DOUBLE)]
+        )
+        plan = LogicalPlan("conservation")
+        plan.add_operator(
+            builders.source(
+                "src", kv_generator(num_keys=4), schema,
+                event_rate=2000.0,
+            )
+        )
+        plan.add_operator(
+            builders.event_window_agg(
+                "agg",
+                TumblingTimeWindows(0.1),
+                AggregateFunction.COUNT,
+                value_field=1,
+                key_field=0,
+                max_out_of_orderness=0.2,
+            )
+        )
+        sink = builders.sink("sink", keep_values=True)
+        plan.add_operator(sink)
+        plan.connect("src", "agg")
+        plan.connect("agg", "sink")
+        engine = StreamEngine(
+            plan,
+            homogeneous_cluster(num_nodes=2),
+            config=SimulationConfig(
+                max_tuples_per_source=1500, max_sim_time=4.0,
+                warmup_fraction=0.0, keep_sink_values=True,
+            ),
+            rng_factory=RngFactory(6),
+        )
+        metrics = engine.run()
+        from repro.sps.operators.sink import SinkLogic
+
+        sink_logics = [
+            rt.logic
+            for rt in engine._runtimes
+            if isinstance(rt.logic, SinkLogic)
+        ]
+        counted = sum(
+            value
+            for logic in sink_logics
+            for _, value in logic.results
+        )
+        assert counted == metrics.source_events

@@ -1,0 +1,166 @@
+"""Integration tests: the full PDSP-Bench workflow and experiment shapes.
+
+These are scaled-down versions of the paper's experiments asserting the
+*qualitative observations* (O1-O9) hold; the benchmark harness runs the
+full-size versions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import homogeneous_cluster
+from repro.core import BenchmarkRunner, PDSPBench, RunnerConfig
+from repro.core.experiments import figure3_top, figure5
+from repro.core.experiments.exp3 import build_labelled_corpus
+from repro.ml.models import GNNCostModel, LinearRegressionModel
+from repro.report import render_figure
+from repro.workload import QueryStructure, RuleBasedEnumeration
+
+
+QUICK = RunnerConfig(
+    repeats=1, dilation=25.0, max_tuples_per_source=2500,
+    max_sim_time=3.0,
+)
+
+
+class TestFullWorkflow:
+    """The Figure 1 workflow: configure -> generate -> run -> store ->
+
+    train -> infer, end to end."""
+
+    def test_workflow_end_to_end(self, tmp_path):
+        bench = PDSPBench.homogeneous(
+            num_nodes=4,
+            storage_dir=str(tmp_path / "db"),
+            runner_config=QUICK,
+        )
+        # 1. benchmark an application and a synthetic PQP
+        app_record = bench.run_application("TPCH", parallelism=2)
+        syn_record = bench.run_synthetic(
+            QueryStructure.LINEAR, parallelism=2
+        )
+        assert app_record.metrics["mean_median_latency_ms"] > 0
+        assert syn_record.metrics["mean_median_latency_ms"] > 0
+        # 2. generate a training corpus and persist it
+        corpus = bench.build_corpus(
+            count=50,
+            structures=[
+                QueryStructure.LINEAR,
+                QueryStructure.TWO_WAY_JOIN,
+            ],
+        )
+        # 3. train a model and predict
+        bench.ml_manager.models = [LinearRegressionModel()]
+        reports = bench.train_models(corpus)
+        assert reports["LR"].q_error["median"] < 5.0
+        # 4. everything survived in the store
+        assert bench.store["runs"].count() == 2
+        assert bench.store["corpus"].count() == 50
+        assert bench.store["model_reports"].count() == 1
+        # 5. a fresh instance over the same directory sees the data
+        reopened = PDSPBench.homogeneous(
+            num_nodes=4,
+            storage_dir=str(tmp_path / "db"),
+            runner_config=QUICK,
+        )
+        assert len(reopened.load_corpus()) == 50
+
+
+class TestObservationO1O2:
+    """O1: parallelism speeds up join queries; filters-only stay flat.
+
+    O2: gains saturate beyond a threshold."""
+
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return figure3_top(
+            cluster=homogeneous_cluster("m510", 10),
+            runner_config=QUICK,
+            structures=(
+                QueryStructure.LINEAR,
+                QueryStructure.THREE_WAY_JOIN,
+            ),
+            categories={"XS": 1, "M": 4, "XL": 16, "XXL": 32},
+            seed=21,
+        )
+
+    def test_join_query_speeds_up(self, figure):
+        join = figure.series_by_label("three_way_join")
+        assert join.value_at("M") < join.value_at("XS")
+
+    def test_linear_query_flat(self, figure):
+        linear = figure.series_by_label("linear")
+        low, high = linear.value_at("XS"), linear.value_at("XL")
+        assert high < 3 * low  # no saturation cliff either way
+
+    def test_join_gains_saturate(self, figure):
+        """O2: the XS->M gain dwarfs the XL->XXL gain."""
+        join = figure.series_by_label("three_way_join")
+        early_gain = join.value_at("XS") - join.value_at("M")
+        late_gain = abs(join.value_at("XL") - join.value_at("XXL"))
+        assert early_gain > late_gain
+
+    def test_render(self, figure):
+        assert "fig3-top" in render_figure(figure)
+
+
+class TestObservationO1RealWorld:
+    """Data-intensive UDO apps gain more from parallelism than
+
+    standard-operator apps (O1, real-world half)."""
+
+    def test_sg_gains_wc_flat(self):
+        runner = BenchmarkRunner(homogeneous_cluster("m510", 10), QUICK)
+        wc_low = runner.measure_app("WC", 1)["mean_median_latency_ms"]
+        wc_high = runner.measure_app("WC", 16)["mean_median_latency_ms"]
+        sg_low = runner.measure_app("SG", 1)["mean_median_latency_ms"]
+        sg_high = runner.measure_app("SG", 16)["mean_median_latency_ms"]
+        sg_speedup = sg_low / sg_high
+        wc_speedup = wc_low / max(wc_high, 1e-9)
+        assert sg_speedup > 2.0  # SG is saturated at p=1
+        assert sg_speedup > 2 * wc_speedup  # WC has little to gain
+
+
+class TestObservationO8:
+    """GNN beats the flat models on structured queries."""
+
+    def test_gnn_best_median_qerror(self):
+        figure = figure5(
+            cluster=homogeneous_cluster("m510", 10), corpus_size=400,
+            seed=5,
+        )
+        by_label = {
+            s.label: float(np.nanmedian(s.y)) for s in figure.series
+        }
+        assert set(by_label) == {"LR", "MLP", "RF", "GNN"}
+        assert by_label["GNN"] == min(by_label.values())
+
+
+class TestObservationO9:
+    """Rule-based enumeration trains the GNN better than random at a
+
+    small corpus size (the data-efficiency behind O9)."""
+
+    def test_rule_based_more_data_efficient(self):
+        cluster = homogeneous_cluster("m510", 4)
+        seen = [s for s in QueryStructure if s.is_seen]
+        test = build_labelled_corpus(
+            cluster, 120, list(QueryStructure),
+            RuleBasedEnumeration(), seed=77,
+        )
+        from repro.workload import RandomEnumeration
+
+        scores = {}
+        for name, strategy in (
+            ("rule", RuleBasedEnumeration()),
+            ("random", RandomEnumeration()),
+        ):
+            corpus = build_labelled_corpus(
+                cluster, 60, seen, strategy, seed=11
+            )
+            rng = np.random.default_rng(0)
+            train, val, _ = corpus.split(rng, test_fraction=0.02)
+            model = GNNCostModel(max_epochs=150)
+            model.fit(train, val, seed=0)
+            scores[name] = model.evaluate(test)["median"]
+        assert scores["rule"] < scores["random"]

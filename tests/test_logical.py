@@ -1,0 +1,234 @@
+"""Unit tests for logical plans: construction, validation, parallelism."""
+
+import pytest
+
+from repro.common.errors import PlanError
+from repro.sps import builders
+from repro.sps.logical import LogicalPlan, OperatorKind
+from repro.sps.partitioning import (
+    ForwardPartitioner,
+    HashPartitioner,
+    RebalancePartitioner,
+)
+from repro.sps.predicates import FilterFunction, Predicate
+from repro.sps.types import DataType, Field, Schema
+from repro.sps.windows import AggregateFunction, TumblingTimeWindows
+from tests.conftest import kv_generator
+
+SCHEMA = Schema([Field("k", DataType.INT), Field("v", DataType.DOUBLE)])
+
+
+def make_source(op_id="src", parallelism=1):
+    return builders.source(
+        op_id, kv_generator(), SCHEMA, event_rate=1000.0,
+        parallelism=parallelism,
+    )
+
+
+def make_filter(op_id="flt", parallelism=1):
+    return builders.filter_op(
+        op_id,
+        Predicate(1, FilterFunction.GT, 0.5, selectivity_hint=0.5),
+        parallelism=parallelism,
+    )
+
+
+class TestConstruction:
+    def test_duplicate_operator_rejected(self):
+        plan = LogicalPlan()
+        plan.add_operator(make_source())
+        with pytest.raises(PlanError, match="duplicate"):
+            plan.add_operator(make_source())
+
+    def test_connect_unknown_operator(self):
+        plan = LogicalPlan()
+        plan.add_operator(make_source())
+        with pytest.raises(PlanError, match="unknown"):
+            plan.connect("src", "nope")
+
+    def test_self_loop_rejected(self):
+        plan = LogicalPlan()
+        plan.add_operator(make_source())
+        with pytest.raises(PlanError, match="self-loop"):
+            plan.connect("src", "src")
+
+    def test_invalid_parallelism(self):
+        with pytest.raises(PlanError):
+            make_source(parallelism=0)
+
+
+class TestDefaultPartitioners:
+    def test_keyed_agg_gets_hash_with_key_field(self):
+        plan = LogicalPlan()
+        plan.add_operator(make_source())
+        plan.add_operator(
+            builders.window_agg(
+                "agg",
+                TumblingTimeWindows(0.1),
+                AggregateFunction.SUM,
+                value_field=1,
+                key_field=0,
+            )
+        )
+        edge = plan.connect("src", "agg")
+        assert isinstance(edge.partitioner, HashPartitioner)
+        assert edge.partitioner.key_field == 0
+
+    def test_join_ports_get_per_side_keys(self):
+        plan = LogicalPlan()
+        plan.add_operator(make_source("s0"))
+        plan.add_operator(make_source("s1"))
+        plan.add_operator(
+            builders.window_join(
+                "join",
+                TumblingTimeWindows(0.1),
+                left_key_field=0,
+                right_key_field=1,
+            )
+        )
+        left = plan.connect("s0", "join", port=0)
+        right = plan.connect("s1", "join", port=1)
+        assert left.partitioner.key_field == 0
+        assert right.partitioner.key_field == 1
+
+    def test_equal_parallelism_stateless_gets_forward(self):
+        plan = LogicalPlan()
+        plan.add_operator(make_source(parallelism=4))
+        plan.add_operator(make_filter(parallelism=4))
+        edge = plan.connect("src", "flt")
+        assert isinstance(edge.partitioner, ForwardPartitioner)
+
+    def test_unequal_parallelism_gets_rebalance(self):
+        plan = LogicalPlan()
+        plan.add_operator(make_source(parallelism=2))
+        plan.add_operator(make_filter(parallelism=4))
+        edge = plan.connect("src", "flt")
+        assert isinstance(edge.partitioner, RebalancePartitioner)
+
+    def test_sink_gets_rebalance(self):
+        plan = LogicalPlan()
+        plan.add_operator(make_source())
+        plan.add_operator(builders.sink())
+        edge = plan.connect("src", "sink")
+        assert isinstance(edge.partitioner, RebalancePartitioner)
+
+
+class TestValidation:
+    def _valid_plan(self):
+        plan = LogicalPlan()
+        plan.add_operator(make_source())
+        plan.add_operator(make_filter())
+        plan.add_operator(builders.sink())
+        plan.connect("src", "flt")
+        plan.connect("flt", "sink")
+        return plan
+
+    def test_valid_plan_passes(self):
+        self._valid_plan().validate()
+
+    def test_no_source_rejected(self):
+        plan = LogicalPlan()
+        plan.add_operator(make_filter())
+        plan.add_operator(builders.sink())
+        plan.connect("flt", "sink")
+        with pytest.raises(PlanError, match="no source"):
+            plan.validate()
+
+    def test_no_sink_rejected(self):
+        plan = LogicalPlan()
+        plan.add_operator(make_source())
+        with pytest.raises(PlanError, match="no sink"):
+            plan.validate()
+
+    def test_dangling_operator_rejected(self):
+        plan = self._valid_plan()
+        plan.add_operator(make_filter("dangling"))
+        with pytest.raises(PlanError, match="no inputs"):
+            plan.validate()
+
+    def test_join_needs_both_ports(self):
+        plan = LogicalPlan()
+        plan.add_operator(make_source("s0"))
+        plan.add_operator(
+            builders.window_join(
+                "join",
+                TumblingTimeWindows(0.1),
+                left_key_field=0,
+                right_key_field=0,
+            )
+        )
+        plan.add_operator(builders.sink())
+        plan.connect("s0", "join", port=0)
+        plan.connect("join", "sink")
+        with pytest.raises(PlanError, match="ports"):
+            plan.validate()
+
+    def test_cycle_detected(self):
+        plan = LogicalPlan()
+        plan.add_operator(make_source())
+        plan.add_operator(make_filter("f1"))
+        plan.add_operator(make_filter("f2"))
+        plan.add_operator(builders.sink())
+        plan.connect("src", "f1")
+        plan.connect("f1", "f2")
+        plan.connect("f2", "f1")  # cycle
+        plan.connect("f2", "sink")
+        with pytest.raises(PlanError, match="cycle"):
+            plan.topological_order()
+
+    def test_topological_order_respects_edges(self):
+        plan = self._valid_plan()
+        order = plan.topological_order()
+        assert order.index("src") < order.index("flt") < order.index(
+            "sink"
+        )
+
+
+class TestParallelismMutation:
+    def _plan(self):
+        plan = LogicalPlan()
+        plan.add_operator(make_source(parallelism=2))
+        plan.add_operator(make_filter(parallelism=2))
+        plan.add_operator(builders.sink())
+        plan.connect("src", "flt")  # forward (equal parallelism)
+        plan.connect("flt", "sink")
+        return plan
+
+    def test_uniform_parallelism_spares_sink(self):
+        plan = self._plan()
+        plan.set_uniform_parallelism(8)
+        degrees = plan.parallelism_degrees()
+        assert degrees == {"src": 8, "flt": 8, "sink": 1}
+
+    def test_forward_edges_downgraded_on_mismatch(self):
+        plan = self._plan()
+        plan.set_parallelism({"flt": 6})
+        edge = plan.in_edges("flt")[0]
+        assert isinstance(edge.partitioner, RebalancePartitioner)
+        plan.validate()
+
+    def test_set_parallelism_unknown_op(self):
+        with pytest.raises(PlanError):
+            self._plan().set_parallelism({"nope": 2})
+
+    def test_set_parallelism_rejects_zero(self):
+        with pytest.raises(PlanError):
+            self._plan().set_parallelism({"flt": 0})
+
+    def test_total_subtasks(self):
+        plan = self._plan()
+        assert plan.total_subtasks() == 5
+        plan.set_uniform_parallelism(4)
+        assert plan.total_subtasks() == 9
+
+    def test_describe_lists_operators(self):
+        text = self._plan().describe()
+        assert "src" in text and "flt" in text and "sink" in text
+
+    def test_sources_sinks_helpers(self):
+        plan = self._plan()
+        assert [op.op_id for op in plan.sources()] == ["src"]
+        assert [op.op_id for op in plan.sinks()] == ["sink"]
+        assert plan.upstream("flt") == ["src"]
+        assert plan.downstream("flt") == ["sink"]
+        assert plan.operator("flt").kind is OperatorKind.FILTER

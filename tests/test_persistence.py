@@ -1,0 +1,94 @@
+"""Tests for trained-model persistence through the document store."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import TrainingError
+from repro.ml.models import (
+    GNNCostModel,
+    LinearRegressionModel,
+    MLPCostModel,
+    RandomForestModel,
+)
+from repro.ml.persistence import (
+    load_model,
+    model_state,
+    restore_model,
+    save_model,
+)
+from repro.storage import DocumentStore
+from tests.test_ml import _labelled_dataset
+
+
+@pytest.fixture(scope="module")
+def splits():
+    dataset = _labelled_dataset(50)
+    rng = np.random.default_rng(0)
+    return dataset.split(rng)
+
+
+@pytest.mark.parametrize(
+    "model_cls",
+    [
+        LinearRegressionModel,
+        MLPCostModel,
+        RandomForestModel,
+        GNNCostModel,
+    ],
+)
+class TestRoundTrip:
+    def test_predictions_identical_after_restore(self, model_cls, splits):
+        train, val, test = splits
+        model = model_cls()
+        model.fit(train, val, seed=0)
+        original = model.predict(test)
+        restored = restore_model(model_state(model))
+        assert np.allclose(restored.predict(test), original)
+
+    def test_state_is_json_serialisable(self, model_cls, splits):
+        import json
+
+        train, val, _ = splits
+        model = model_cls()
+        model.fit(train, val, seed=0)
+        json.dumps(model_state(model))  # must not raise
+
+    def test_unfitted_model_rejected(self, model_cls, splits):
+        with pytest.raises(TrainingError):
+            model_state(model_cls())
+
+
+class TestStoreIntegration:
+    def test_save_and_load_latest(self, splits):
+        train, val, test = splits
+        store = DocumentStore()
+        first = LinearRegressionModel(ridge_grid=(10.0,))
+        first.fit(train, val, seed=0)
+        save_model(first, store["models"], tag="v1")
+        second = LinearRegressionModel(ridge_grid=(0.001,))
+        second.fit(train, val, seed=1)
+        save_model(second, store["models"], tag="v2")
+        # Latest wins by default; tags select specific versions.
+        latest = load_model(store["models"], "LR")
+        assert np.allclose(latest.predict(test), second.predict(test))
+        tagged = load_model(store["models"], "LR", tag="v1")
+        assert np.allclose(tagged.predict(test), first.predict(test))
+
+    def test_missing_model_raises(self):
+        store = DocumentStore()
+        with pytest.raises(TrainingError, match="no persisted"):
+            load_model(store["models"], "GNN")
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(TrainingError, match="unknown"):
+            restore_model({"model": "SVM"})
+
+    def test_disk_roundtrip(self, splits, tmp_path):
+        train, val, test = splits
+        store = DocumentStore(str(tmp_path / "db"))
+        model = RandomForestModel(max_trees=5)
+        model.fit(train, val, seed=0)
+        save_model(model, store["models"])
+        reopened = DocumentStore(str(tmp_path / "db"))
+        restored = load_model(reopened["models"], "RF")
+        assert np.allclose(restored.predict(test), model.predict(test))

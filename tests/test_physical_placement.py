@@ -1,0 +1,161 @@
+"""Unit tests for physical plan expansion and placement strategies."""
+
+import pytest
+
+from repro.cluster import homogeneous_cluster, mixed_cluster
+from repro.common.errors import PlacementError
+from repro.sps import builders
+from repro.sps.logical import LogicalPlan
+from repro.sps.partitioning import ForwardPartitioner, RebalancePartitioner
+from repro.sps.physical import PhysicalPlan
+from repro.sps.placement import (
+    PackedPlacement,
+    RoundRobinPlacement,
+    SpeedAwarePlacement,
+)
+from repro.sps.predicates import FilterFunction, Predicate
+from repro.sps.types import DataType, Field, Schema
+from tests.conftest import kv_generator
+
+SCHEMA = Schema([Field("k", DataType.INT), Field("v", DataType.DOUBLE)])
+
+
+def chain_plan(src_p=2, flt_p=4):
+    plan = LogicalPlan("chain")
+    plan.add_operator(
+        builders.source(
+            "src", kv_generator(), SCHEMA, event_rate=1000.0,
+            parallelism=src_p,
+        )
+    )
+    plan.add_operator(
+        builders.filter_op(
+            "flt",
+            Predicate(1, FilterFunction.GT, 0.5, selectivity_hint=0.5),
+            parallelism=flt_p,
+        )
+    )
+    plan.add_operator(builders.sink("sink"))
+    plan.connect("src", "flt")
+    plan.connect("flt", "sink")
+    return plan
+
+
+class TestPhysicalPlan:
+    def test_subtask_counts(self):
+        physical = PhysicalPlan.from_logical(chain_plan(2, 4))
+        assert physical.num_subtasks == 2 + 4 + 1
+        assert len(physical.op_subtasks["flt"]) == 4
+
+    def test_subtask_indices(self):
+        physical = PhysicalPlan.from_logical(chain_plan(2, 4))
+        indices = [
+            physical.subtask(gid).index
+            for gid in physical.op_subtasks["flt"]
+        ]
+        assert indices == [0, 1, 2, 3]
+
+    def test_channel_groups_per_producer(self):
+        physical = PhysicalPlan.from_logical(chain_plan(2, 4))
+        for gid in physical.op_subtasks["src"]:
+            groups = physical.out_channels[gid]
+            assert len(groups) == 1
+            assert groups[0].num_channels == 4
+
+    def test_partitioners_cloned_per_producer(self):
+        physical = PhysicalPlan.from_logical(chain_plan(2, 4))
+        gids = physical.op_subtasks["src"]
+        first = physical.out_channels[gids[0]][0].partitioner
+        second = physical.out_channels[gids[1]][0].partitioner
+        assert first is not second
+        assert isinstance(first, RebalancePartitioner)
+
+    def test_forward_bound_to_producer_index(self):
+        plan = chain_plan(4, 4)  # equal parallelism => forward
+        physical = PhysicalPlan.from_logical(plan)
+        for i, gid in enumerate(physical.op_subtasks["src"]):
+            group = physical.out_channels[gid][0]
+            assert isinstance(group.partitioner, ForwardPartitioner)
+            assert not group.is_shuffle
+            tup = kv_generator()(__import__("numpy").random.default_rng(0),
+                                 0.0)
+            assert group.partitioner.select(tup, 4) == [i]
+
+    def test_shuffle_flag(self):
+        physical = PhysicalPlan.from_logical(chain_plan(2, 4))
+        src_group = physical.out_channels[
+            physical.op_subtasks["src"][0]
+        ][0]
+        assert src_group.is_shuffle
+
+    def test_sink_has_no_outputs(self):
+        physical = PhysicalPlan.from_logical(chain_plan())
+        sink_gid = physical.op_subtasks["sink"][0]
+        assert physical.out_channels[sink_gid] == []
+
+    def test_num_channels(self):
+        physical = PhysicalPlan.from_logical(chain_plan(2, 4))
+        # src->flt: 2 producers x 4 consumers; flt->sink: 4 x 1
+        assert physical.num_channels() == 8 + 4
+
+
+class TestPlacement:
+    def test_round_robin_spreads_across_nodes(self):
+        cluster = homogeneous_cluster(num_nodes=4)
+        physical = PhysicalPlan.from_logical(chain_plan(2, 4))
+        placement = RoundRobinPlacement().place(physical, cluster)
+        flt_nodes = [
+            placement.node_of(gid) for gid in physical.op_subtasks["flt"]
+        ]
+        assert len(set(flt_nodes)) > 1  # spread over several nodes
+
+    def test_round_robin_no_sharing_when_capacity_suffices(self):
+        cluster = homogeneous_cluster(num_nodes=4)  # 32 slots
+        physical = PhysicalPlan.from_logical(chain_plan(2, 4))
+        placement = RoundRobinPlacement().place(physical, cluster)
+        assert all(
+            placement.load_of(gid) == 1
+            for gid in range(physical.num_subtasks)
+        )
+
+    def test_slot_sharing_when_oversubscribed(self):
+        cluster = homogeneous_cluster(num_nodes=1)  # 8 slots
+        plan = chain_plan(8, 16)  # 25 subtasks on 8 slots
+        physical = PhysicalPlan.from_logical(plan)
+        placement = RoundRobinPlacement().place(physical, cluster)
+        loads = [
+            placement.load_of(gid) for gid in range(physical.num_subtasks)
+        ]
+        assert max(loads) >= 3
+        assert sum(
+            placement.slot_load.values()
+        ) == physical.num_subtasks
+
+    def test_packed_fills_first_node(self):
+        cluster = homogeneous_cluster(num_nodes=4)
+        physical = PhysicalPlan.from_logical(chain_plan(2, 4))
+        placement = PackedPlacement().place(physical, cluster)
+        assert placement.nodes_used() == {0}  # 7 subtasks fit on 8 slots
+
+    def test_speed_aware_prefers_fast_nodes(self):
+        cluster = mixed_cluster({"m510": 2, "c6525_25g": 2})
+        physical = PhysicalPlan.from_logical(chain_plan(2, 2))
+        placement = SpeedAwarePlacement().place(physical, cluster)
+        fast_nodes = {
+            node.node_id
+            for node in cluster.nodes
+            if node.hardware.name == "c6525_25g"
+        }
+        # With ample capacity, everything lands on the fastest cores.
+        assert placement.nodes_used() <= fast_nodes
+
+    def test_empty_plan_rejected(self):
+        cluster = homogeneous_cluster(num_nodes=1)
+        physical = PhysicalPlan(logical=LogicalPlan("empty"))
+        for strategy in (
+            RoundRobinPlacement(),
+            PackedPlacement(),
+            SpeedAwarePlacement(),
+        ):
+            with pytest.raises(PlacementError):
+                strategy.place(physical, cluster)

@@ -1,0 +1,225 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.common.rng import derive_seed
+from repro.ml.qerror import q_error, q_errors
+from repro.sps.partitioning import (
+    BroadcastPartitioner,
+    HashPartitioner,
+    RebalancePartitioner,
+)
+from repro.sps.tuples import StreamTuple
+from repro.sps.windows import (
+    AggregateFunction,
+    SlidingTimeWindows,
+    TumblingTimeWindows,
+)
+from repro.workload.distributions import (
+    GaussianDouble,
+    UniformDouble,
+    UniformInt,
+    ZipfInt,
+)
+from repro.workload.selectivity import draw_predicate, estimate_selectivity
+
+finite_floats = st.floats(
+    min_value=1e-6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestWindowProperties:
+    @given(
+        duration=st.floats(min_value=0.01, max_value=10.0),
+        timestamp=st.floats(min_value=0.0, max_value=1e4),
+    )
+    @settings(max_examples=200)
+    def test_tumbling_window_contains_timestamp(self, duration, timestamp):
+        windows = TumblingTimeWindows(duration).assign(timestamp)
+        assert len(windows) == 1
+        assert windows[0].contains(timestamp)
+        assert windows[0].duration == pytest.approx(duration)
+
+    @given(
+        duration=st.floats(min_value=0.1, max_value=5.0),
+        ratio=st.sampled_from([0.25, 0.5, 1.0]),
+        timestamp=st.floats(min_value=0.0, max_value=1e3),
+    )
+    @settings(max_examples=200)
+    def test_sliding_windows_all_contain_timestamp(
+        self, duration, ratio, timestamp
+    ):
+        assigner = SlidingTimeWindows(duration, duration * ratio)
+        windows = assigner.assign(timestamp)
+        # Boundary timestamps may fall in one window more or fewer.
+        assert abs(len(windows) - round(1.0 / ratio)) <= 1
+        assert windows
+        for window in windows:
+            assert window.contains(timestamp)
+        starts = [w.start for w in windows]
+        assert starts == sorted(starts)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6), min_size=1,
+            max_size=50,
+        )
+    )
+    def test_aggregates_bounded_by_extremes(self, values):
+        low = AggregateFunction.MIN.apply(values)
+        high = AggregateFunction.MAX.apply(values)
+        mean = AggregateFunction.AVG.apply(values)
+        # Tolerance: float summation can overshoot the extremes by ulps.
+        eps = 1e-9 * max(abs(low), abs(high), 1.0)
+        assert low - eps <= mean <= high + eps
+        assert AggregateFunction.COUNT.apply(values) == len(values)
+
+
+class TestPartitioningProperties:
+    @given(
+        keys=st.lists(
+            st.one_of(st.integers(), st.text(max_size=8)),
+            min_size=1,
+            max_size=50,
+        ),
+        consumers=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=100)
+    def test_hash_targets_valid_and_stable(self, keys, consumers):
+        partitioner = HashPartitioner()
+        for key in keys:
+            tup = StreamTuple(values=(key,), event_time=0.0, key=key)
+            first = partitioner.select(tup, consumers)
+            second = partitioner.clone().select(tup, consumers)
+            assert first == second
+            assert 0 <= first[0] < consumers
+
+    @given(
+        count=st.integers(min_value=1, max_value=200),
+        consumers=st.integers(min_value=1, max_value=16),
+    )
+    def test_rebalance_is_balanced(self, count, consumers):
+        partitioner = RebalancePartitioner()
+        loads = [0] * consumers
+        for i in range(count):
+            tup = StreamTuple(values=(i,), event_time=0.0)
+            loads[partitioner.select(tup, consumers)[0]] += 1
+        assert max(loads) - min(loads) <= 1
+
+    @given(consumers=st.integers(min_value=1, max_value=32))
+    def test_broadcast_covers_everyone(self, consumers):
+        tup = StreamTuple(values=(1,), event_time=0.0)
+        assert BroadcastPartitioner().select(tup, consumers) == list(
+            range(consumers)
+        )
+
+
+class TestQErrorProperties:
+    @given(true=finite_floats, predicted=finite_floats)
+    def test_q_error_at_least_one_and_symmetric(self, true, predicted):
+        value = q_error(true, predicted)
+        assert value >= 1.0
+        assert value == pytest.approx(q_error(predicted, true))
+
+    @given(cost=finite_floats)
+    def test_perfect_prediction_is_one(self, cost):
+        assert q_error(cost, cost) == pytest.approx(1.0)
+
+    @given(
+        true=st.lists(finite_floats, min_size=1, max_size=20),
+        scale=st.floats(min_value=1.0, max_value=100.0),
+    )
+    def test_scaling_error_monotone(self, true, scale):
+        arr = np.array(true)
+        exact = q_errors(arr, arr)
+        scaled = q_errors(arr, arr * scale)
+        assert np.all(scaled >= exact - 1e-12)
+
+
+class TestDistributionProperties:
+    @st.composite
+    def distributions(draw):
+        kind = draw(st.sampled_from(["uniform_int", "uniform_double",
+                                     "gaussian", "zipf"]))
+        if kind == "uniform_int":
+            lo = draw(st.integers(min_value=-1000, max_value=1000))
+            width = draw(st.integers(min_value=1, max_value=2000))
+            return UniformInt(lo, lo + width)
+        if kind == "uniform_double":
+            lo = draw(st.floats(min_value=-1e3, max_value=1e3))
+            width = draw(st.floats(min_value=0.1, max_value=1e3))
+            return UniformDouble(lo, lo + width)
+        if kind == "gaussian":
+            return GaussianDouble(
+                draw(st.floats(min_value=-100, max_value=100)),
+                draw(st.floats(min_value=0.1, max_value=50)),
+            )
+        return ZipfInt(
+            draw(st.integers(min_value=2, max_value=500)),
+            draw(st.floats(min_value=0.5, max_value=2.5)),
+        )
+
+    @given(dist=distributions(), q=st.floats(min_value=0.01, max_value=0.99))
+    @settings(max_examples=150)
+    def test_quantile_inverts_cdf(self, dist, q):
+        value = dist.quantile(q)
+        assert dist.cdf(value) >= q - 1e-6
+
+    @given(dist=distributions(), data=st.data())
+    @settings(max_examples=100)
+    def test_cdf_monotone(self, dist, data):
+        a = data.draw(st.floats(min_value=-2e3, max_value=2e3))
+        b = data.draw(st.floats(min_value=-2e3, max_value=2e3))
+        assume(a <= b)
+        assert dist.cdf(a) <= dist.cdf(b) + 1e-12
+
+    @given(dist=distributions(), seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=100)
+    def test_samples_respect_cdf_support(self, dist, seed):
+        rng = np.random.default_rng(seed)
+        value = dist.sample(rng)
+        assert 0.0 <= dist.cdf(value) <= 1.0
+        assert dist.cdf(value) > 0.0 or dist.point_mass(value) >= 0.0
+
+
+class TestSelectivityProperties:
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        lo=st.floats(min_value=0.05, max_value=0.4),
+        width=st.floats(min_value=0.1, max_value=0.5),
+    )
+    @settings(max_examples=100)
+    def test_drawn_predicates_always_valid(self, seed, lo, width):
+        """Core Section 3.1 property: generated filters never have
+
+        selectivity 0 or 1 (data always partially passes)."""
+        rng = np.random.default_rng(seed)
+        dist = UniformDouble(0.0, 100.0)
+        band = (lo, min(lo + width, 0.95))
+        predicate = draw_predicate(dist, 0, rng, band=band)
+        estimate = estimate_selectivity(
+            predicate.function, predicate.literal, dist
+        )
+        assert 0.0 < estimate < 1.0
+
+
+class TestRngProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**62),
+        name=st.text(min_size=1, max_size=20),
+    )
+    def test_derive_seed_range(self, seed, name):
+        value = derive_seed(seed, name)
+        assert 0 <= value < 2**63
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**62),
+        a=st.text(min_size=1, max_size=10),
+        b=st.text(min_size=1, max_size=10),
+    )
+    def test_distinct_names_distinct_seeds(self, seed, a, b):
+        assume(a != b)
+        assert derive_seed(seed, a) != derive_seed(seed, b)

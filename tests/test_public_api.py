@@ -1,0 +1,82 @@
+"""Public-API hygiene: exports resolve, public items are documented."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules():
+    yield repro
+    for info in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    ):
+        if info.name.endswith("__main__"):
+            continue
+        yield importlib.import_module(info.name)
+
+
+MODULES = list(_walk_modules())
+
+
+class TestExports:
+    @pytest.mark.parametrize(
+        "module", MODULES, ids=lambda m: m.__name__
+    )
+    def test_all_names_resolve(self, module):
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), (
+                f"{module.__name__}.__all__ lists {name!r} but the "
+                "module does not define it"
+            )
+
+    def test_top_level_surface(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize(
+        "module", MODULES, ids=lambda m: m.__name__
+    )
+    def test_module_docstring(self, module):
+        assert module.__doc__ and module.__doc__.strip(), (
+            f"{module.__name__} has no module docstring"
+        )
+
+    @pytest.mark.parametrize(
+        "module", MODULES, ids=lambda m: m.__name__
+    )
+    def test_public_items_documented(self, module):
+        undocumented = []
+        for name, item in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if not (inspect.isclass(item) or inspect.isfunction(item)):
+                continue
+            if getattr(item, "__module__", None) != module.__name__:
+                continue  # re-export; documented at its home
+            if not (item.__doc__ and item.__doc__.strip()):
+                undocumented.append(name)
+                continue
+            if inspect.isclass(item):
+                for member_name, member in vars(item).items():
+                    if member_name.startswith("_"):
+                        continue
+                    if not inspect.isfunction(member):
+                        continue
+                    # getdoc walks the MRO: overrides inherit the
+                    # base-class contract's documentation.
+                    doc = inspect.getdoc(getattr(item, member_name))
+                    if not (doc and doc.strip()):
+                        undocumented.append(f"{name}.{member_name}")
+        assert not undocumented, (
+            f"{module.__name__}: undocumented public items: "
+            f"{sorted(undocumented)}"
+        )

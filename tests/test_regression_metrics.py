@@ -1,0 +1,57 @@
+"""Tests for the complementary regression metrics (MAPE / RMSE / R^2)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.ml.qerror import regression_metrics
+
+
+class TestRegressionMetrics:
+    def test_perfect_prediction(self):
+        y = np.array([0.1, 1.0, 10.0])
+        metrics = regression_metrics(y, y)
+        assert metrics["mape_pct"] == pytest.approx(0.0)
+        assert metrics["rmse_log"] == pytest.approx(0.0)
+        assert metrics["r2_log"] == pytest.approx(1.0)
+
+    def test_mape_scale(self):
+        true = np.array([1.0, 2.0])
+        pred = np.array([1.1, 2.2])  # uniformly 10% off
+        metrics = regression_metrics(true, pred)
+        assert metrics["mape_pct"] == pytest.approx(10.0)
+
+    def test_rmse_log_constant_factor(self):
+        true = np.array([1.0, 10.0, 100.0])
+        pred = true * np.e  # log error exactly 1 everywhere
+        metrics = regression_metrics(true, pred)
+        assert metrics["rmse_log"] == pytest.approx(1.0)
+
+    def test_r2_worse_than_mean_is_negative(self):
+        true = np.array([0.1, 1.0, 10.0])
+        pred = np.array([10.0, 1.0, 0.1])  # anti-correlated
+        assert regression_metrics(true, pred)["r2_log"] < 0.0
+
+    def test_constant_target_degenerate(self):
+        true = np.array([2.0, 2.0, 2.0])
+        perfect = regression_metrics(true, true)
+        assert perfect["r2_log"] == 1.0
+        off = regression_metrics(true, true * 2)
+        assert off["r2_log"] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            regression_metrics(np.array([1.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ConfigurationError):
+            regression_metrics(np.array([0.0]), np.array([1.0]))
+
+    def test_present_in_manager_reports(self):
+        from repro.ml import MLManager
+        from repro.ml.models import LinearRegressionModel
+        from tests.test_ml import _labelled_dataset
+
+        manager = MLManager(models=[LinearRegressionModel()], seed=0)
+        reports = manager.train_and_evaluate(_labelled_dataset(40))
+        regression = reports["LR"].regression
+        assert {"mape_pct", "rmse_log", "r2_log"} <= set(regression)
+        assert reports["LR"].to_dict()["regression"] == regression

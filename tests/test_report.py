@@ -1,0 +1,128 @@
+"""Tests for the reporting layer: tables, figures, the Table 1 matrix."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.report import (
+    TABLE1_ROWS,
+    FigureData,
+    Series,
+    pdsp_bench_claims,
+    render_figure,
+    render_table,
+)
+from repro.report.related_work import render_table1
+
+
+class TestRenderTable:
+    def test_contains_headers_and_rows(self):
+        text = render_table(
+            ["name", "value"], [["a", 1.5], ["b", 20.0]], title="T"
+        )
+        assert "T" in text
+        assert "name" in text and "value" in text
+        assert "1.500" in text and "20.0" in text
+
+    def test_large_numbers_grouped(self):
+        text = render_table(["v"], [[1234567.0]])
+        assert "1,234,567" in text
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_table([], [])
+
+    def test_empty_rows_ok(self):
+        assert "a" in render_table(["a"], [])
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Series("s", [1, 2], [1.0])
+
+    def test_value_at(self):
+        series = Series("s", ["XS", "S"], [1.0, 2.0])
+        assert series.value_at("S") == 2.0
+        with pytest.raises(ConfigurationError):
+            series.value_at("XXL")
+
+
+class TestFigureData:
+    def _figure(self):
+        return FigureData(
+            figure_id="figX",
+            title="demo",
+            x_label="x",
+            y_label="y",
+            series=[
+                Series("a", [1, 2], [10.0, 20.0]),
+                Series("b", [1, 2], [30.0, 40.0]),
+            ],
+        )
+
+    def test_shared_x_validates(self):
+        assert self._figure().shared_x() == [1, 2]
+        broken = FigureData(
+            "f", "t", "x", "y",
+            series=[
+                Series("a", [1], [1.0]),
+                Series("b", [2], [1.0]),
+            ],
+        )
+        with pytest.raises(ConfigurationError, match="mismatched"):
+            broken.shared_x()
+
+    def test_series_lookup(self):
+        figure = self._figure()
+        assert figure.series_by_label("b").y == [30.0, 40.0]
+        with pytest.raises(ConfigurationError):
+            figure.series_by_label("zzz")
+
+    def test_render_figure_layout(self):
+        text = render_figure(self._figure())
+        assert "figX" in text
+        assert "| a" in text or "a " in text
+        assert "10.0" in text
+
+    def test_to_document(self):
+        doc = self._figure().to_document()
+        assert doc["figure_id"] == "figX"
+        assert len(doc["series"]) == 2
+
+    def test_empty_figure_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FigureData("f", "t", "x", "y").shared_x()
+
+
+class TestTable1:
+    def test_eleven_rows(self):
+        assert len(TABLE1_ROWS) == 11
+        assert TABLE1_ROWS[-1].system == "PDSP-Bench"
+
+    def test_only_pdsp_bench_has_learned_models(self):
+        learned = [r.system for r in TABLE1_ROWS if r.learned_models]
+        assert learned == ["PDSP-Bench"]
+
+    def test_claims_verified_against_codebase(self):
+        """The Table 1 PDSP-Bench row must be true of this repo."""
+        claims = pdsp_bench_claims()
+        from repro.apps import REGISTRY
+        from repro.workload import QueryStructure
+        from repro.cluster import heterogeneous_cluster, homogeneous_cluster
+        from repro.ml.models import default_models
+
+        assert len(REGISTRY) == claims["real_world_apps"]
+        assert len(list(QueryStructure)) == claims["synthetic_apps"]
+        assert claims["integrates_learned_models"]
+        assert len(default_models()) == 4
+        assert homogeneous_cluster().is_heterogeneous is False
+        assert heterogeneous_cluster().is_heterogeneous is True
+
+    def test_render_table1(self):
+        text = render_table1()
+        assert "PDSP-Bench" in text
+        assert "DSPBench" in text

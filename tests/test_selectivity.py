@@ -1,0 +1,136 @@
+"""Tests for selectivity estimation and literal generation (Section 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.sps.predicates import FilterFunction
+from repro.workload.distributions import (
+    StringVocabulary,
+    UniformDouble,
+    UniformInt,
+    ZipfInt,
+)
+from repro.workload.selectivity import draw_predicate, estimate_selectivity
+
+
+class TestEstimateSelectivity:
+    uniform = UniformDouble(0.0, 1.0)
+
+    @pytest.mark.parametrize(
+        "function,literal,expected",
+        [
+            (FilterFunction.LT, 0.3, 0.3),
+            (FilterFunction.LE, 0.3, 0.3),
+            (FilterFunction.GT, 0.3, 0.7),
+            (FilterFunction.GE, 0.3, 0.7),
+            (FilterFunction.EQ, 0.3, 0.0),
+            (FilterFunction.NE, 0.3, 1.0),
+        ],
+    )
+    def test_continuous(self, function, literal, expected):
+        assert estimate_selectivity(
+            function, literal, self.uniform
+        ) == pytest.approx(expected)
+
+    def test_discrete_eq(self):
+        dist = UniformInt(0, 9)
+        assert estimate_selectivity(
+            FilterFunction.EQ, 4, dist
+        ) == pytest.approx(0.1)
+        # LT excludes the literal's point mass; LE includes it.
+        lt = estimate_selectivity(FilterFunction.LT, 4, dist)
+        le = estimate_selectivity(FilterFunction.LE, 4, dist)
+        assert le - lt == pytest.approx(0.1)
+
+    def test_string_functions(self):
+        vocab = StringVocabulary(("aa", "ab", "ba", "bb"))
+        assert estimate_selectivity(
+            FilterFunction.STARTS_WITH, "a", vocab
+        ) == pytest.approx(0.5)
+        assert estimate_selectivity(
+            FilterFunction.ENDS_WITH, "b", vocab
+        ) == pytest.approx(0.5)
+        assert estimate_selectivity(
+            FilterFunction.CONTAINS, "bb", vocab
+        ) == pytest.approx(0.25)
+
+    def test_string_function_on_numeric_rejected(self):
+        with pytest.raises(ConfigurationError):
+            estimate_selectivity(
+                FilterFunction.CONTAINS, "x", self.uniform
+            )
+
+
+class TestDrawPredicate:
+    """The core paper property: generated literals keep 0 < sel < 1."""
+
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            UniformDouble(0.0, 100.0),
+            UniformInt(0, 500),
+            ZipfInt(80, 1.3),
+            StringVocabulary(),
+        ],
+        ids=["double", "int", "zipf", "string"],
+    )
+    def test_estimated_selectivity_in_band(self, dist, rng):
+        band = (0.15, 0.85)
+        for _ in range(30):
+            predicate = draw_predicate(dist, 0, rng, band=band)
+            estimate = estimate_selectivity(
+                predicate.function, predicate.literal, dist
+            )
+            assert 0.0 < estimate < 1.0
+            assert predicate.selectivity_hint == pytest.approx(
+                min(max(estimate, 1e-6), 1.0), abs=1e-6
+            )
+
+    def test_band_respected_for_numeric(self, rng):
+        dist = UniformDouble(0.0, 1.0)
+        for _ in range(50):
+            predicate = draw_predicate(dist, 0, rng, band=(0.4, 0.6))
+            assert 0.35 <= predicate.selectivity_hint <= 0.65
+
+    def test_observed_matches_estimated(self, rng):
+        """Empirical pass rate must match the estimate (validity check)."""
+        dist = UniformDouble(0.0, 10.0)
+        predicate = draw_predicate(dist, 0, rng, band=(0.3, 0.7))
+        from repro.sps.tuples import StreamTuple
+
+        passed = sum(
+            predicate.evaluate(
+                StreamTuple(values=(dist.sample(rng),), event_time=0.0)
+            )
+            for _ in range(4000)
+        )
+        assert passed / 4000 == pytest.approx(
+            predicate.selectivity_hint, abs=0.05
+        )
+
+    def test_field_index_respected(self, rng):
+        predicate = draw_predicate(UniformInt(0, 9), 3, rng)
+        assert predicate.field_index == 3
+
+    def test_invalid_band(self, rng):
+        with pytest.raises(ConfigurationError):
+            draw_predicate(UniformInt(0, 9), 0, rng, band=(0.8, 0.2))
+
+    def test_restricted_functions(self, rng):
+        predicate = draw_predicate(
+            UniformDouble(0, 1),
+            0,
+            rng,
+            functions=[FilterFunction.GT],
+        )
+        assert predicate.function is FilterFunction.GT
+
+    def test_no_applicable_functions(self, rng):
+        with pytest.raises(ConfigurationError):
+            draw_predicate(
+                UniformDouble(0, 1),
+                0,
+                rng,
+                functions=[FilterFunction.CONTAINS],
+            )

@@ -1,0 +1,75 @@
+"""Tests for the sustainable-throughput search."""
+
+import pytest
+
+from repro.cluster import homogeneous_cluster
+from repro.common.errors import ConfigurationError
+from repro.core.runner import BenchmarkRunner, RunnerConfig
+from repro.core.throughput import ThroughputResult, sustainable_throughput
+
+# Generous sim-time horizon: low rungs of the rate ladder need long
+# simulated streams before keyed operators (SG's 800 plugs) warm up.
+QUICK = RunnerConfig(
+    repeats=1, dilation=25.0, max_tuples_per_source=4000,
+    max_sim_time=150.0,
+)
+
+
+@pytest.fixture
+def runner():
+    return BenchmarkRunner(homogeneous_cluster("m510", 4), QUICK)
+
+
+class TestSustainableThroughput:
+    def test_finds_saturation_boundary(self, runner):
+        # SG at parallelism 2 saturates quickly: the sustainable rate
+        # must be far below the top of the ladder.
+        result = sustainable_throughput(
+            runner,
+            "SG",
+            parallelism=2,
+            rates=(1_000.0, 10_000.0, 100_000.0, 1_000_000.0),
+            refine_steps=1,
+        )
+        assert result.sustainable_rate < 1_000_000.0
+        assert result.baseline_latency_ms > 0
+        assert len(result.probed) >= 3
+
+    def test_parallelism_raises_throughput(self, runner):
+        ladder = (1_000.0, 5_000.0, 20_000.0, 80_000.0, 320_000.0)
+        low = sustainable_throughput(
+            runner, "SD", parallelism=1, rates=ladder, refine_steps=0
+        )
+        high = sustainable_throughput(
+            runner, "SD", parallelism=8, rates=ladder, refine_steps=0
+        )
+        assert high.sustainable_rate > low.sustainable_rate
+
+    def test_unsaturated_app_reaches_top(self, runner):
+        result = sustainable_throughput(
+            runner,
+            "LP",
+            parallelism=4,
+            rates=(1_000.0, 5_000.0, 20_000.0),
+            refine_steps=0,
+        )
+        assert result.sustainable_rate == 20_000.0
+
+    def test_describe(self, runner):
+        result = ThroughputResult(
+            sustainable_rate=50_000.0,
+            baseline_latency_ms=10.0,
+            latency_at_limit_ms=25.0,
+            probed=((1_000.0, 10.0),),
+        )
+        assert "50,000" in result.describe()
+
+    def test_validation(self, runner):
+        with pytest.raises(ConfigurationError):
+            sustainable_throughput(
+                runner, "WC", 1, rates=(5_000.0, 1_000.0)
+            )
+        with pytest.raises(ConfigurationError):
+            sustainable_throughput(
+                runner, "WC", 1, rates=(1.0, 2.0), latency_factor=0.5
+            )

@@ -1,0 +1,121 @@
+"""Unit tests for window assigners and aggregate functions."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.sps.windows import (
+    AggregateFunction,
+    SlidingCountWindows,
+    SlidingTimeWindows,
+    TumblingCountWindows,
+    TumblingTimeWindows,
+    Window,
+)
+
+
+class TestWindow:
+    def test_contains_half_open(self):
+        window = Window(1.0, 2.0)
+        assert window.contains(1.0)
+        assert window.contains(1.999)
+        assert not window.contains(2.0)
+        assert not window.contains(0.999)
+
+    def test_duration(self):
+        assert Window(1.0, 3.5).duration == pytest.approx(2.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            Window(2.0, 2.0)
+
+
+class TestTumblingTime:
+    def test_assign_single_window(self):
+        assigner = TumblingTimeWindows(0.5)
+        windows = assigner.assign(1.2)
+        assert len(windows) == 1
+        assert windows[0] == Window(1.0, 1.5)
+
+    def test_boundary_goes_to_next(self):
+        assigner = TumblingTimeWindows(0.5)
+        assert assigner.assign(1.5)[0] == Window(1.5, 2.0)
+
+    def test_features(self):
+        assigner = TumblingTimeWindows(0.25)
+        assert assigner.feature_length == 0.25
+        assert assigner.feature_slide_ratio == 1.0
+        assert assigner.is_time_based
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            TumblingTimeWindows(0.0)
+
+
+class TestSlidingTime:
+    def test_overlap_count(self):
+        assigner = SlidingTimeWindows(1.0, 0.25)
+        windows = assigner.assign(3.6)
+        assert len(windows) == 4  # duration / slide
+        for window in windows:
+            assert window.contains(3.6)
+
+    def test_windows_sorted_and_aligned(self):
+        assigner = SlidingTimeWindows(1.0, 0.5)
+        windows = assigner.assign(2.1)
+        starts = [w.start for w in windows]
+        assert starts == sorted(starts)
+        for start in starts:
+            assert (start / 0.5) == pytest.approx(round(start / 0.5))
+
+    def test_slide_cannot_exceed_duration(self):
+        with pytest.raises(ConfigurationError):
+            SlidingTimeWindows(0.5, 1.0)
+
+    def test_slide_equal_duration_is_tumbling(self):
+        assigner = SlidingTimeWindows(0.5, 0.5)
+        assert len(assigner.assign(1.3)) == 1
+        assert assigner.feature_slide_ratio == 1.0
+
+
+class TestCountWindows:
+    def test_tumbling_features(self):
+        assigner = TumblingCountWindows(100)
+        assert not assigner.is_time_based
+        assert assigner.feature_length == 100.0
+        assert assigner.feature_slide_ratio == 1.0
+
+    def test_sliding_features(self):
+        assigner = SlidingCountWindows(100, 30)
+        assert assigner.feature_slide_ratio == pytest.approx(0.3)
+
+    def test_invalid_lengths(self):
+        with pytest.raises(ConfigurationError):
+            TumblingCountWindows(0)
+        with pytest.raises(ConfigurationError):
+            SlidingCountWindows(10, 20)
+
+    def test_describe(self):
+        assert "100" in TumblingCountWindows(100).describe()
+        assert "sliding" in SlidingCountWindows(10, 5).describe()
+
+
+class TestAggregateFunctions:
+    values = [3.0, 1.0, 4.0, 1.0, 5.0]
+
+    def test_min_max_sum(self):
+        assert AggregateFunction.MIN.apply(self.values) == 1.0
+        assert AggregateFunction.MAX.apply(self.values) == 5.0
+        assert AggregateFunction.SUM.apply(self.values) == 14.0
+
+    def test_avg_equals_mean(self):
+        avg = AggregateFunction.AVG.apply(self.values)
+        mean = AggregateFunction.MEAN.apply(self.values)
+        assert avg == mean == pytest.approx(2.8)
+
+    def test_count(self):
+        assert AggregateFunction.COUNT.apply(self.values) == 5.0
+        assert AggregateFunction.COUNT.apply([]) == 0.0
+
+    def test_empty_rejected_for_non_count(self):
+        with pytest.raises(ConfigurationError):
+            AggregateFunction.SUM.apply([])
