@@ -1,0 +1,36 @@
+"""Static plan analysis: pre-flight diagnostics for PQPs.
+
+The analyzer inspects a :class:`~repro.sps.logical.LogicalPlan` (plus,
+optionally, the target cluster and placement strategy) *before* anything
+executes and emits :class:`Diagnostic` records with stable rule codes in
+six families — DAG structure (``PLAN``), schema propagation (``SCH``),
+keyed-state partitioning (``KEY``), window sanity (``WIN``), resource
+feasibility (``RES``) and cost/selectivity sanity (``COST``).
+
+Entry points:
+
+- :func:`analyze_plan` — collect every diagnostic, never raises.
+- :func:`preflight` — raise :class:`PreflightError` on any ERROR.
+- ``repro lint-plan`` — the CLI front-end.
+"""
+
+from repro.analysis.analyzer import PlanAnalyzer, analyze_plan, preflight
+from repro.analysis.diagnostics import (
+    AnalysisReport,
+    Diagnostic,
+    PreflightError,
+    Severity,
+)
+from repro.analysis.rules import RULE_CATALOG, RuleSpec
+
+__all__ = [
+    "PlanAnalyzer",
+    "analyze_plan",
+    "preflight",
+    "AnalysisReport",
+    "Diagnostic",
+    "PreflightError",
+    "Severity",
+    "RULE_CATALOG",
+    "RuleSpec",
+]

@@ -1,0 +1,209 @@
+"""Diagnostic records emitted by the static plan analyzer.
+
+A :class:`Diagnostic` is one finding of the pre-flight analysis pass: a
+stable rule code (``PLAN003``, ``SCH102``, ...), a severity, the offending
+operator or edge, a human-readable message and a fix hint. Diagnostics are
+collected into an :class:`AnalysisReport`, which the engine's pre-flight
+gate, the workload generator and the ``repro lint-plan`` CLI all consume.
+
+Severities follow the usual compiler convention: ``ERROR`` means the plan
+cannot execute correctly (the engine refuses it), ``WARNING`` means it will
+run but likely not measure what the user intended, ``INFO`` is advisory.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+
+from repro.common.errors import PlanError
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "AnalysisReport",
+    "PreflightError",
+]
+
+
+class Severity(enum.Enum):
+    """How serious a diagnostic is."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Ordering weight: errors sort first."""
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the static analysis pass.
+
+    ``code`` is a stable identifier from the rule catalogue
+    (:data:`repro.analysis.rules.RULE_CATALOG`); ``op_id`` names the
+    offending operator when the finding is operator-local and ``edge``
+    names the offending exchange as ``"src->dst"`` when it is edge-local.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    op_id: str | None = None
+    edge: str | None = None
+    hint: str = ""
+
+    @property
+    def location(self) -> str:
+        """Where the finding anchors: operator, edge or the whole plan."""
+        if self.edge is not None:
+            return self.edge
+        if self.op_id is not None:
+            return self.op_id
+        return "<plan>"
+
+    def format(self) -> str:
+        """One-line rendering, e.g. ``ERROR PLAN003 [agg]: message``."""
+        line = (
+            f"{self.severity.value.upper():7s} {self.code} "
+            f"[{self.location}]: {self.message}"
+        )
+        if self.hint:
+            line += f" (hint: {self.hint})"
+        return line
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (used by ``lint-plan --format json``)."""
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "op_id": self.op_id,
+            "edge": self.edge,
+            "hint": self.hint,
+        }
+
+
+@dataclass
+class AnalysisReport:
+    """All diagnostics of one analysis pass over one plan."""
+
+    plan_name: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        """Append one finding."""
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics) -> None:
+        """Append an iterable of findings."""
+        self.diagnostics.extend(diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    # ------------------------------------------------------------ filtering
+
+    def errors(self) -> list[Diagnostic]:
+        """Findings with severity ERROR."""
+        return self.by_severity(Severity.ERROR)
+
+    def warnings(self) -> list[Diagnostic]:
+        """Findings with severity WARNING."""
+        return self.by_severity(Severity.WARNING)
+
+    def infos(self) -> list[Diagnostic]:
+        """Findings with severity INFO."""
+        return self.by_severity(Severity.INFO)
+
+    def by_severity(self, severity: Severity) -> list[Diagnostic]:
+        """Findings of one severity."""
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    def by_code(self, code: str) -> list[Diagnostic]:
+        """Findings carrying one rule code."""
+        return [d for d in self.diagnostics if d.code == code]
+
+    def codes(self) -> set[str]:
+        """The distinct rule codes present."""
+        return {d.code for d in self.diagnostics}
+
+    @property
+    def has_errors(self) -> bool:
+        """Whether any ERROR diagnostic is present."""
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    @property
+    def is_clean(self) -> bool:
+        """Whether the plan produced no diagnostics at all."""
+        return not self.diagnostics
+
+    def sorted(self) -> list[Diagnostic]:
+        """Diagnostics ordered by severity, then code, then location."""
+        return sorted(
+            self.diagnostics,
+            key=lambda d: (d.severity.rank, d.code, d.location),
+        )
+
+    # ------------------------------------------------------------ rendering
+
+    def format(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [f"plan {self.plan_name!r}: {self.summary()}"]
+        lines.extend(d.format() for d in self.sorted())
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        """e.g. ``2 errors, 1 warning, 0 infos``."""
+        counts = (
+            len(self.errors()), len(self.warnings()), len(self.infos())
+        )
+        names = ("error", "warning", "info")
+        return ", ".join(
+            f"{count} {name}{'s' if count != 1 else ''}"
+            for count, name in zip(counts, names)
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        """JSON rendering for tooling (``lint-plan --format json``)."""
+        return json.dumps(
+            {
+                "plan": self.plan_name,
+                "clean": self.is_clean,
+                "errors": len(self.errors()),
+                "warnings": len(self.warnings()),
+                "infos": len(self.infos()),
+                "diagnostics": [d.to_dict() for d in self.sorted()],
+            },
+            indent=indent,
+        )
+
+
+class PreflightError(PlanError):
+    """Raised by the engine's pre-flight gate when analysis finds ERRORs.
+
+    Carries the full :class:`AnalysisReport` so callers can inspect every
+    finding, not just the first.
+    """
+
+    def __init__(self, report: AnalysisReport) -> None:
+        self.report = report
+        errors = report.errors()
+        head = (
+            f"pre-flight analysis rejected plan {report.plan_name!r}: "
+            f"{len(errors)} error(s)"
+        )
+        details = "; ".join(
+            f"{d.code} [{d.location}] {d.message}" for d in errors[:5]
+        )
+        if len(errors) > 5:
+            details += f"; ... and {len(errors) - 5} more"
+        super().__init__(f"{head}: {details}", code=errors[0].code
+                         if errors else None)

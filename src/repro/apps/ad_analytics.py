@@ -150,6 +150,12 @@ def build(
             cost_noise=0.30,
         ),
         name="CTR accumulator",
+        output_schema=Schema(
+            [
+                Field("campaign", DataType.INT),
+                Field("ctr", DataType.DOUBLE),
+            ]
+        ),
     )
     ctr.metadata["key_field"] = 1
     ctr.metadata["key_cardinality"] = _NUM_CAMPAIGNS

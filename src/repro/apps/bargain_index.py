@@ -140,6 +140,12 @@ def build(
         selectivity=0.3,
         cost_scale=0.5,
         name="bargain index",
+        output_schema=Schema(
+            [
+                Field("symbol", DataType.INT),
+                Field("index", DataType.DOUBLE),
+            ]
+        ),
     )
     plan.add_operator(bargain)
     plan.add_operator(builders.sink("sink"))

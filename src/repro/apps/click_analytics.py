@@ -106,6 +106,13 @@ def build(
         selectivity=1.0,
         cost_scale=4.0,
         name="gap-based sessionizer",
+        output_schema=Schema(
+            [
+                Field("geo", DataType.INT),
+                Field("session_clicks", DataType.DOUBLE),
+                Field("repeat", DataType.DOUBLE),
+            ]
+        ),
     )
     sessionizer.metadata["key_field"] = 0
     sessionizer.metadata["key_cardinality"] = _NUM_VISITORS

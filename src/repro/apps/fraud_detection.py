@@ -120,6 +120,13 @@ def build(
         selectivity=1.0,
         cost_scale=7.0,
         name="per-account Markov scorer",
+        output_schema=Schema(
+            [
+                Field("account", DataType.INT),
+                Field("score", DataType.DOUBLE),
+                Field("amount", DataType.DOUBLE),
+            ]
+        ),
     )
     scorer.metadata["key_field"] = 0
     scorer.metadata["key_cardinality"] = _NUM_ACCOUNTS

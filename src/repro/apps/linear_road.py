@@ -112,6 +112,12 @@ def build(
         selectivity=0.12,
         cost_scale=0.1,  # the toll formula is trivial arithmetic
         name="toll notification",
+        output_schema=Schema(
+            [
+                Field("segment", DataType.INT),
+                Field("toll", DataType.DOUBLE),
+            ]
+        ),
     )
     toll.metadata["key_cardinality"] = _NUM_XWAYS * _NUM_SEGMENTS
     plan.add_operator(toll)

@@ -64,7 +64,19 @@ def build(
             event_rate,
         )
     )
-    plan.add_operator(builders.map_op("parse", _parse))
+    plan.add_operator(
+        builders.map_op(
+            "parse",
+            _parse,
+            output_schema=Schema(
+                [
+                    Field("status", DataType.INT),
+                    Field("path", DataType.STRING),
+                    Field("size", DataType.DOUBLE),
+                ]
+            ),
+        )
+    )
     plan.add_operator(
         builders.filter_op(
             "traffic",

@@ -109,6 +109,13 @@ def build(
         selectivity=1.0,
         cost_scale=1.5,
         name="per-machine z-score",
+        output_schema=Schema(
+            [
+                Field("machine", DataType.INT),
+                Field("cpu", DataType.DOUBLE),
+                Field("z", DataType.DOUBLE),
+            ]
+        ),
     )
     score.metadata["key_field"] = 0  # keyed state: partition by machine
     score.metadata["key_cardinality"] = _NUM_MACHINES

@@ -128,6 +128,12 @@ def build(
             cost_noise=0.25,
         ),
         name="lexicon sentiment scorer",
+        output_schema=Schema(
+            [
+                Field("topic", DataType.INT),
+                Field("score", DataType.DOUBLE),
+            ]
+        ),
     )
     plan.add_operator(scorer)
     topic_avg = builders.window_agg(

@@ -166,6 +166,12 @@ def build(
         selectivity=1.0 / 2,
         cost_scale=12.0,  # order-statistics maintenance per reading
         name="per-plug sliding median",
+        output_schema=Schema(
+            [
+                Field("house", DataType.INT),
+                Field("plug_median", DataType.DOUBLE),
+            ]
+        ),
     )
     plug_median.metadata["key_field"] = 0
     plug_median.metadata["key_cardinality"] = (
@@ -178,6 +184,14 @@ def build(
         selectivity=0.9,
         cost_scale=4.0,
         name="per-house outlier scorer",
+        output_schema=Schema(
+            [
+                Field("house", DataType.INT),
+                Field("plug_median", DataType.DOUBLE),
+                Field("house_median", DataType.DOUBLE),
+                Field("score", DataType.DOUBLE),
+            ]
+        ),
     )
     outlier.metadata["key_field"] = 0
     outlier.metadata["key_cardinality"] = _NUM_HOUSES

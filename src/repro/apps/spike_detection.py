@@ -100,6 +100,13 @@ def build(
         selectivity=0.02,
         cost_scale=9.0,  # history maintenance per reading, per sensor
         name="moving-average spike detector",
+        output_schema=Schema(
+            [
+                Field("sensor", DataType.INT),
+                Field("value", DataType.DOUBLE),
+                Field("average", DataType.DOUBLE),
+            ]
+        ),
     )
     spike.metadata["key_field"] = 0
     spike.metadata["key_cardinality"] = _NUM_SENSORS

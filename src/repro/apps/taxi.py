@@ -104,7 +104,18 @@ def build(
             event_rate,
         )
     )
-    plan.add_operator(builders.map_op("route", _to_route))
+    plan.add_operator(
+        builders.map_op(
+            "route",
+            _to_route,
+            output_schema=Schema(
+                [
+                    Field("route_key", DataType.INT),
+                    Field("fare", DataType.DOUBLE),
+                ]
+            ),
+        )
+    )
     route_counts = builders.window_agg(
         "route_counts",
         SlidingTimeWindows(1.0, 0.5),
@@ -121,6 +132,13 @@ def build(
         selectivity=0.2,
         cost_scale=3.0,
         name="frequent-route tracker",
+        output_schema=Schema(
+            [
+                Field("route", DataType.INT),
+                Field("count", DataType.DOUBLE),
+                Field("rank", DataType.DOUBLE),
+            ]
+        ),
     )
     plan.add_operator(top_routes)
     plan.add_operator(builders.sink("sink"))

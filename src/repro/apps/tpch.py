@@ -87,7 +87,18 @@ def build(
             ),
         )
     )
-    plan.add_operator(builders.map_op("revenue", _revenue))
+    plan.add_operator(
+        builders.map_op(
+            "revenue",
+            _revenue,
+            output_schema=Schema(
+                [
+                    Field("group_key", DataType.INT),
+                    Field("revenue", DataType.DOUBLE),
+                ]
+            ),
+        )
+    )
     summary = builders.window_agg(
         "pricing_summary",
         TumblingTimeWindows(0.5),

@@ -107,7 +107,17 @@ def build(
         )
     )
     plan.add_operator(
-        builders.flat_map("extract", _extract_tags, expected_fanout=1.5)
+        builders.flat_map(
+            "extract",
+            _extract_tags,
+            expected_fanout=1.5,
+            output_schema=Schema(
+                [
+                    Field("tag", DataType.STRING),
+                    Field("count", DataType.DOUBLE),
+                ]
+            ),
+        )
     )
     tag_counts = builders.window_agg(
         "tag_counts",
@@ -125,6 +135,13 @@ def build(
         selectivity=0.3,
         cost_scale=2.0,
         name="top-k tracker",
+        output_schema=Schema(
+            [
+                Field("tag", DataType.STRING),
+                Field("count", DataType.DOUBLE),
+                Field("rank", DataType.DOUBLE),
+            ]
+        ),
     )
     plan.add_operator(topk)
     plan.add_operator(builders.sink("sink"))

@@ -76,7 +76,17 @@ def build(
         )
     )
     plan.add_operator(
-        builders.flat_map("tokenize", _tokenize, expected_fanout=6.5)
+        builders.flat_map(
+            "tokenize",
+            _tokenize,
+            expected_fanout=6.5,
+            output_schema=Schema(
+                [
+                    Field("word", DataType.STRING),
+                    Field("count", DataType.DOUBLE),
+                ]
+            ),
+        )
     )
     counter = builders.window_agg(
         "count",

@@ -10,6 +10,7 @@ a web UI; the same operations are exposed here):
 - ``train``                       — build a corpus and compare cost models
 - ``experiment``                  — regenerate a paper figure
 - ``tables``                      — render the paper's config tables
+- ``lint-plan``                   — static pre-flight analysis of PQPs
 """
 
 from __future__ import annotations
@@ -138,6 +139,48 @@ def build_parser() -> argparse.ArgumentParser:
     tables.add_argument(
         "which", choices=["1", "2", "4"], help="table number"
     )
+
+    lint = commands.add_parser(
+        "lint-plan",
+        help="run the static pre-flight analyzer over plans",
+    )
+    lint.add_argument(
+        "--app", nargs="*", default=None,
+        help="app abbreviations to lint (e.g. WC SG)",
+    )
+    lint.add_argument(
+        "--all-apps", action="store_true",
+        help="lint every built-in application plan",
+    )
+    lint.add_argument(
+        "--structure", default=None,
+        choices=[s.value for s in QueryStructure],
+        help="lint a freshly generated synthetic PQP instead",
+    )
+    lint.add_argument("--parallelism", type=int, default=4)
+    lint.add_argument("--rate", type=float, default=100_000.0)
+    lint.add_argument(
+        "--strict", action="store_true",
+        help="treat warnings as errors for the exit code",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        dest="output_format",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    lint.add_argument(
+        "--cluster", default="m510",
+        help="hardware type for a homogeneous cluster (default m510)",
+    )
+    lint.add_argument(
+        "--hetero", action="store_true",
+        help="use the mixed c6525_25g+c6320 heterogeneous cluster",
+    )
+    lint.add_argument("--nodes", type=int, default=10)
+    lint.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -348,6 +391,87 @@ def _cmd_tables(args) -> int:
     return 0
 
 
+def _lint_targets(args) -> list:
+    """(name, LogicalPlan) pairs selected by the lint-plan options."""
+    from repro.apps import REGISTRY, build_app
+
+    targets = []
+    abbrevs = []
+    if args.all_apps or (not args.app and args.structure is None):
+        abbrevs = sorted(REGISTRY)
+    elif args.app:
+        abbrevs = [a.upper() for a in args.app]
+    for abbrev in abbrevs:
+        app = build_app(abbrev, event_rate=args.rate, seed=args.seed)
+        app.set_parallelism(args.parallelism)
+        targets.append((abbrev, app.plan))
+    if args.structure is not None:
+        from repro.workload.generator import WorkloadGenerator
+
+        generator = WorkloadGenerator(seed=args.seed)
+        query = generator.generate_one(
+            _cluster_from_args(args),
+            QueryStructure(args.structure),
+            event_rate=args.rate,
+        )
+        targets.append((args.structure, query.plan))
+    return targets
+
+
+def _cmd_lint_plan(args) -> int:
+    import json as json_module
+
+    from repro.analysis import RULE_CATALOG, analyze_plan
+
+    if args.list_rules:
+        rows = [
+            [spec.code, spec.family, spec.severity.value, spec.title]
+            for spec in RULE_CATALOG.values()
+        ]
+        print(
+            render_table(
+                ["code", "family", "severity", "rule"],
+                rows,
+                title="static plan analysis rule catalogue",
+            )
+        )
+        return 0
+
+    cluster = _cluster_from_args(args)
+    reports = [
+        (name, analyze_plan(plan, cluster=cluster))
+        for name, plan in _lint_targets(args)
+    ]
+    failed = False
+    for _, report in reports:
+        if report.has_errors:
+            failed = True
+        elif args.strict and report.warnings():
+            failed = True
+    if args.output_format == "json":
+        print(
+            json_module.dumps(
+                [
+                    json_module.loads(report.to_json())
+                    for _, report in reports
+                ],
+                indent=2,
+            )
+        )
+    else:
+        for name, report in reports:
+            if report.is_clean:
+                print(f"{name}: clean")
+            else:
+                print(report.format())
+        verdict = "FAILED" if failed else "ok"
+        print(
+            f"linted {len(reports)} plan(s)"
+            f"{' (strict)' if args.strict else ''}: {verdict}"
+        )
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -367,6 +491,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_experiment(args)
     if args.command == "tables":
         return _cmd_tables(args)
+    if args.command == "lint-plan":
+        return _cmd_lint_plan(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -8,7 +8,17 @@ training, storage).
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by this library."""
+    """Base class for all errors raised by this library.
+
+    ``code`` optionally carries the stable diagnostic rule code
+    (``PLAN003``, ``COST501``, ...) of the static-analysis rule the input
+    violated, so ad-hoc validation in constructors and the whole-plan
+    analyzer (:mod:`repro.analysis`) speak the same vocabulary.
+    """
+
+    def __init__(self, *args, code: str | None = None) -> None:
+        super().__init__(*args)
+        self.code = code
 
 
 class ConfigurationError(ReproError):

@@ -74,7 +74,14 @@ def filter_op(
         parallelism=parallelism,
         selectivity=predicate.selectivity_hint,
         cost=cost,
-        metadata={"predicate": predicate.describe()},
+        metadata={
+            "predicate": predicate.describe(),
+            # primitive mirror of the predicate so the static analyzer
+            # (SCH102/SCH105) can type-check it against the input schema
+            "predicate_field": predicate.field_index,
+            "predicate_function": predicate.function.value,
+            "predicate_literal": predicate.literal,
+        },
     )
 
 
@@ -152,6 +159,7 @@ def window_agg(
             "agg": function.value,
             "window": assigner.describe(),
             "key_field": key_field,
+            "value_field": value_field,
         },
     )
 
@@ -198,6 +206,7 @@ def event_window_agg(
             "agg": function.value,
             "window": assigner.describe(),
             "key_field": key_field,
+            "value_field": value_field,
             "time_semantics": "event",
             "max_out_of_orderness": max_out_of_orderness,
         },
@@ -239,15 +248,24 @@ def udo(
     cost_scale: float = 1.0,
     cost: OperatorCost | None = None,
     name: str | None = None,
+    output_schema: Schema | None = None,
+    key_field: int | None = None,
 ) -> LogicalOperator:
     """A user-defined operator.
 
     ``cost_scale`` scales the default UDO cost profile: the application
     suite uses it to express how data-intensive each custom operator is
     (the paper's SG/SD/SA operators are far heavier than AD's parsers).
+    ``key_field`` declares which value position keys the operator's state
+    (used for default hash partitioning and the KEY2xx analysis rules);
+    ``output_schema`` declares what the operator emits so downstream field
+    references can be checked statically.
     """
     if cost is None:
         cost = default_cost(OperatorKind.UDO).scaled(cost_scale)
+    metadata: dict[str, Any] = {"udo_name": name or op_id}
+    if key_field is not None:
+        metadata["key_field"] = key_field
     return LogicalOperator(
         op_id=op_id,
         kind=OperatorKind.UDO,
@@ -255,7 +273,8 @@ def udo(
         parallelism=parallelism,
         selectivity=selectivity,
         cost=cost,
-        metadata={"udo_name": name or op_id},
+        output_schema=output_schema,
+        metadata=metadata,
     )
 
 

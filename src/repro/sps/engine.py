@@ -148,10 +148,20 @@ class StreamEngine:
         config: SimulationConfig | None = None,
         rng_factory: RngFactory | None = None,
         chaining: bool = False,
+        preflight: bool = True,
     ) -> None:
         self.logical = plan
         self.cluster = cluster
         self.config = config or SimulationConfig()
+        if preflight:
+            # Static analysis gate: refuse plans with ERROR diagnostics
+            # before building anything. Tests that intentionally build
+            # broken plans opt out with preflight=False.
+            from repro.analysis.analyzer import preflight as run_preflight
+
+            self.preflight_report = run_preflight(plan, cluster=cluster)
+        else:
+            self.preflight_report = None
         self.physical = PhysicalPlan.from_logical(plan, chaining=chaining)
         strategy = placement or RoundRobinPlacement()
         self.placement = strategy.place(self.physical, cluster)

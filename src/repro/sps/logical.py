@@ -9,6 +9,7 @@ the partitioning strategy of the exchange. The physical planner
 
 from __future__ import annotations
 
+import math
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 from typing import Any
@@ -56,10 +57,26 @@ class LogicalOperator:
                 f"{self.op_id}: parallelism must be >= 1, "
                 f"got {self.parallelism}"
             )
+        if not math.isfinite(self.selectivity):
+            raise PlanError(
+                f"{self.op_id}: selectivity must be finite, "
+                f"got {self.selectivity}",
+                code="COST501",
+            )
         if self.selectivity < 0:
             raise PlanError(f"{self.op_id}: selectivity must be >= 0")
         if self.cost is None:
             self.cost = default_cost(self.kind)
+        elif not (
+            math.isfinite(self.cost.base_cpu_s)
+            and math.isfinite(self.cost.coord_kappa)
+        ):
+            raise PlanError(
+                f"{self.op_id}: cost parameters must be finite, got "
+                f"base_cpu_s={self.cost.base_cpu_s} "
+                f"coord_kappa={self.cost.coord_kappa}",
+                code="COST501",
+            )
 
     def describe(self) -> str:
         """e.g. ``filter_1[filter x8]``."""
@@ -97,7 +114,11 @@ class LogicalPlan:
     def add_operator(self, op: LogicalOperator) -> LogicalOperator:
         """Add an operator; ids must be unique within the plan."""
         if op.op_id in self._ops:
-            raise PlanError(f"duplicate operator id {op.op_id!r}")
+            raise PlanError(
+                f"duplicate operator id {op.op_id!r}: every operator of a "
+                "plan needs a unique id",
+                code="PLAN000",
+            )
         self._ops[op.op_id] = op
         return op
 

@@ -134,7 +134,11 @@ class SlidingTimeWindows(WindowAssigner):
         windows = []
         while index * self.slide > event_time - self.duration:
             start = index * self.slide
-            windows.append(Window(start, start + self.duration))
+            window = Window(start, start + self.duration)
+            # start + duration can round *down* to exactly event_time
+            # (half-open end), so re-check containment bit-for-bit.
+            if window.contains(event_time):
+                windows.append(window)
             index -= 1
         windows.reverse()
         return windows

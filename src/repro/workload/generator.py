@@ -9,8 +9,10 @@ the paper generates for benchmarking and ML training.
 
 from __future__ import annotations
 
+from collections import Counter
 from collections.abc import Sequence
 
+from repro.analysis.analyzer import analyze_plan
 from repro.cluster.cluster import Cluster
 from repro.common.errors import ConfigurationError
 from repro.common.rng import RngFactory
@@ -43,6 +45,10 @@ def scale_plan_costs(plan, scale: float) -> None:
 class WorkloadGenerator:
     """Generates batches of parallel query plans with data streams."""
 
+    #: Retries per requested query before giving up when the static
+    #: analyzer keeps rejecting what we generate.
+    MAX_REJECTIONS_PER_QUERY = 25
+
     def __init__(
         self,
         space: ParameterSpace | None = None,
@@ -51,6 +57,15 @@ class WorkloadGenerator:
         self.space = space or ParameterSpace()
         self._rngs = RngFactory(seed)
         self._generated = 0
+        #: Cumulative count of analyzer-rejected candidate plans, by rule
+        #: code (e.g. ``{"RES401": 3}``). A healthy generator keeps this
+        #: empty; non-zero counts point at a generator/analyzer mismatch.
+        self.rejection_counts: Counter[str] = Counter()
+
+    @property
+    def rejected_total(self) -> int:
+        """Total candidate plans the pre-flight analyzer rejected."""
+        return sum(self.rejection_counts.values())
 
     def generate(
         self,
@@ -85,11 +100,33 @@ class WorkloadGenerator:
         queries: list[GeneratedQuery] = []
         for i in range(count):
             structure = chosen[i % len(chosen)]
+            queries.append(
+                self._generate_checked(
+                    structure, cluster, strategy, event_rate, cost_scale
+                )
+            )
+        return queries
+
+    def _generate_checked(
+        self,
+        structure: QueryStructure,
+        cluster: Cluster,
+        strategy: EnumerationStrategy,
+        event_rate: float | None,
+        cost_scale: float,
+    ) -> GeneratedQuery:
+        """Build one candidate PQP, retrying past analyzer rejections.
+
+        Every candidate runs through the static pre-flight analyzer;
+        rejected plans are counted by rule code in
+        :attr:`rejection_counts` and regenerated with a fresh random
+        draw, so a batch never silently contains a malformed plan.
+        """
+        last_codes: set[str] = set()
+        for _ in range(self.MAX_REJECTIONS_PER_QUERY):
             rng = self._rngs.fresh("workload", str(self._generated))
             self._generated += 1
-            query = build_structure(
-                structure, rng, self.space, event_rate
-            )
+            query = build_structure(structure, rng, self.space, event_rate)
             if cost_scale != 1.0:
                 scale_plan_costs(query.plan, cost_scale)
                 query.params["cost_scale"] = cost_scale
@@ -100,8 +137,18 @@ class WorkloadGenerator:
             query.params["strategy"] = strategy.name
             query.params["degrees"] = dict(assignment)
             query.plan.validate()
-            queries.append(query)
-        return queries
+            report = analyze_plan(query.plan, cluster=cluster)
+            if not report.has_errors:
+                return query
+            last_codes = {d.code for d in report.errors()}
+            self.rejection_counts.update(last_codes)
+        raise ConfigurationError(
+            f"workload generator produced "
+            f"{self.MAX_REJECTIONS_PER_QUERY} consecutive "
+            f"{structure.value!r} plans the static analyzer rejected "
+            f"(codes: {sorted(last_codes)}); the parameter space and "
+            "cluster are incompatible"
+        )
 
     def generate_one(
         self,

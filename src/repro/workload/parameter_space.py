@@ -8,7 +8,7 @@ of ranges with sampling helpers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -1,0 +1,585 @@
+"""Tests for the static plan analyzer (repro.analysis).
+
+Each of the six rule families is exercised with at least one failing
+fixture (a hand-built broken plan) and one passing fixture, as the
+pre-flight gate's contract requires.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.analysis import (
+    RULE_CATALOG,
+    AnalysisReport,
+    Diagnostic,
+    PreflightError,
+    Severity,
+    analyze_plan,
+    preflight,
+)
+from repro.cluster.cluster import homogeneous_cluster
+from repro.common.errors import PlanError
+from repro.sps import builders
+from repro.sps.engine import StreamEngine
+from repro.sps.logical import LogicalOperator, LogicalPlan, OperatorKind
+from repro.sps.partitioning import (
+    BroadcastPartitioner,
+    ForwardPartitioner,
+    HashPartitioner,
+    RebalancePartitioner,
+)
+from repro.sps.placement import RoundRobinPlacement
+from repro.sps.predicates import FilterFunction, Predicate
+from repro.sps.types import DataType, Field, Schema
+from repro.sps.windows import (
+    AggregateFunction,
+    SlidingTimeWindows,
+    TumblingCountWindows,
+    TumblingTimeWindows,
+)
+
+from repro.sps.tuples import StreamTuple
+
+SCHEMA = Schema(
+    [
+        Field("key", DataType.INT),
+        Field("value", DataType.DOUBLE),
+        Field("label", DataType.STRING),
+    ]
+)
+
+
+def _gen(rng, now):
+    return StreamTuple(
+        values=(int(rng.integers(10)), float(rng.random()), "x"),
+        event_time=now,
+        size_bytes=32.0,
+    )
+
+
+def _source(op_id="src", schema=SCHEMA, parallelism=1):
+    return builders.source(
+        op_id,
+        _gen,
+        schema,
+        event_rate=1000.0,
+        parallelism=parallelism,
+    )
+
+
+def good_plan(parallelism=2) -> LogicalPlan:
+    """source -> filter -> window_agg(key 0, value 1) -> sink."""
+    plan = LogicalPlan("good")
+    plan.add_operator(_source())
+    plan.add_operator(
+        builders.filter_op(
+            "keep",
+            Predicate(1, FilterFunction.GT, 0.5, selectivity_hint=0.5),
+            parallelism=parallelism,
+        )
+    )
+    plan.add_operator(
+        builders.window_agg(
+            "agg",
+            TumblingTimeWindows(0.5),
+            AggregateFunction.SUM,
+            value_field=1,
+            key_field=0,
+            parallelism=parallelism,
+        )
+    )
+    plan.add_operator(builders.sink("sink"))
+    plan.connect("src", "keep")
+    plan.connect("keep", "agg")
+    plan.connect("agg", "sink")
+    return plan
+
+
+def codes_of(report: AnalysisReport) -> set:
+    return report.codes()
+
+
+class TestDiagnosticPrimitives:
+    def test_diagnostic_format_and_location(self):
+        diag = Diagnostic(
+            code="PLAN003",
+            severity=Severity.ERROR,
+            message="cycle",
+            op_id="agg",
+            hint="break it",
+        )
+        assert diag.location == "agg"
+        line = diag.format()
+        assert "ERROR" in line and "PLAN003" in line and "[agg]" in line
+        assert "break it" in line
+
+    def test_edge_location_wins_over_op(self):
+        diag = Diagnostic(
+            code="KEY201",
+            severity=Severity.ERROR,
+            message="m",
+            op_id="agg",
+            edge="a->b",
+        )
+        assert diag.location == "a->b"
+
+    def test_report_sorting_and_summary(self):
+        report = AnalysisReport("p")
+        report.add(
+            Diagnostic(code="WIN305", severity=Severity.INFO, message="i")
+        )
+        report.add(
+            Diagnostic(code="PLAN001", severity=Severity.ERROR, message="e")
+        )
+        assert report.sorted()[0].code == "PLAN001"
+        assert report.summary() == "1 error, 0 warnings, 1 info"
+        assert report.has_errors and not report.is_clean
+
+    def test_report_json_round_trip(self):
+        report = analyze_plan(good_plan())
+        data = json.loads(report.to_json())
+        assert data["plan"] == "good"
+        assert data["clean"] is True
+        assert data["diagnostics"] == []
+
+    def test_catalogue_covers_all_six_families(self):
+        families = {spec.family for spec in RULE_CATALOG.values()}
+        assert families == {
+            "dag", "schema", "keying", "window", "resource", "cost"
+        }
+
+    def test_every_diagnostic_code_is_catalogued(self):
+        assert all(code in RULE_CATALOG for code in
+                   ("PLAN001", "SCH102", "KEY201", "WIN302", "RES401",
+                    "COST502"))
+
+
+class TestDagRules:
+    def test_good_plan_has_no_dag_findings(self):
+        report = analyze_plan(good_plan())
+        assert not any(c.startswith("PLAN") for c in codes_of(report))
+
+    def test_missing_source_and_sink(self):
+        plan = LogicalPlan("empty")
+        report = analyze_plan(plan)
+        assert {"PLAN001", "PLAN002"} <= codes_of(report)
+
+    def test_cycle_detected(self):
+        plan = good_plan()
+        plan.connect("agg", "keep", RebalancePartitioner())
+        report = analyze_plan(plan)
+        assert "PLAN003" in codes_of(report)
+
+    def test_source_with_input(self):
+        plan = good_plan()
+        plan.connect("keep", "src", RebalancePartitioner())
+        report = analyze_plan(plan)
+        assert "PLAN004" in codes_of(report)
+
+    def test_unreachable_operator(self):
+        plan = good_plan()
+        plan.add_operator(
+            builders.map_op("orphan", lambda values: values)
+        )
+        plan.connect("orphan", "sink", RebalancePartitioner())
+        report = analyze_plan(plan)
+        findings = report.by_code("PLAN005")
+        assert [d.op_id for d in findings] == ["orphan"]
+
+    def test_sinkless_branch(self):
+        plan = good_plan()
+        plan.add_operator(
+            builders.map_op("deadend", lambda values: values)
+        )
+        plan.connect("keep", "deadend")
+        report = analyze_plan(plan)
+        findings = report.by_code("PLAN006")
+        assert [d.op_id for d in findings] == ["deadend"]
+
+    def test_join_port_discipline(self):
+        plan = LogicalPlan("ports")
+        plan.add_operator(_source("a"))
+        plan.add_operator(_source("b"))
+        plan.add_operator(
+            builders.window_join(
+                "join",
+                SlidingTimeWindows(1.0, 0.5),
+                left_key_field=0,
+                right_key_field=0,
+            )
+        )
+        plan.add_operator(builders.sink("sink"))
+        plan.connect("a", "join", port=0)
+        plan.connect("b", "join", port=0)  # should be port=1
+        plan.connect("join", "sink")
+        report = analyze_plan(plan)
+        assert "PLAN007" in codes_of(report)
+
+    def test_duplicate_edge_warning(self):
+        plan = good_plan()
+        plan.connect("src", "keep", RebalancePartitioner())
+        report = analyze_plan(plan)
+        findings = report.by_code("PLAN008")
+        assert findings and findings[0].severity is Severity.WARNING
+
+    def test_forward_parallelism_mismatch(self):
+        plan = LogicalPlan("fwd")
+        plan.add_operator(_source(parallelism=2))
+        plan.add_operator(
+            builders.map_op("m", lambda values: values, parallelism=3)
+        )
+        plan.add_operator(builders.sink("sink"))
+        plan.connect("src", "m", ForwardPartitioner())
+        plan.connect("m", "sink")
+        report = analyze_plan(plan)
+        assert "PLAN009" in codes_of(report)
+
+    def test_sink_with_output(self):
+        plan = good_plan()
+        plan.add_operator(builders.sink("sink2"))
+        plan.connect("sink", "sink2", RebalancePartitioner())
+        report = analyze_plan(plan)
+        assert "PLAN010" in codes_of(report)
+
+    def test_duplicate_op_id_raises_coded_plan_error(self):
+        plan = good_plan()
+        with pytest.raises(PlanError) as excinfo:
+            plan.add_operator(builders.sink("sink"))
+        assert excinfo.value.code == "PLAN000"
+
+
+class TestSchemaRules:
+    def test_good_plan_has_no_schema_findings(self):
+        report = analyze_plan(good_plan())
+        assert not any(c.startswith("SCH") for c in codes_of(report))
+
+    def test_source_without_schema(self):
+        plan = LogicalPlan("noschema")
+        plan.add_operator(
+            LogicalOperator(
+                op_id="src",
+                kind=OperatorKind.SOURCE,
+                logic_factory=lambda: None,
+                metadata={"event_rate": 10.0},
+            )
+        )
+        plan.add_operator(builders.sink("sink"))
+        plan.connect("src", "sink")
+        report = analyze_plan(plan)
+        assert "SCH101" in codes_of(report)
+
+    def test_field_index_out_of_bounds(self):
+        plan = good_plan()
+        plan.operators["agg"].metadata["value_field"] = 9
+        report = analyze_plan(plan)
+        assert "SCH102" in codes_of(report)
+
+    def test_join_key_type_mismatch(self):
+        left = Schema([Field("k", DataType.INT), Field("v", DataType.DOUBLE)])
+        right = Schema(
+            [Field("k", DataType.STRING), Field("v", DataType.DOUBLE)]
+        )
+        plan = LogicalPlan("joinmix")
+        plan.add_operator(_source("l", schema=left))
+        plan.add_operator(_source("r", schema=right))
+        plan.add_operator(
+            builders.window_join(
+                "join",
+                SlidingTimeWindows(1.0, 0.5),
+                left_key_field=0,
+                right_key_field=0,
+            )
+        )
+        plan.add_operator(builders.sink("sink"))
+        plan.connect("l", "join", port=0)
+        plan.connect("r", "join", port=1)
+        plan.connect("join", "sink")
+        report = analyze_plan(plan)
+        assert "SCH103" in codes_of(report)
+
+    def test_aggregate_over_string_field(self):
+        plan = good_plan()
+        plan.operators["agg"].metadata["value_field"] = 2  # label: STRING
+        report = analyze_plan(plan)
+        assert "SCH104" in codes_of(report)
+
+    def test_predicate_type_mismatch(self):
+        plan = LogicalPlan("badpred")
+        plan.add_operator(_source())
+        plan.add_operator(
+            builders.filter_op(
+                "f",
+                # numeric comparison against the STRING field
+                Predicate(2, FilterFunction.GT, 0.5),
+            )
+        )
+        plan.add_operator(builders.sink("sink"))
+        plan.connect("src", "f")
+        plan.connect("f", "sink")
+        report = analyze_plan(plan)
+        assert "SCH105" in codes_of(report)
+
+    def test_string_literal_against_numeric_field(self):
+        plan = LogicalPlan("badlit")
+        plan.add_operator(_source())
+        plan.add_operator(
+            builders.filter_op(
+                "f", Predicate(1, FilterFunction.EQ, "oops")
+            )
+        )
+        plan.add_operator(builders.sink("sink"))
+        plan.connect("src", "f")
+        plan.connect("f", "sink")
+        report = analyze_plan(plan)
+        assert "SCH105" in codes_of(report)
+
+    def test_undeclared_udo_schema_is_info(self):
+        plan = LogicalPlan("udoschema")
+        plan.add_operator(_source())
+        plan.add_operator(builders.udo("u", lambda: None))
+        plan.add_operator(builders.sink("sink"))
+        plan.connect("src", "u")
+        plan.connect("u", "sink")
+        report = analyze_plan(plan)
+        findings = report.by_code("SCH106")
+        assert findings and findings[0].severity is Severity.INFO
+        assert not report.has_errors
+
+
+class TestKeyingRules:
+    def test_good_plan_has_no_keying_findings(self):
+        report = analyze_plan(good_plan(parallelism=4))
+        assert not any(c.startswith("KEY") for c in codes_of(report))
+
+    def test_rebalance_into_keyed_agg(self):
+        plan = good_plan(parallelism=2)
+        # replace the hash edge into the keyed aggregate
+        plan._edges = [e for e in plan.edges if e.dst != "agg"]
+        plan.connect("keep", "agg", RebalancePartitioner())
+        report = analyze_plan(plan)
+        assert "KEY201" in codes_of(report)
+
+    def test_hash_key_mismatch(self):
+        plan = good_plan(parallelism=2)
+        plan._edges = [e for e in plan.edges if e.dst != "agg"]
+        plan.connect("keep", "agg", HashPartitioner(key_field=1))
+        report = analyze_plan(plan)
+        assert "KEY202" in codes_of(report)
+
+    def test_parallelism_one_consumer_is_tolerated(self):
+        plan = good_plan(parallelism=1)
+        plan._edges = [e for e in plan.edges if e.dst != "agg"]
+        plan.connect("keep", "agg", RebalancePartitioner())
+        report = analyze_plan(plan)
+        assert "KEY201" not in codes_of(report)
+
+    def test_broadcast_into_stateful_warns(self):
+        plan = good_plan(parallelism=2)
+        plan._edges = [e for e in plan.edges if e.dst != "agg"]
+        plan.connect("keep", "agg", BroadcastPartitioner())
+        report = analyze_plan(plan)
+        findings = report.by_code("KEY204")
+        assert findings and findings[0].severity is Severity.WARNING
+
+
+class TestWindowRules:
+    def test_good_plan_has_no_window_findings(self):
+        report = analyze_plan(good_plan())
+        assert not any(c.startswith("WIN") for c in codes_of(report))
+
+    def test_missing_window(self):
+        plan = good_plan()
+        plan.operators["agg"].window = None
+        report = analyze_plan(plan)
+        assert "WIN301" in codes_of(report)
+
+    def test_slide_exceeding_length(self):
+        plan = good_plan()
+        window = SlidingTimeWindows(1.0, 0.5)
+        window.slide = 2.0  # bypass the constructor guard
+        plan.operators["agg"].window = window
+        report = analyze_plan(plan)
+        assert "WIN302" in codes_of(report)
+
+    def test_non_positive_window_extent(self):
+        plan = good_plan()
+        window = TumblingTimeWindows(1.0)
+        window.duration = 0.0
+        plan.operators["agg"].window = window
+        report = analyze_plan(plan)
+        assert "WIN303" in codes_of(report)
+
+    def test_count_window_on_join(self):
+        plan = LogicalPlan("cntjoin")
+        plan.add_operator(_source("l"))
+        plan.add_operator(_source("r"))
+        plan.add_operator(
+            builders.window_join(
+                "join",
+                TumblingCountWindows(16),
+                left_key_field=0,
+                right_key_field=0,
+            )
+        )
+        plan.add_operator(builders.sink("sink"))
+        plan.connect("l", "join", port=0)
+        plan.connect("r", "join", port=1)
+        plan.connect("join", "sink")
+        report = analyze_plan(plan)
+        assert "WIN304" in codes_of(report)
+
+    def test_window_on_filter_is_info(self):
+        plan = good_plan()
+        plan.operators["keep"].window = TumblingTimeWindows(1.0)
+        report = analyze_plan(plan)
+        findings = report.by_code("WIN305")
+        assert findings and findings[0].severity is Severity.INFO
+
+
+class TestResourceRules:
+    def test_feasible_plan_is_clean(self):
+        cluster = homogeneous_cluster("m510", num_nodes=10)
+        report = analyze_plan(good_plan(parallelism=4), cluster=cluster)
+        assert not any(c.startswith("RES") for c in codes_of(report))
+
+    def test_no_cluster_skips_resource_family(self):
+        report = analyze_plan(good_plan(parallelism=64))
+        assert not any(c.startswith("RES") for c in codes_of(report))
+
+    def test_parallelism_exceeding_slots_is_error(self):
+        cluster = homogeneous_cluster("m510", num_nodes=2)  # 16 slots
+        report = analyze_plan(good_plan(parallelism=50), cluster=cluster)
+        findings = report.by_code("RES401")
+        assert findings and findings[0].severity is Severity.ERROR
+
+    def test_oversubscription_warns(self):
+        cluster = homogeneous_cluster("m510", num_nodes=2)  # 16 slots
+        report = analyze_plan(good_plan(parallelism=10), cluster=cluster)
+        # 1 + 10 + 10 + 1 = 22 subtasks on 16 slots
+        findings = report.by_code("RES402")
+        assert findings and findings[0].severity is Severity.WARNING
+        assert not report.has_errors
+
+    def test_placement_contention_reported(self):
+        cluster = homogeneous_cluster("m510", num_nodes=2)
+        report = analyze_plan(
+            good_plan(parallelism=10),
+            cluster=cluster,
+            placement=RoundRobinPlacement(),
+        )
+        assert "RES403" in codes_of(report)
+
+
+class TestCostRules:
+    def test_good_plan_has_no_cost_findings(self):
+        report = analyze_plan(good_plan())
+        assert not any(c.startswith("COST") for c in codes_of(report))
+
+    def test_constructor_rejects_nan_selectivity(self):
+        with pytest.raises(PlanError) as excinfo:
+            LogicalOperator(
+                op_id="m",
+                kind=OperatorKind.MAP,
+                logic_factory=lambda: None,
+                selectivity=float("nan"),
+            )
+        assert excinfo.value.code == "COST501"
+
+    def test_constructor_rejects_inf_cost(self):
+        from repro.sps.costs import OperatorCost
+
+        with pytest.raises(PlanError) as excinfo:
+            LogicalOperator(
+                op_id="m",
+                kind=OperatorKind.MAP,
+                logic_factory=lambda: None,
+                cost=OperatorCost(base_cpu_s=math.inf),
+            )
+        assert excinfo.value.code == "COST501"
+
+    def test_analyzer_reports_non_finite_selectivity(self):
+        plan = good_plan()
+        plan.operators["keep"].selectivity = float("inf")
+        report = analyze_plan(plan)
+        assert "COST501" in codes_of(report)
+
+    def test_filter_selectivity_above_one(self):
+        plan = good_plan()
+        plan.operators["keep"].selectivity = 1.5
+        report = analyze_plan(plan)
+        findings = report.by_code("COST502")
+        assert findings and findings[0].severity is Severity.ERROR
+
+    def test_map_fanout_without_flatmap_semantics(self):
+        plan = good_plan()
+        plan.add_operator(
+            builders.map_op("expand", lambda values: values)
+        )
+        plan._edges = [e for e in plan.edges if e.dst != "sink"]
+        plan.connect("agg", "expand")
+        plan.connect("expand", "sink")
+        plan.operators["expand"].selectivity = 2.0
+        report = analyze_plan(plan)
+        assert "COST503" in codes_of(report)
+
+    def test_zero_selectivity_is_info(self):
+        plan = good_plan()
+        plan.operators["keep"].selectivity = 0.0
+        report = analyze_plan(plan)
+        findings = report.by_code("COST505")
+        assert findings and findings[0].severity is Severity.INFO
+
+
+class TestPreflightGate:
+    def _broken_plan(self):
+        plan = good_plan()
+        window = SlidingTimeWindows(1.0, 0.5)
+        window.slide = 2.0
+        plan.operators["agg"].window = window
+        return plan
+
+    def test_preflight_raises_with_report(self):
+        with pytest.raises(PreflightError) as excinfo:
+            preflight(self._broken_plan())
+        assert excinfo.value.code == "WIN302"
+        assert excinfo.value.report.has_errors
+
+    def test_preflight_returns_report_when_clean(self):
+        report = preflight(good_plan())
+        assert isinstance(report, AnalysisReport)
+
+    def test_engine_refuses_broken_plan(self):
+        cluster = homogeneous_cluster("m510", num_nodes=2)
+        with pytest.raises(PreflightError):
+            StreamEngine(self._broken_plan(), cluster)
+
+    def test_engine_opt_out_builds_anyway(self):
+        cluster = homogeneous_cluster("m510", num_nodes=2)
+        engine = StreamEngine(
+            self._broken_plan(), cluster, preflight=False
+        )
+        assert engine.preflight_report is None
+
+    def test_engine_stores_clean_report(self):
+        cluster = homogeneous_cluster("m510", num_nodes=2)
+        engine = StreamEngine(good_plan(), cluster)
+        assert engine.preflight_report is not None
+        assert not engine.preflight_report.has_errors
+
+
+@pytest.mark.parametrize("abbrev", sorted(
+    __import__("repro.apps", fromlist=["REGISTRY"]).REGISTRY
+))
+def test_builtin_apps_are_diagnostic_clean(abbrev):
+    """Every built-in application plan passes analysis with no findings."""
+    from repro.apps import build_app
+
+    cluster = homogeneous_cluster("m510", num_nodes=10)
+    app = build_app(abbrev)
+    app.set_parallelism(4)  # exercise the keyed-state rules
+    report = analyze_plan(
+        app.plan, cluster=cluster, placement=RoundRobinPlacement()
+    )
+    assert report.is_clean, report.format()

@@ -1,0 +1,162 @@
+"""Property-based tests: the generator and the analyzer agree.
+
+Two directions:
+
+- Every plan the workload generator + parallelism enumerators produce
+  over the paper's parameter space passes pre-flight with zero ERRORs —
+  the corpus can never contain a malformed PQP.
+- Targeted mutations of a valid plan (drop an edge, break a join key
+  type, oversubscribe the cluster) each trigger the expected rule code —
+  the analyzer is not vacuously happy.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import Severity, analyze_plan
+from repro.cluster.cluster import homogeneous_cluster
+from repro.common.rng import RngFactory
+from repro.sps.logical import OperatorKind
+from repro.sps.partitioning import HashPartitioner
+from repro.sps.types import DataType, Field, Schema
+from repro.workload.enumeration import (
+    MinAvgMaxEnumeration,
+    RandomEnumeration,
+    RuleBasedEnumeration,
+)
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.parameter_space import ParameterSpace
+from repro.workload.querygen import QueryStructure, build_structure
+
+CLUSTER = homogeneous_cluster("m510", num_nodes=10)
+
+STRATEGIES = {
+    "rule": RuleBasedEnumeration,
+    "random": RandomEnumeration,
+    "minavgmax": MinAvgMaxEnumeration,
+}
+
+
+class TestGeneratedPlansAreClean:
+    @given(
+        structure=st.sampled_from(list(QueryStructure)),
+        seed=st.integers(min_value=0, max_value=2**16),
+        strategy=st.sampled_from(sorted(STRATEGIES)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_generated_plan_has_zero_errors(
+        self, structure, seed, strategy
+    ):
+        space = ParameterSpace()
+        rng = RngFactory(seed).fresh("prop", structure.value)
+        query = build_structure(structure, rng, space, None)
+        strategy_cls = STRATEGIES[strategy]
+        assignment = next(
+            strategy_cls(space).assignments(query.plan, CLUSTER, rng)
+        )
+        query.plan.set_parallelism(assignment)
+        report = analyze_plan(query.plan, cluster=CLUSTER)
+        assert not report.has_errors, report.format()
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_generator_facade_emits_clean_batches(self, seed):
+        generator = WorkloadGenerator(seed=seed)
+        queries = generator.generate(CLUSTER, count=4)
+        assert len(queries) == 4
+        assert generator.rejected_total == 0
+        for query in queries:
+            report = analyze_plan(query.plan, cluster=CLUSTER)
+            assert not report.has_errors, report.format()
+
+
+def _fresh_query(seed, structure=QueryStructure.TWO_WAY_JOIN):
+    rng = RngFactory(seed).fresh("mutate", structure.value)
+    query = build_structure(structure, rng, ParameterSpace(), None)
+    assignment = next(
+        RuleBasedEnumeration(ParameterSpace()).assignments(
+            query.plan, CLUSTER, rng
+        )
+    )
+    query.plan.set_parallelism(assignment)
+    return query
+
+
+class TestMutationsAreCaught:
+    @given(seed=st.integers(min_value=0, max_value=2**10))
+    @settings(max_examples=15, deadline=None)
+    def test_dropping_an_edge_is_caught(self, seed):
+        query = _fresh_query(seed)
+        plan = query.plan
+        dropped = plan.edges[len(plan.edges) // 2]
+        plan._edges = [e for e in plan.edges if e is not dropped]
+        report = analyze_plan(plan, cluster=CLUSTER)
+        assert report.has_errors
+        # either the consumer lost its input or the producer its sink
+        # (a dropped join input also malforms the port set)
+        assert report.codes() & {"PLAN005", "PLAN006", "PLAN007"}
+
+    @given(seed=st.integers(min_value=0, max_value=2**10))
+    @settings(max_examples=15, deadline=None)
+    def test_breaking_a_join_key_type_is_caught(self, seed):
+        query = _fresh_query(seed)
+        plan = query.plan
+        joins = [
+            op for op in plan.operators.values()
+            if op.kind is OperatorKind.WINDOW_JOIN
+        ]
+        assert joins, "two_way_join structure must contain a join"
+        join = joins[0]
+        left_edge = next(
+            e for e in plan.in_edges(join.op_id) if e.port == 0
+        )
+        src = plan.operators[left_edge.src]
+        key_field = join.metadata["key_fields"][0]
+        fields = list(src.output_schema.fields)
+        fields[key_field] = Field(
+            fields[key_field].name, DataType.STRING
+        )
+        src.output_schema = Schema(fields)
+        report = analyze_plan(plan, cluster=CLUSTER)
+        assert "SCH103" in report.codes()
+
+    @given(seed=st.integers(min_value=0, max_value=2**10))
+    @settings(max_examples=15, deadline=None)
+    def test_oversubscribing_slots_is_caught(self, seed):
+        query = _fresh_query(seed)
+        plan = query.plan
+        victim = next(
+            op for op in plan.operators.values()
+            if op.kind is not OperatorKind.SOURCE
+            and op.kind is not OperatorKind.SINK
+        )
+        victim.parallelism = CLUSTER.total_slots + 1
+        report = analyze_plan(plan, cluster=CLUSTER)
+        findings = report.by_code("RES401")
+        assert findings and findings[0].severity is Severity.ERROR
+
+    @given(seed=st.integers(min_value=0, max_value=2**10))
+    @settings(max_examples=15, deadline=None)
+    def test_rekeying_an_exchange_is_caught(self, seed):
+        query = _fresh_query(seed)
+        plan = query.plan
+        join = next(
+            op for op in plan.operators.values()
+            if op.kind is OperatorKind.WINDOW_JOIN
+        )
+        if join.parallelism == 1:
+            join.parallelism = 2
+        left_edge = next(
+            e for e in plan.in_edges(join.op_id) if e.port == 0
+        )
+        key_field = join.metadata["key_fields"][0]
+        wrong = key_field + 1
+        plan._edges = [e for e in plan.edges if e is not left_edge]
+        plan.connect(
+            left_edge.src,
+            left_edge.dst,
+            HashPartitioner(key_field=wrong),
+            port=0,
+        )
+        report = analyze_plan(plan, cluster=CLUSTER)
+        assert "KEY202" in report.codes()

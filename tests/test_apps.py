@@ -1,6 +1,5 @@
 """Tests for the application suite (Table 2): registry + every dataflow."""
 
-import numpy as np
 import pytest
 
 from repro.apps import APP_INFOS, REGISTRY, app_info, build_app

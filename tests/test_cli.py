@@ -93,3 +93,66 @@ class TestCommands:
         )
         assert code == 0
         assert "heterogeneous" in capsys.readouterr().out
+
+
+class TestLintPlan:
+    def test_all_apps_clean(self, capsys):
+        assert main(["lint-plan", "--all-apps"]) == 0
+        out = capsys.readouterr().out
+        assert "WC: clean" in out
+        assert "linted 14 plan(s): ok" in out
+
+    def test_app_subset_and_strict(self, capsys):
+        assert main(["lint-plan", "--app", "WC", "SG", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "SG: clean" in out and "(strict)" in out
+
+    def test_json_format(self, capsys):
+        import json
+
+        assert main(["lint-plan", "--app", "WC", "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data[0]["plan"] == "WC"
+        assert data[0]["clean"] is True
+
+    def test_synthetic_structure(self, capsys):
+        code = main(
+            ["lint-plan", "--structure", "linear", "--nodes", "10"]
+        )
+        assert code == 0
+        assert "linear" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert main(["lint-plan", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("PLAN003", "SCH103", "KEY201", "WIN302", "RES401",
+                     "COST502"):
+            assert code in out
+
+    def test_broken_plan_exits_non_zero(self, capsys, monkeypatch):
+        import repro.cli as cli_module
+        from repro.sps.logical import LogicalPlan
+
+        monkeypatch.setattr(
+            cli_module, "_lint_targets",
+            lambda args: [("broken", LogicalPlan("broken"))],
+        )
+        assert main(["lint-plan"]) == 1
+        out = capsys.readouterr().out
+        assert "PLAN001" in out and "FAILED" in out
+
+    def test_strict_promotes_warnings(self, capsys, monkeypatch):
+        import repro.cli as cli_module
+        from tests.test_analysis import good_plan
+
+        plan = good_plan()
+        plan.connect(
+            "src", "keep",
+        )  # duplicate edge -> PLAN008 warning
+        monkeypatch.setattr(
+            cli_module, "_lint_targets",
+            lambda args: [("dup", plan)],
+        )
+        assert main(["lint-plan"]) == 0
+        capsys.readouterr()
+        assert main(["lint-plan", "--strict"]) == 1

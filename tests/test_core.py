@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.cluster import homogeneous_cluster
 from repro.common.errors import ConfigurationError
 from repro.core import BenchmarkRunner, PDSPBench, RunnerConfig, RunRecord
 from repro.workload import QueryStructure

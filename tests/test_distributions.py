@@ -1,6 +1,5 @@
 """Unit tests for value distributions."""
 
-import numpy as np
 import pytest
 
 from repro.common.errors import ConfigurationError

@@ -1,7 +1,5 @@
 """Property-based tests on the discrete-event engine itself."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

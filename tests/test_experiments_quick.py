@@ -5,7 +5,6 @@ ensure the experiment modules themselves stay correct (series structure,
 labels, persistence round-trips).
 """
 
-import pytest
 
 from repro.cluster import homogeneous_cluster
 from repro.core import PDSPBench, RunnerConfig

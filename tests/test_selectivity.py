@@ -1,6 +1,5 @@
 """Tests for selectivity estimation and literal generation (Section 3.1)."""
 
-import numpy as np
 import pytest
 
 from repro.common.errors import ConfigurationError

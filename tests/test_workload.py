@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.cluster import homogeneous_cluster
 from repro.common.errors import ConfigurationError
 from repro.sps.logical import OperatorKind
 from repro.sps.types import DataType
@@ -176,7 +175,6 @@ class TestBuildStructure:
 
         two predicates on the same field must not form an empty
         conjunction (e.g. f1 < 0.4 AND f1 > 0.6)."""
-        from repro.sps.tuples import StreamTuple
         from repro.workload.querygen import _conjunction_selectivity
 
         for seed in range(25):
