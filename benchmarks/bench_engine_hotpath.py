@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Engine hot-path benchmark — standalone entry point.
+
+Equivalent to ``python -m repro bench``; see :mod:`repro.core.perf` for
+the workloads, the committed-baseline format and the regression gate.
+
+    python benchmarks/bench_engine_hotpath.py [--quick] [--check] [--write]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.core.perf import run_bench  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--check", action="store_true")
+    parser.add_argument("--write", action="store_true")
+    parser.add_argument("--report", default="BENCH_engine.json")
+    parser.add_argument("--no-sweep", action="store_true")
+    args = parser.parse_args(argv)
+    return run_bench(
+        quick=args.quick,
+        check=args.check,
+        write=args.write,
+        report_path=args.report,
+        with_sweep=not args.no_sweep,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,6 +42,7 @@ def _runner_config(args) -> RunnerConfig:
         max_tuples_per_source=args.tuples,
         max_sim_time=args.sim_time,
         seed=args.seed,
+        workers=args.workers,
     )
 
 
@@ -60,6 +61,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--tuples", type=int, default=2500)
     parser.add_argument("--sim-time", type=float, default=30.0)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size for independent runs (1 = serial; "
+        "results are identical either way)",
+    )
     parser.add_argument(
         "--storage", default=None,
         help="directory for the persistent document store",
@@ -132,6 +138,32 @@ def build_parser() -> argparse.ArgumentParser:
         ],
     )
     _add_common(experiment)
+
+    bench = commands.add_parser(
+        "bench",
+        help="engine performance benchmark (events/sec on fixed seeds)",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="small budgets for CI smoke runs",
+    )
+    bench.add_argument(
+        "--check", action="store_true",
+        help="fail if throughput regressed vs the committed "
+        "BENCH_engine.json",
+    )
+    bench.add_argument(
+        "--write", action="store_true",
+        help="record the measured numbers in BENCH_engine.json",
+    )
+    bench.add_argument(
+        "--report", default="BENCH_engine.json",
+        help="path of the benchmark report file",
+    )
+    bench.add_argument(
+        "--no-sweep", action="store_true",
+        help="skip the parallel-sweep wall-clock measurement",
+    )
 
     tables = commands.add_parser(
         "tables", help="render the paper's configuration tables"
@@ -359,7 +391,7 @@ def _cmd_experiment(args) -> int:
     elif args.figure == "fig5":
         figures = [experiments.figure5()]
     else:
-        figures = list(experiments.figure6())
+        figures = list(experiments.figure6(workers=args.workers))
     for figure in figures:
         print(render_figure(figure))
     return 0
@@ -489,6 +521,16 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_train(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "bench":
+        from repro.core.perf import run_bench
+
+        return run_bench(
+            quick=args.quick,
+            check=args.check,
+            write=args.write,
+            report_path=args.report,
+            with_sweep=not args.no_sweep,
+        )
     if args.command == "tables":
         return _cmd_tables(args)
     if args.command == "lint-plan":

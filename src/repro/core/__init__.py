@@ -1,7 +1,15 @@
 """PDSP-Bench core: controller, benchmark runner and experiment suite."""
 
 from repro.core.controller import PDSPBench
+from repro.core.parallel import ParallelRunner, parallel_map
 from repro.core.records import RunRecord
 from repro.core.runner import BenchmarkRunner, RunnerConfig
 
-__all__ = ["PDSPBench", "BenchmarkRunner", "RunnerConfig", "RunRecord"]
+__all__ = [
+    "PDSPBench",
+    "BenchmarkRunner",
+    "RunnerConfig",
+    "RunRecord",
+    "ParallelRunner",
+    "parallel_map",
+]

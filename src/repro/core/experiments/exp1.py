@@ -18,6 +18,7 @@ paradox (O1, O2); UDO apps gain hugely at high degrees while AD stalls
 from __future__ import annotations
 
 from repro.cluster.cluster import Cluster, homogeneous_cluster
+from repro.core.parallel import ParallelRunner
 from repro.core.runner import BenchmarkRunner, RunnerConfig
 from repro.report.figures import FigureData, Series
 from repro.workload.enumeration import ParameterBasedEnumeration
@@ -85,6 +86,11 @@ def figure3_top(
     dilation = runner.config.dilation
     generator = WorkloadGenerator(_fixed_space(), seed=seed)
     labels = list(categories)
+    # Queries come from one sequential generator (its RNG stream must not
+    # be reordered); the measurement cells are independent and fan out.
+    # Each forked worker mutates its copy-on-write plan copy, so setting
+    # parallelism per cell cannot race.
+    pool = ParallelRunner(workers=runner.config.workers)
     series = []
     for structure in structures:
         query = generator.generate_one(
@@ -95,11 +101,12 @@ def figure3_top(
         )
         if dilation != 1.0:
             scale_plan_costs(query.plan, dilation)
-        latencies = []
-        for label in labels:
+
+        def cell(label, query=query):
             query.plan.set_uniform_parallelism(categories[label])
-            result = runner.measure(query.plan)
-            latencies.append(result["mean_median_latency_ms"])
+            return runner.measure(query.plan)["mean_median_latency_ms"]
+
+        latencies = pool.map(cell, labels)
         series.append(Series(structure.value, list(labels), latencies))
     return FigureData(
         figure_id="fig3-top",
@@ -123,14 +130,19 @@ def figure3_bottom(
     runner = BenchmarkRunner(cluster, runner_config)
     categories = categories or EXTENDED_CATEGORIES
     labels = list(categories)
+    # Every (app, category) cell builds its own plan: the full grid fans
+    # out at once, keeping the pool busy even when one app is slow.
+    cells = [(abbrev, label) for abbrev in apps for label in labels]
+
+    def cell(pair):
+        abbrev, label = pair
+        result = runner.measure_app(abbrev, categories[label], event_rate)
+        return result["mean_median_latency_ms"]
+
+    values = ParallelRunner(workers=runner.config.workers).map(cell, cells)
     series = []
-    for abbrev in apps:
-        latencies = []
-        for label in labels:
-            result = runner.measure_app(
-                abbrev, categories[label], event_rate
-            )
-            latencies.append(result["mean_median_latency_ms"])
+    for i, abbrev in enumerate(apps):
+        latencies = values[i * len(labels) : (i + 1) * len(labels)]
         series.append(Series(abbrev, list(labels), latencies))
     return FigureData(
         figure_id="fig3-bottom",

@@ -24,6 +24,7 @@ from repro.cluster.cluster import (
     heterogeneous_cluster,
     homogeneous_cluster,
 )
+from repro.core.parallel import ParallelRunner
 from repro.core.runner import BenchmarkRunner, RunnerConfig
 from repro.report.figures import FigureData, Series
 from repro.workload.enumeration import ParameterBasedEnumeration
@@ -73,14 +74,28 @@ def figure4_top(
         for name, cluster in default_clusters().items()
         if name != "He-mixed"
     }
+    runners = {
+        name: BenchmarkRunner(cluster, runner_config)
+        for name, cluster in clusters.items()
+    }
+    workers = next(iter(runners.values())).config.workers if runners else 1
+    # (cluster, app) cells are independent — fan out the whole grid.
+    cells = [
+        (name, abbrev) for name in runners for abbrev in apps
+    ]
+
+    def cell(pair):
+        name, abbrev = pair
+        runner = runners[name]
+        parallelism = runner.cluster.max_cores_per_node
+        result = runner.measure_app(abbrev, parallelism, event_rate)
+        return result["mean_median_latency_ms"]
+
+    values = ParallelRunner(workers=workers).map(cell, cells)
     series = []
-    for cluster_name, cluster in clusters.items():
-        runner = BenchmarkRunner(cluster, runner_config)
+    for i, (cluster_name, cluster) in enumerate(clusters.items()):
         parallelism = cluster.max_cores_per_node
-        latencies = []
-        for abbrev in apps:
-            result = runner.measure_app(abbrev, parallelism, event_rate)
-            latencies.append(result["mean_median_latency_ms"])
+        latencies = values[i * len(apps) : (i + 1) * len(apps)]
         series.append(
             Series(
                 f"{cluster_name} (p={parallelism})",
@@ -110,9 +125,16 @@ def figure4_bottom(
     clusters = clusters or default_clusters()
     categories = categories or PARALLELISM_CATEGORIES
     labels = list(categories)
-    series = []
+    # Queries are generated serially per cluster (a fresh seeded
+    # generator each, so results never depend on iteration order); the
+    # (cluster, category) measurement cells then fan out. Forked workers
+    # mutate copy-on-write plan copies, so per-cell parallelism settings
+    # cannot interfere.
+    runners = {}
+    cluster_queries = {}
     for cluster_name, cluster in clusters.items():
         runner = BenchmarkRunner(cluster, runner_config)
+        runners[cluster_name] = runner
         dilation = runner.config.dilation
         generator = WorkloadGenerator(seed=seed)
         queries = []
@@ -126,14 +148,23 @@ def figure4_bottom(
             if dilation != 1.0:
                 scale_plan_costs(query.plan, dilation)
             queries.append(query)
-        latencies = []
-        for label in labels:
-            total = 0.0
-            for query in queries:
-                query.plan.set_uniform_parallelism(categories[label])
-                result = runner.measure(query.plan)
-                total += result["mean_median_latency_ms"]
-            latencies.append(total / len(queries))
+        cluster_queries[cluster_name] = queries
+    workers = next(iter(runners.values())).config.workers if runners else 1
+    cells = [(name, label) for name in clusters for label in labels]
+
+    def cell(pair):
+        name, label = pair
+        runner = runners[name]
+        total = 0.0
+        for query in cluster_queries[name]:
+            query.plan.set_uniform_parallelism(categories[label])
+            total += runner.measure(query.plan)["mean_median_latency_ms"]
+        return total / len(cluster_queries[name])
+
+    values = ParallelRunner(workers=workers).map(cell, cells)
+    series = []
+    for i, cluster_name in enumerate(clusters):
+        latencies = values[i * len(labels) : (i + 1) * len(labels)]
         series.append(Series(cluster_name, list(labels), latencies))
     return FigureData(
         figure_id="fig4-bottom",

@@ -23,6 +23,7 @@ import numpy as np
 from repro.cluster.cluster import Cluster, homogeneous_cluster
 from repro.common.errors import TrainingError
 from repro.common.rng import RngFactory
+from repro.core.parallel import ParallelRunner
 from repro.ml.dataset import Dataset, encode_query
 from repro.ml.manager import MLManager
 from repro.ml.models import GNNCostModel
@@ -139,8 +140,14 @@ def figure6(
     test_size: int = 180,
     target_q: float = 1.6,
     seed: int = 9,
+    workers: int = 1,
 ) -> tuple[FigureData, FigureData]:
-    """(Figure 6a: q-error vs training size, Figure 6b: time to target)."""
+    """(Figure 6a: q-error vs training size, Figure 6b: time to target).
+
+    ``workers > 1`` fans the (strategy, size) training cells out to a
+    process pool; every cell builds its corpus from its own seeded
+    generator, so results are independent of how the grid is executed.
+    """
     cluster = cluster or homogeneous_cluster("m510", 10)
     seen_structures = [s for s in QueryStructure if s.is_seen]
     test_corpus = build_labelled_corpus(
@@ -157,27 +164,31 @@ def figure6(
         "random": RandomEnumeration(),
     }
     sizes = list(training_sizes)
+    cells = [
+        (strategy_name, size)
+        for strategy_name in strategies
+        for size in sizes
+    ]
+
+    def cell(pair):
+        strategy_name, size = pair
+        corpus = build_labelled_corpus(
+            cluster,
+            size,
+            structures=seen_structures,
+            strategy=strategies[strategy_name],
+            seed=seed,
+        )
+        return _gnn_qerror(corpus, test_seen, test_unseen, seed)
+
+    results = ParallelRunner(workers=workers).map(cell, cells)
     curves: dict[str, list[float]] = {}
     train_times: dict[str, list[float]] = {}
-    for strategy_name, strategy in strategies.items():
-        seen_curve, unseen_curve, times = [], [], []
-        for size in sizes:
-            corpus = build_labelled_corpus(
-                cluster,
-                size,
-                structures=seen_structures,
-                strategy=strategy,
-                seed=seed,
-            )
-            q_seen, q_unseen, wall = _gnn_qerror(
-                corpus, test_seen, test_unseen, seed
-            )
-            seen_curve.append(q_seen)
-            unseen_curve.append(q_unseen)
-            times.append(wall)
-        curves[f"{strategy_name} (seen)"] = seen_curve
-        curves[f"{strategy_name} (unseen)"] = unseen_curve
-        train_times[strategy_name] = times
+    for i, strategy_name in enumerate(strategies):
+        chunk = results[i * len(sizes) : (i + 1) * len(sizes)]
+        curves[f"{strategy_name} (seen)"] = [q for q, _, _ in chunk]
+        curves[f"{strategy_name} (unseen)"] = [q for _, q, _ in chunk]
+        train_times[strategy_name] = [w for _, _, w in chunk]
     fig6a = FigureData(
         figure_id="fig6a",
         title="Exp 3(2): GNN accuracy vs number of training queries per "

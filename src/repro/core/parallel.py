@@ -1,0 +1,121 @@
+"""Parallel fan-out of independent simulation runs.
+
+The discrete-event engine is single-threaded by design (one run = one
+deterministic event sequence), but a benchmark campaign is embarrassingly
+parallel across *runs*: the repeats of one configuration and the cells of
+a sweep grid share nothing. :class:`ParallelRunner` fans such work out to
+a ``fork``-based multiprocessing pool.
+
+**Determinism.** Parallelism must never change a simulated result, so the
+contract is strict: the caller enumerates work items up front, every item
+carries its own seed derivation (identical to the serial path — e.g.
+``RngFactory(seed * 1000 + repeat)``), and results come back in submission
+order. Workers never share RNG state; ``workers=1`` (the default) runs
+the exact serial loop in-process. ``tests/test_parallel.py`` pins
+serial/parallel equality down.
+
+**Why fork + a module global.** Benchmark closures capture plans, logics
+and clusters that are expensive (or impossible) to pickle. With the
+``fork`` start method children inherit the parent's address space, so the
+pool only ships an integer index per task and a picklable result back.
+Platforms without ``fork`` (Windows, some macOS configurations) fall back
+to the serial loop rather than risking pickling failures — correctness
+first, speed second.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections.abc import Callable, Iterable, Sequence
+from typing import Any, TypeVar
+
+from repro.common.errors import ConfigurationError
+
+__all__ = ["ParallelRunner", "parallel_map", "default_workers"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+# The current fan-out, inherited by forked children. A list so the worker
+# reads the parent's value at fork time without any pickling.
+_TASK: list = [None, None]
+
+# Set in pool children: nested ParallelRunner.map calls (an experiment
+# driver fanning out a runner that itself has workers > 1) degrade to the
+# serial loop instead of forking grandchildren.
+_IN_WORKER = False
+
+
+def _mark_worker() -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def _invoke(index: int) -> Any:
+    fn, items = _TASK
+    return fn(items[index])
+
+
+def default_workers() -> int:
+    """A sensible worker count: the machine's cores, capped at 8."""
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
+class ParallelRunner:
+    """Maps a function over independent work items, possibly in parallel.
+
+    ``workers=1`` is an exact in-process loop; ``workers>1`` forks a pool
+    and dispatches indices in chunks. Worker exceptions propagate to the
+    caller (the pool is torn down, nothing hangs). Result order always
+    matches item order.
+    """
+
+    def __init__(
+        self, workers: int = 1, chunk_size: int | None = None
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError("chunk_size must be >= 1")
+        self.workers = workers
+        self.chunk_size = chunk_size
+
+    # ------------------------------------------------------------------ map
+
+    def map(
+        self, fn: Callable[[_T], _R], items: Iterable[_T]
+    ) -> list[_R]:
+        """``[fn(item) for item in items]``, fanned out when possible."""
+        work: Sequence[_T] = (
+            items if isinstance(items, (list, tuple)) else list(items)
+        )
+        workers = min(self.workers, len(work))
+        if workers <= 1 or _IN_WORKER or not self._fork_available():
+            return [fn(item) for item in work]
+        chunk = self.chunk_size or max(1, len(work) // (workers * 4))
+        ctx = multiprocessing.get_context("fork")
+        previous = list(_TASK)
+        _TASK[0] = fn
+        _TASK[1] = work
+        try:
+            with ctx.Pool(workers, initializer=_mark_worker) as pool:
+                return pool.map(_invoke, range(len(work)), chunksize=chunk)
+        finally:
+            _TASK[0], _TASK[1] = previous
+
+    @staticmethod
+    def _fork_available() -> bool:
+        return "fork" in multiprocessing.get_all_start_methods()
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Iterable[_T],
+    workers: int = 1,
+    chunk_size: int | None = None,
+) -> list[_R]:
+    """One-shot :meth:`ParallelRunner.map`."""
+    return ParallelRunner(workers=workers, chunk_size=chunk_size).map(
+        fn, items
+    )

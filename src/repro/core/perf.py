@@ -1,0 +1,295 @@
+"""Tracked performance harness for the simulation engine.
+
+The discrete-event engine is the hot path of every benchmark campaign, so
+its throughput (simulator events per wall-clock second) is tracked like
+any other regression surface:
+
+- ``repro bench`` (or ``benchmarks/bench_engine_hotpath.py``) measures a
+  fixed set of workloads on fixed seeds and prints events/sec;
+- ``--write`` records the numbers in ``BENCH_engine.json`` at the repo
+  root (the file also keeps the pre-optimization baseline for context);
+- ``--check`` compares a fresh measurement against the committed numbers
+  and fails when throughput drops more than ``TOLERANCE`` below them —
+  the CI perf smoke job runs ``repro bench --quick --check``.
+
+**Cross-machine scaling.** Absolute events/sec depends on the host, so
+the committed file stores a *calibration score* — the throughput of a
+fixed pure-Python heap workload measured on the machine that wrote the
+file. At check time the score is re-measured and the committed reference
+is scaled by the ratio, which keeps the 30% gate meaningful on hosts
+slower or faster than the one that produced the baseline.
+
+Workloads: ``hotpath`` is a synthetic engine-dominated plan (cheap
+operator logic, keyed shuffle, windowed aggregation) that isolates the
+event loop itself; ``WC``/``SG``/``AD`` exercise the real applications
+(word count, smart grid, ad analytics) whose operator logic shares the
+budget with the engine.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from heapq import heappop, heappush
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster.cluster import homogeneous_cluster
+from repro.common.rng import RngFactory
+from repro.core.parallel import default_workers
+from repro.core.runner import BenchmarkRunner, RunnerConfig
+from repro.sps import builders
+from repro.sps.engine import SimulationConfig, StreamEngine
+from repro.sps.logical import LogicalPlan
+from repro.sps.predicates import FilterFunction, Predicate
+from repro.sps.tuples import StreamTuple
+from repro.sps.types import DataType, Field, Schema
+from repro.sps.windows import AggregateFunction, TumblingTimeWindows
+
+__all__ = [
+    "ENGINE_WORKLOADS",
+    "TOLERANCE",
+    "hotpath_plan",
+    "run_engine_bench",
+    "run_sweep_bench",
+    "calibration_score",
+    "run_bench",
+]
+
+#: Default location of the committed numbers, relative to the repo root.
+DEFAULT_REPORT = "BENCH_engine.json"
+
+#: Relative throughput drop that fails ``--check``.
+TOLERANCE = 0.30
+
+#: Workloads of the engine benchmark, in report order.
+ENGINE_WORKLOADS = ("hotpath", "WC", "SG", "AD")
+
+_BENCH_SEED = 17
+_BENCH_PARALLELISM = 4
+_BENCH_DILATION = 25.0
+
+
+def hotpath_plan(parallelism: int = _BENCH_PARALLELISM) -> LogicalPlan:
+    """A synthetic engine-stress plan: source -> filter -> keyed agg -> sink.
+
+    Operator logic is deliberately trivial, so nearly all wall-clock goes
+    to the engine itself — arrival scheduling, queueing, routing (one
+    forward and one hash exchange) and window bookkeeping.
+    """
+    schema = Schema([Field("k", DataType.INT), Field("v", DataType.DOUBLE)])
+
+    def generate(rng: np.random.Generator, now: float) -> StreamTuple:
+        return StreamTuple(
+            values=(int(rng.integers(64)), float(rng.random())),
+            event_time=now,
+            size_bytes=24.0,
+        )
+
+    plan = LogicalPlan("bench-hotpath")
+    plan.add_operator(
+        builders.source(
+            "src", generate, schema, event_rate=4000.0,
+            parallelism=parallelism,
+        )
+    )
+    plan.add_operator(
+        builders.filter_op(
+            "flt",
+            Predicate(1, FilterFunction.GT, 0.5, selectivity_hint=0.5),
+            parallelism=parallelism,
+        )
+    )
+    plan.add_operator(
+        builders.window_agg(
+            "agg",
+            TumblingTimeWindows(0.05),
+            AggregateFunction.SUM,
+            value_field=1,
+            key_field=0,
+            parallelism=parallelism,
+        )
+    )
+    plan.add_operator(builders.sink("sink"))
+    plan.connect("src", "flt")
+    plan.connect("flt", "agg")
+    plan.connect("agg", "sink")
+    return plan
+
+
+def _measure(plan, cluster, tuples: int, rounds: int) -> dict:
+    """Best-of-``rounds`` events/sec of one plan on fixed seeds."""
+    sim = SimulationConfig(max_tuples_per_source=tuples, max_sim_time=8.0)
+    best = 0.0
+    events = 0
+    for _ in range(rounds):
+        engine = StreamEngine(
+            plan, cluster, config=sim,
+            rng_factory=RngFactory(_BENCH_SEED),
+        )
+        start = time.perf_counter()
+        metrics = engine.run()
+        elapsed = time.perf_counter() - start
+        events = metrics.extras["events_processed"]
+        best = max(best, events / elapsed)
+    return {"events_per_sec": round(best, 1), "events": int(events)}
+
+
+def run_engine_bench(
+    quick: bool = False, workloads=ENGINE_WORKLOADS
+) -> dict[str, dict]:
+    """events/sec per workload; quick mode shrinks budgets for CI."""
+    tuples = 1500 if quick else 5000
+    rounds = 2 if quick else 3
+    cluster = homogeneous_cluster("m510", 4)
+    results: dict[str, dict] = {}
+    for name in workloads:
+        if name == "hotpath":
+            plan = hotpath_plan()
+        else:
+            runner = BenchmarkRunner(
+                cluster,
+                RunnerConfig(
+                    repeats=1,
+                    dilation=_BENCH_DILATION,
+                    max_tuples_per_source=tuples,
+                    max_sim_time=8.0,
+                    seed=_BENCH_SEED,
+                ),
+            )
+            plan = runner.prepare_app(name, _BENCH_PARALLELISM).plan
+        results[name] = _measure(plan, cluster, tuples, rounds)
+    return results
+
+
+def run_sweep_bench(
+    quick: bool = False, workers: int | None = None
+) -> dict:
+    """Wall-clock of a small app sweep, serial vs. fanned out."""
+    workers = workers or default_workers()
+    apps = ("WC",) if quick else ("WC", "SG")
+    categories = (1, 2, 4)
+    tuples = 600 if quick else 1500
+
+    def sweep(num_workers: int) -> float:
+        runner = BenchmarkRunner(
+            homogeneous_cluster("m510", 4),
+            RunnerConfig(
+                repeats=2,
+                dilation=_BENCH_DILATION,
+                max_tuples_per_source=tuples,
+                max_sim_time=6.0,
+                seed=_BENCH_SEED,
+                workers=num_workers,
+            ),
+        )
+        start = time.perf_counter()
+        for abbrev in apps:
+            for parallelism in categories:
+                runner.measure_app(abbrev, parallelism)
+        return time.perf_counter() - start
+
+    serial_s = sweep(1)
+    parallel_s = sweep(workers)
+    return {
+        "cells": len(apps) * len(categories),
+        "workers": workers,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(serial_s / max(parallel_s, 1e-9), 2),
+    }
+
+
+def calibration_score(iterations: int = 300_000) -> float:
+    """kops/s of a fixed heap workload — a proxy for host speed.
+
+    Used to scale the committed reference before comparing, so the
+    regression gate transfers across machines of different speeds.
+    """
+    heap: list = []
+    start = time.perf_counter()
+    for i in range(iterations):
+        heappush(heap, ((i * 2654435761) & 1023, i))
+        if i & 1:
+            heappop(heap)
+    elapsed = time.perf_counter() - start
+    return round(iterations / elapsed / 1000.0, 1)
+
+
+def check_report(
+    report: dict,
+    results: dict[str, dict],
+    mode: str,
+    tolerance: float = TOLERANCE,
+) -> list[str]:
+    """Regression messages (empty = pass) vs. the committed numbers."""
+    committed = report.get(mode, {}).get("current")
+    if not committed:
+        return [f"no committed '{mode}' numbers to check against"]
+    scale = 1.0
+    recorded = report.get("calibration_kops")
+    if recorded:
+        scale = calibration_score() / float(recorded)
+    failures = []
+    for name, result in results.items():
+        reference = committed.get(name)
+        if reference is None:
+            continue
+        expected = reference["events_per_sec"] * scale
+        floor = expected * (1.0 - tolerance)
+        if result["events_per_sec"] < floor:
+            failures.append(
+                f"{name}: {result['events_per_sec']:,.0f} ev/s is "
+                f"{100 * (1 - result['events_per_sec'] / expected):.0f}% "
+                f"below the committed {reference['events_per_sec']:,.0f} "
+                f"(scaled to {expected:,.0f} for this host; "
+                f"floor {floor:,.0f})"
+            )
+    return failures
+
+
+def run_bench(
+    quick: bool = False,
+    check: bool = False,
+    write: bool = False,
+    report_path: str | Path = DEFAULT_REPORT,
+    with_sweep: bool = True,
+) -> int:
+    """Measure, print, and optionally check or record. Returns exit code."""
+    mode = "quick" if quick else "full"
+    results = run_engine_bench(quick=quick)
+    print(f"engine benchmark ({mode}, seed {_BENCH_SEED}):")
+    for name, result in results.items():
+        print(
+            f"  {name:8s} {result['events_per_sec']:>12,.0f} ev/s"
+            f"  ({result['events']} events)"
+        )
+    sweep = None
+    if with_sweep:
+        sweep = run_sweep_bench(quick=quick)
+        print(
+            f"sweep: {sweep['cells']} cells, serial {sweep['serial_s']}s, "
+            f"{sweep['workers']} workers {sweep['parallel_s']}s "
+            f"({sweep['speedup']}x)"
+        )
+    path = Path(report_path)
+    report = {}
+    if path.exists():
+        report = json.loads(path.read_text())
+    if check:
+        failures = check_report(report, results, mode)
+        if failures:
+            for message in failures:
+                print(f"PERF REGRESSION: {message}")
+            return 1
+        print(f"perf check passed (tolerance {TOLERANCE:.0%})")
+    if write:
+        section = report.setdefault(mode, {})
+        section["current"] = results
+        report["calibration_kops"] = calibration_score()
+        if sweep is not None:
+            report["sweep"] = sweep
+        path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+    return 0

@@ -23,6 +23,7 @@ from repro.apps.base import AppQuery
 from repro.cluster.cluster import Cluster
 from repro.common.errors import ConfigurationError
 from repro.common.rng import RngFactory
+from repro.core.parallel import ParallelRunner
 from repro.sps.engine import SimulationConfig, StreamEngine
 from repro.sps.logical import LogicalPlan
 from repro.sps.metrics import RunMetrics, aggregate_runs
@@ -34,7 +35,13 @@ __all__ = ["RunnerConfig", "BenchmarkRunner"]
 
 @dataclass(frozen=True)
 class RunnerConfig:
-    """Measurement protocol knobs."""
+    """Measurement protocol knobs.
+
+    ``workers`` fans the independent repeats of each configuration out to
+    a process pool (see :mod:`repro.core.parallel`); 1 keeps the serial
+    in-process loop. Results are identical either way — each repeat's
+    seed is derived from (seed, repeat) alone.
+    """
 
     repeats: int = 3
     dilation: float = 20.0
@@ -42,12 +49,15 @@ class RunnerConfig:
     max_sim_time: float = 6.0
     warmup_fraction: float = 0.1
     seed: int = 0
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.repeats < 1:
             raise ConfigurationError("repeats must be >= 1")
         if self.dilation <= 0:
             raise ConfigurationError("dilation must be positive")
+        if self.workers < 1:
+            raise ConfigurationError("workers must be >= 1")
 
 
 class BenchmarkRunner:
@@ -85,14 +95,19 @@ class BenchmarkRunner:
     # ------------------------------------------------------------- running
 
     def run_plan(self, plan: LogicalPlan) -> list[RunMetrics]:
-        """Run one plan ``repeats`` times with independent randomness."""
+        """Run one plan ``repeats`` times with independent randomness.
+
+        Repeats are independent simulations whose seeds depend only on
+        ``(config.seed, repeat)``, so with ``config.workers > 1`` they
+        fan out to a process pool with bit-identical results.
+        """
         sim_config = SimulationConfig(
             max_tuples_per_source=self.config.max_tuples_per_source,
             max_sim_time=self.config.max_sim_time,
             warmup_fraction=self.config.warmup_fraction,
         )
-        runs = []
-        for repeat in range(self.config.repeats):
+
+        def one_repeat(repeat: int) -> RunMetrics:
             engine = StreamEngine(
                 plan,
                 self.cluster,
@@ -102,8 +117,11 @@ class BenchmarkRunner:
                     self.config.seed * 1000 + repeat
                 ),
             )
-            runs.append(engine.run())
-        return runs
+            return engine.run()
+
+        return ParallelRunner(workers=self.config.workers).map(
+            one_repeat, range(self.config.repeats)
+        )
 
     def measure(self, plan: LogicalPlan) -> dict[str, float]:
         """Mean-of-medians aggregate over the repeats."""

@@ -23,21 +23,47 @@ Event kinds:
 Termination: when all sources are exhausted and no work events remain, the
 engine flushes stateful operators in rounds (remaining windows fire), then
 stops once a flush round produces nothing.
+
+**Hot-path design.** The per-event loop is the simulator's bottleneck, so
+everything that is constant for the lifetime of one engine is resolved at
+build time rather than per event:
+
+- *Arrival state*: each source runtime carries its per-instance rate, its
+  arrival-process kind and its tuple budget, so scheduling the next
+  arrival never consults the logical plan or its metadata dictionaries.
+- *Routing tables*: each runtime carries one precompiled entry per
+  outgoing channel group — the bound ``select`` method, the resolved
+  re-key function, consumer gids, and per-channel ``(latency, bandwidth)``
+  pairs (``(0, inf)`` for same-node channels). Because the network delay
+  model is affine in payload size, ``latency + size / bandwidth``
+  reproduces ``Network.transfer_delay`` bit-for-bit without any per-tuple
+  node lookups. Plans driven by a network subclass that overrides
+  ``transfer_delay`` fall back to calling it per delivery.
+- *Service state*: logics that do not override ``work_units`` have their
+  constant work factor captured once, skipping a method call per tuple.
+
+None of the precomputation changes any simulated result: the same RNG
+draws happen in the same order, and every floating-point expression keeps
+the exact operand order of the straightforward implementation. The golden
+determinism tests (``tests/test_golden_determinism.py``) pin this down.
 """
 
 from __future__ import annotations
 
-import heapq
 import math
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
+
+import numpy as np
 
 from repro.cluster.cluster import Cluster
+from repro.cluster.network import Network
 from repro.common.errors import ConfigurationError, SimulationError
 from repro.common.rng import RngFactory
 from repro.sps.costs import COORD_LOG_COST_S, SERDE_COST_S
 from repro.sps.logical import LogicalPlan, OperatorKind
 from repro.sps.metrics import LatencyStats, RunMetrics
-from repro.sps.operators.base import OperatorContext
+from repro.sps.operators.base import OperatorContext, OperatorLogic
 from repro.sps.operators.sink import SinkLogic
 from repro.sps.partitioning import HashPartitioner
 from repro.sps.physical import PhysicalPlan
@@ -47,6 +73,16 @@ from repro.sps.tuples import StreamTuple
 __all__ = ["SimulationConfig", "StallInjection", "StreamEngine"]
 
 _ARRIVAL, _DELIVER, _BEGIN, _DONE, _TIMER, _STALL = range(6)
+
+# Arrival-process kinds, resolved once at build time.
+_ARR_POISSON, _ARR_CONSTANT, _ARR_BURSTY, _ARR_PROFILE = range(4)
+
+_ARRIVAL_KINDS = {
+    "poisson": _ARR_POISSON,
+    "constant": _ARR_CONSTANT,
+    "bursty": _ARR_BURSTY,
+    "profile": _ARR_PROFILE,
+}
 
 
 @dataclass(frozen=True)
@@ -113,9 +149,9 @@ class SimulationConfig:
             )
 
 
-@dataclass
+@dataclass(slots=True)
 class _SubtaskRuntime:
-    """Mutable per-subtask simulation state."""
+    """Mutable per-subtask simulation state plus precomputed constants."""
 
     gid: int
     op_id: str
@@ -127,6 +163,26 @@ class _SubtaskRuntime:
     shuffle_cost_per_output: float
     is_source: bool
     is_sink: bool
+    #: constant work multiplier when the logic keeps the base
+    #: ``work_units`` implementation; None forces the dynamic call
+    static_work: float | None = None
+    #: arrival process (sources only), resolved from metadata at build
+    arrival_kind: int = _ARR_POISSON
+    arrival_budget: int = 0
+    mean_gap: float = 0.0
+    burst_fast_gap: float = 0.0
+    burst_slow_gap: float = 0.0
+    rate_profile: object | None = None
+    profile_divisor: float = 1.0
+    #: precomputed lognormal location parameter (-sigma^2/2)
+    noise_mu: float = 0.0
+    #: precompiled routing, one entry per outgoing channel group:
+    #: (select, fixed_indices, rekey, consumer_gids, num_channels,
+    #:  latencies, bandwidths, port, shuffle_cost) — fixed_indices
+    #: replaces the select call for forward/broadcast exchanges whose
+    #: fan-out is constant; latencies/bandwidths are None when the
+    #: network overrides ``transfer_delay``
+    route_table: list = field(default_factory=list)
     queue: list = field(default_factory=list)
     queue_head: int = 0
     busy: bool = False
@@ -197,8 +253,10 @@ class StreamEngine:
             shuffle_cost = 0.0
             for group in self.physical.out_channels[subtask.gid]:
                 if group.is_shuffle:
-                    shuffle_cost += SERDE_COST_S + COORD_LOG_COST_S * math.log2(
-                        max(group.num_channels, 2)
+                    shuffle_cost += (
+                        SERDE_COST_S
+                        + COORD_LOG_COST_S
+                        * math.log2(max(group.num_channels, 2))
                     )
             runtime = _SubtaskRuntime(
                 gid=subtask.gid,
@@ -211,7 +269,15 @@ class StreamEngine:
                 shuffle_cost_per_output=shuffle_cost,
                 is_source=op.kind is OperatorKind.SOURCE,
                 is_sink=op.kind is OperatorKind.SINK,
+                static_work=(
+                    logic.work_factor
+                    if type(logic).work_units is OperatorLogic.work_units
+                    else None
+                ),
+                noise_mu=-0.5 * sigma * sigma,
             )
+            if runtime.is_source:
+                self._build_arrival_state(runtime, op)
             self._runtimes.append(runtime)
             if isinstance(logic, SinkLogic):
                 logic.keep_values = self.config.keep_sink_values
@@ -220,12 +286,102 @@ class StreamEngine:
             raise SimulationError(
                 "plan has no SinkLogic sink; use builders.sink()"
             )
+        self._build_route_tables()
+
+    def _build_arrival_state(self, runtime: _SubtaskRuntime, op) -> None:
+        """Resolve a source's arrival process once, not per arrival."""
+        rate = float(op.metadata.get("event_rate", 1000.0))
+        per_instance = rate / max(op.parallelism, 1)
+        if per_instance <= 0:
+            raise SimulationError(f"{runtime.op_id}: event rate must be > 0")
+        process = op.metadata.get("arrival", "poisson")
+        kind = _ARRIVAL_KINDS.get(process)
+        if kind is None:
+            raise ConfigurationError(
+                f"unknown arrival process {process!r} "
+                "(use poisson, constant, bursty or profile)"
+            )
+        runtime.arrival_kind = kind
+        runtime.mean_gap = 1.0 / per_instance
+        # On/off bursts: 4x rate for a quarter phase, silence balancing it.
+        runtime.burst_fast_gap = 1.0 / (per_instance * 4.0)
+        runtime.burst_slow_gap = 1.0 / (per_instance * 0.25)
+        # A missing rate_profile stays a *run-time* error (the engine can
+        # be constructed; scheduling the first arrival reports it).
+        runtime.rate_profile = op.metadata.get("rate_profile")
+        runtime.profile_divisor = float(max(op.parallelism, 1))
+        budget = self.config.max_tuples_per_source / max(op.parallelism, 1)
+        runtime.arrival_budget = max(int(budget), 1)
+
+    def _build_route_tables(self) -> None:
+        """Precompile per-channel-group routing state.
+
+        Resolves, once per channel group: the bound partitioner ``select``,
+        the hash re-key function (or None), consumer gids, and per-channel
+        network delay terms. ``Network.transfer_delay`` is affine in the
+        payload size — ``base_latency + size / bandwidth``, zero for
+        same-node channels — so the table stores ``(latency, bandwidth)``
+        per channel and the hot path evaluates the identical expression
+        without node lookups. Network subclasses overriding
+        ``transfer_delay`` disable the cache (entries store None) and are
+        called per delivery instead.
+        """
+        network = self.cluster.network
+        affine = type(network).transfer_delay is Network.transfer_delay
+        base_latency = network.spec.base_latency_s
+        inf = float("inf")
+        for runtime in self._runtimes:
+            src_node = runtime.node_id
+            table = []
+            for group in self.physical.out_channels[runtime.gid]:
+                partitioner = group.partitioner
+                rekey = (
+                    partitioner.extract_key
+                    if isinstance(partitioner, HashPartitioner)
+                    and partitioner.key_field is not None
+                    else None
+                )
+                consumers = list(group.consumer_gids)
+                if affine:
+                    latencies = []
+                    bandwidths = []
+                    for gid in consumers:
+                        dst_node = self._runtimes[gid].node_id
+                        if dst_node == src_node:
+                            latencies.append(0.0)
+                            bandwidths.append(inf)
+                        else:
+                            latencies.append(base_latency)
+                            bandwidths.append(
+                                network.link_bandwidth(src_node, dst_node)
+                            )
+                else:
+                    latencies = None
+                    bandwidths = None
+                table.append(
+                    (
+                        partitioner.select,
+                        partitioner.constant_indices(len(consumers)),
+                        rekey,
+                        consumers,
+                        len(consumers),
+                        latencies,
+                        bandwidths,
+                        group.port,
+                        (
+                            runtime.shuffle_cost_per_output
+                            if group.is_shuffle
+                            else 0.0
+                        ),
+                    )
+                )
+            runtime.route_table = table
 
     # ------------------------------------------------------------- run-time
 
     def run(self) -> RunMetrics:
         """Execute the simulation and compute metrics."""
-        self._heap: list = []
+        self._heap = []
         self._seq = 0
         self._work = 0
         self._events_processed = 0
@@ -236,7 +392,12 @@ class StreamEngine:
         self._last_source_time = 0.0
         self._congested: set[int] = set()
         self._throttled_arrivals = 0
+        self._bp_limit = self.config.backpressure_queue_limit
         self._rng_arrivals = self._rngs.fresh("engine", "arrivals")
+        # Bound RNG methods: the service and arrival paths draw from the
+        # generator once per tuple, so skip the attribute walk each time.
+        self._lognormal = self._rng_arrivals.lognormal
+        self._exponential = self._rng_arrivals.exponential
 
         for runtime in self._runtimes:
             if runtime.is_source:
@@ -258,29 +419,39 @@ class StreamEngine:
                 )
 
         max_ops = len(self.logical.operators) + 2
-        while self._heap:
-            if self._events_processed > self.config.max_events:
+        max_events = self.config.max_events
+        heap = self._heap
+        runtimes = self._runtimes
+        enqueue = self._enqueue
+        handle_done = self._handle_done
+        events = 0
+        while heap:
+            if events > max_events:
+                self._events_processed = events
                 raise SimulationError(
-                    f"event budget exceeded ({self.config.max_events}); "
+                    f"event budget exceeded ({max_events}); "
                     "the configuration likely diverged"
                 )
-            time, _, kind, gid, payload, port = heapq.heappop(self._heap)
-            self._events_processed += 1
+            time, _, kind, gid, payload, port = heappop(heap)
+            events += 1
             self._now = time
             if kind == _TIMER:
                 if not self._finished:
                     self._handle_timer(gid)
                 continue
             self._work -= 1
-            if kind == _ARRIVAL:
-                self._handle_arrival(gid)
-            elif kind == _DELIVER:
-                self._handle_deliver(gid, payload, port)
-            elif kind == _BEGIN:
-                self._begin_service(gid)
+            if kind == _DELIVER:
+                enqueue(runtimes[gid], payload, port)
             elif kind == _DONE:
-                self._handle_done(gid, payload, port)
-            elif kind == _STALL:
+                handle_done(gid, payload, port)
+            elif kind == _BEGIN:
+                runtime = runtimes[gid]
+                runtime.busy = False
+                if len(runtime.queue) > runtime.queue_head:
+                    self._begin_service_now(runtime)
+            elif kind == _ARRIVAL:
+                self._handle_arrival(gid)
+            else:
                 self._handle_stall(gid, payload)
             if self._work == 0:
                 if self._flush_rounds < max_ops and self._flush_all():
@@ -288,6 +459,7 @@ class StreamEngine:
                 else:
                     self._finished = True
                     break
+        self._events_processed = events
         return self._collect_metrics()
 
     # -------------------------------------------------------------- events
@@ -298,59 +470,44 @@ class StreamEngine:
         self._seq += 1
         if kind != _TIMER:
             self._work += 1
-        heapq.heappush(self._heap, (time, self._seq, kind, gid, payload, port))
+        heappush(self._heap, (time, self._seq, kind, gid, payload, port))
 
     def _schedule_next_arrival(
         self, runtime: _SubtaskRuntime, now: float
     ) -> None:
-        if runtime.emitted >= self._source_budget(runtime):
+        if runtime.emitted >= runtime.arrival_budget:
             return
-        op = self.logical.operator(runtime.op_id)
-        rate = float(op.metadata.get("event_rate", 1000.0))
-        per_instance = rate / max(op.parallelism, 1)
-        if per_instance <= 0:
-            raise SimulationError(f"{runtime.op_id}: event rate must be > 0")
-        process = op.metadata.get("arrival", "poisson")
-        if process == "poisson":
-            gap = self._rng_arrivals.exponential(1.0 / per_instance)
-        elif process == "constant":
-            gap = 1.0 / per_instance
-        elif process == "bursty":
+        kind = runtime.arrival_kind
+        if kind == _ARR_POISSON:
+            gap = self._exponential(runtime.mean_gap)
+        elif kind == _ARR_CONSTANT:
+            gap = runtime.mean_gap
+        elif kind == _ARR_BURSTY:
             # On/off: bursts at 4x rate for 50ms, then silence balancing it.
             phase = (now * 10.0) % 1.0
-            busy = phase < 0.25
-            gap = self._rng_arrivals.exponential(
-                1.0 / (per_instance * (4.0 if busy else 0.25))
+            gap = self._exponential(
+                runtime.burst_fast_gap
+                if phase < 0.25
+                else runtime.burst_slow_gap
             )
-        elif process == "profile":
+        else:
             # Non-stationary Poisson: the instantaneous rate comes from a
             # time profile (e.g. a diurnal curve replaying a recorded
             # trace's load pattern).
-            profile = op.metadata.get("rate_profile")
+            profile = runtime.rate_profile
             if profile is None:
                 raise ConfigurationError(
                     f"{runtime.op_id}: arrival 'profile' needs a "
                     "'rate_profile' callable in the source metadata"
                 )
             instant = max(
-                float(profile(now)) / max(op.parallelism, 1), 1e-9
+                float(profile(now)) / runtime.profile_divisor, 1e-9
             )
             gap = self._rng_arrivals.exponential(1.0 / instant)
-        else:
-            raise ConfigurationError(
-                f"unknown arrival process {process!r} "
-                "(use poisson, constant, bursty or profile)"
-            )
         at = now + gap
         if at > self.config.max_sim_time:
             return
         self._push(at, _ARRIVAL, runtime.gid, None, 0)
-
-    def _source_budget(self, runtime: _SubtaskRuntime) -> int:
-        op = self.logical.operator(runtime.op_id)
-        # Distribute the per-source budget over its parallel instances.
-        budget = self.config.max_tuples_per_source / max(op.parallelism, 1)
-        return max(int(budget), 1)
 
     def _handle_arrival(self, gid: int) -> None:
         runtime = self._runtimes[gid]
@@ -365,21 +522,53 @@ class StreamEngine:
             return
         tup = runtime.logic.generate(self._now)
         runtime.emitted += 1
-        self._last_source_time = max(self._last_source_time, self._now)
+        if self._now > self._last_source_time:
+            self._last_source_time = self._now
         self._enqueue(runtime, tup, 0)
         self._schedule_next_arrival(runtime, self._now)
-
-    def _handle_deliver(self, gid: int, tup: StreamTuple, port: int) -> None:
-        self._enqueue(self._runtimes[gid], tup, port)
 
     def _enqueue(
         self, runtime: _SubtaskRuntime, tup: StreamTuple, port: int
     ) -> None:
-        runtime.queue.append((tup, port, self._now))
-        depth = len(runtime.queue) - runtime.queue_head
+        queue = runtime.queue
+        if not runtime.busy and runtime.queue_head == len(queue):
+            # Idle server, empty queue: start service directly, skipping
+            # the append/pop round-trip. Bookkeeping stays equivalent —
+            # the depth would be 1 (peak), the wait exactly 0.0, and an
+            # empty queue always clears this subtask's congestion flag.
+            if runtime.queue_peak < 1:
+                runtime.queue_peak = 1
+            if self._bp_limit is not None:
+                self._congested.discard(runtime.gid)
+            runtime.served += 1
+            runtime.busy = True
+            work = runtime.static_work
+            if work is None:
+                work = runtime.logic.work_units(tup)
+            service = runtime.base_service * work
+            sigma = runtime.noise_sigma
+            if sigma > 0:
+                service *= self._lognormal(runtime.noise_mu, sigma)
+            runtime.busy_time += service
+            self._seq += 1
+            self._work += 1
+            heappush(
+                self._heap,
+                (
+                    self._now + service,
+                    self._seq,
+                    _DONE,
+                    runtime.gid,
+                    tup,
+                    port,
+                ),
+            )
+            return
+        queue.append((tup, port, self._now))
+        depth = len(queue) - runtime.queue_head
         if depth > runtime.queue_peak:
             runtime.queue_peak = depth
-        limit = self.config.backpressure_queue_limit
+        limit = self._bp_limit
         if limit is not None and depth >= limit:
             self._congested.add(runtime.gid)
         if not runtime.busy:
@@ -392,29 +581,37 @@ class StreamEngine:
             self._begin_service_now(runtime)
 
     def _begin_service_now(self, runtime: _SubtaskRuntime) -> None:
-        tup, port, enqueued_at = runtime.queue[runtime.queue_head]
-        runtime.wait_time += self._now - enqueued_at
+        queue = runtime.queue
+        head = runtime.queue_head
+        tup, port, enqueued_at = queue[head]
+        now = self._now
+        runtime.wait_time += now - enqueued_at
         runtime.served += 1
-        runtime.queue_head += 1
-        if runtime.queue_head > 256 and runtime.queue_head * 2 >= len(
-            runtime.queue
-        ):
-            del runtime.queue[: runtime.queue_head]
+        head += 1
+        runtime.queue_head = head
+        if head > 256 and head * 2 >= len(queue):
+            del queue[:head]
             runtime.queue_head = 0
-        limit = self.config.backpressure_queue_limit
+        limit = self._bp_limit
         if limit is not None and runtime.gid in self._congested:
-            depth = len(runtime.queue) - runtime.queue_head
+            depth = len(queue) - runtime.queue_head
             if depth <= limit // 2:
                 self._congested.discard(runtime.gid)
         runtime.busy = True
-        service = runtime.base_service * runtime.logic.work_units(tup)
-        if runtime.noise_sigma > 0:
-            sigma = runtime.noise_sigma
-            service *= self._rng_arrivals.lognormal(
-                -0.5 * sigma * sigma, sigma
-            )
+        work = runtime.static_work
+        if work is None:
+            work = runtime.logic.work_units(tup)
+        service = runtime.base_service * work
+        sigma = runtime.noise_sigma
+        if sigma > 0:
+            service *= self._lognormal(runtime.noise_mu, sigma)
         runtime.busy_time += service
-        self._push(self._now + service, _DONE, runtime.gid, tup, port)
+        self._seq += 1
+        self._work += 1
+        heappush(
+            self._heap,
+            (now + service, self._seq, _DONE, runtime.gid, tup, port),
+        )
 
     def _handle_done(self, gid: int, tup: StreamTuple, port: int) -> None:
         runtime = self._runtimes[gid]
@@ -456,44 +653,169 @@ class StreamEngine:
     def _route(
         self, runtime: _SubtaskRuntime, outputs: list[StreamTuple]
     ) -> float:
-        """Send outputs downstream; return sender CPU overhead (serde)."""
+        """Send outputs downstream; return sender CPU overhead (serde).
+
+        **Overhead accounting.** The sender serializes its channel groups
+        in plan order; all serde work of a group is paid before any of
+        that group's tuples depart, so every delivery of group *g* is
+        offset by the cumulative overhead of groups ``1..g`` (including
+        *g*'s own total). Within a group the offset is identical for all
+        tuples — a tuple's delivery time never depends on its position in
+        the output batch, only on the (deterministic) group order. The
+        precompiled routing tables reproduce exactly this accounting.
+        """
         if not outputs:
             return 0.0
-        groups = self.physical.out_channels[runtime.gid]
-        if not groups:
+        table = runtime.route_table
+        if not table:
             return 0.0
-        network = self.cluster.network
-        src_node = runtime.node_id
-        total_overhead = 0.0
-        for group in groups:
-            partitioner = group.partitioner
-            rekey = (
-                partitioner.extract_key
-                if isinstance(partitioner, HashPartitioner)
-                and partitioner.key_field is not None
-                else None
-            )
-            for tup in outputs:
-                out = tup.with_key(rekey(tup)) if rekey else tup
-                indices = partitioner.select(out, group.num_channels)
-                if group.is_shuffle:
-                    total_overhead += runtime.shuffle_cost_per_output * len(
-                        indices
+        now = self._now
+        heap = self._heap
+        seq = self._seq
+        pushed = 0
+        offset = 0.0
+        for (
+            select,
+            fixed,
+            rekey,
+            consumers,
+            num_channels,
+            latencies,
+            bandwidths,
+            port,
+            shuffle_cost,
+        ) in table:
+            if fixed is not None:
+                # Constant fan-out (forward/broadcast): no per-tuple
+                # select call or index-list allocation. The overhead sum
+                # keeps the original one-addition-per-output order so it
+                # stays bit-identical to the dynamic path.
+                if shuffle_cost:
+                    per_output = shuffle_cost * len(fixed)
+                    group_overhead = 0.0
+                    for _ in outputs:
+                        group_overhead += per_output
+                    offset += group_overhead
+                routed = None
+            elif shuffle_cost:
+                # Dynamic fan-out with serde overhead: all selects of the
+                # group run first so the full group overhead offsets every
+                # delivery, then the buffered batch departs.
+                routed = []
+                group_overhead = 0.0
+                for tup in outputs:
+                    out = (
+                        tup.with_key(rekey(tup)) if rekey is not None else tup
                     )
-                for idx in indices:
-                    consumer = group.consumer_gids[idx]
-                    dst_node = self._runtimes[consumer].node_id
-                    delay = network.transfer_delay(
-                        src_node, dst_node, out.size_bytes
-                    )
-                    self._push(
-                        self._now + delay + total_overhead,
-                        _DELIVER,
-                        consumer,
-                        out,
-                        group.port,
-                    )
-        return total_overhead
+                    indices = select(out, num_channels)
+                    group_overhead += shuffle_cost * len(indices)
+                    routed.append((out, indices))
+                offset += group_overhead
+            else:
+                # Dynamic fan-out, overhead-free group: the offset cannot
+                # change, so skip the buffering pass entirely.
+                routed = None
+            if latencies is not None:
+                if fixed is not None:
+                    for out in outputs:
+                        size = out.size_bytes
+                        for idx in fixed:
+                            delay = latencies[idx] + size / bandwidths[idx]
+                            seq += 1
+                            pushed += 1
+                            heappush(
+                                heap,
+                                (
+                                    now + delay + offset,
+                                    seq,
+                                    _DELIVER,
+                                    consumers[idx],
+                                    out,
+                                    port,
+                                ),
+                            )
+                    continue
+                if routed is None:
+                    for tup in outputs:
+                        out = (
+                            tup.with_key(rekey(tup))
+                            if rekey is not None
+                            else tup
+                        )
+                        size = out.size_bytes
+                        for idx in select(out, num_channels):
+                            delay = latencies[idx] + size / bandwidths[idx]
+                            seq += 1
+                            pushed += 1
+                            heappush(
+                                heap,
+                                (
+                                    now + delay + offset,
+                                    seq,
+                                    _DELIVER,
+                                    consumers[idx],
+                                    out,
+                                    port,
+                                ),
+                            )
+                    continue
+                for out, indices in routed:
+                    size = out.size_bytes
+                    for idx in indices:
+                        delay = latencies[idx] + size / bandwidths[idx]
+                        seq += 1
+                        pushed += 1
+                        heappush(
+                            heap,
+                            (
+                                now + delay + offset,
+                                seq,
+                                _DELIVER,
+                                consumers[idx],
+                                out,
+                                port,
+                            ),
+                        )
+            else:
+                # Custom network model: ask it for every delivery.
+                network = self.cluster.network
+                src_node = runtime.node_id
+                runtimes = self._runtimes
+                if routed is None:
+                    lazy = []
+                    for tup in outputs:
+                        out = (
+                            tup.with_key(rekey(tup))
+                            if rekey is not None
+                            else tup
+                        )
+                        lazy.append(
+                            (out, fixed or select(out, num_channels))
+                        )
+                    routed = lazy
+                for out, indices in routed:
+                    for idx in indices:
+                        delay = network.transfer_delay(
+                            src_node,
+                            runtimes[consumers[idx]].node_id,
+                            out.size_bytes,
+                        )
+                        seq += 1
+                        pushed += 1
+                        heappush(
+                            heap,
+                            (
+                                now + delay + offset,
+                                seq,
+                                _DELIVER,
+                                consumers[idx],
+                                out,
+                                port,
+                            ),
+                        )
+        self._seq = seq
+        self._work += pushed
+        return offset
 
     # ---------------------------------------------------------------- flush
 
@@ -518,23 +840,42 @@ class StreamEngine:
     # -------------------------------------------------------------- metrics
 
     def _collect_metrics(self) -> RunMetrics:
-        samples: list[tuple[float, float]] = []
-        for sink in self._sinks:
-            samples.extend(zip(sink.arrival_times, sink.latencies))
-        samples.sort()
-        total_results = len(samples)
+        # Per-sink samples arrive in simulation-time order; merge the
+        # sinks and sort lexicographically by (arrival, latency) in one
+        # vectorized pass — the same ordering the result list had when it
+        # was built as sorted (arrival, latency) tuples.
+        arrays = [
+            (
+                np.asarray(sink.arrival_times, dtype=float),
+                np.asarray(sink.latencies, dtype=float),
+            )
+            for sink in self._sinks
+        ]
+        if len(arrays) == 1:
+            arrival_times, latencies = arrays[0]
+        else:
+            arrival_times = np.concatenate([a for a, _ in arrays])
+            latencies = np.concatenate([b for _, b in arrays])
+        order = np.lexsort((latencies, arrival_times))
+        arrival_times = arrival_times[order]
+        latencies = latencies[order]
+        total_results = int(arrival_times.size)
         # Results forced out by the end-of-stream flush carry artificially
         # short window residence; exclude them from latency stats unless
         # they are all we have (e.g. windows longer than the whole run).
-        if self._flush_time is not None:
-            steady = [s for s in samples if s[0] <= self._flush_time]
-            if steady:
-                samples = steady
-        skip = int(len(samples) * self.config.warmup_fraction)
-        kept = [latency for _, latency in samples[skip:]]
-        latency = LatencyStats.from_samples(kept)
+        if self._flush_time is not None and total_results:
+            steady = int(
+                np.searchsorted(
+                    arrival_times, self._flush_time, side="right"
+                )
+            )
+            if steady > 0:
+                arrival_times = arrival_times[:steady]
+                latencies = latencies[:steady]
+        skip = int(arrival_times.size * self.config.warmup_fraction)
+        latency = LatencyStats.from_samples(latencies[skip:])
         span = max(self._now, 1e-9)
-        first = samples[0][0] if samples else 0.0
+        first = float(arrival_times[0]) if arrival_times.size else 0.0
         window = max(span - first, 1e-9)
         throughput = total_results / window
         utilization: dict[str, list[float]] = {}

@@ -31,20 +31,27 @@ class LatencyStats:
     maximum: float
 
     @classmethod
-    def from_samples(cls, samples: list[float]) -> "LatencyStats":
-        """Compute stats; raises if there are no samples."""
-        if not samples:
+    def from_samples(
+        cls, samples: "list[float] | np.ndarray"
+    ) -> "LatencyStats":
+        """Compute stats; raises if there are no samples.
+
+        Accepts a list or an ndarray; the three percentiles come from a
+        single ``np.percentile`` call (one sort) instead of three.
+        """
+        arr = np.asarray(samples, dtype=float)
+        if arr.size == 0:
             raise SimulationError(
                 "no latency samples: the query produced no results "
                 "(check selectivities, window sizes and run length)"
             )
-        arr = np.asarray(samples, dtype=float)
+        p50, p95, p99 = np.percentile(arr, (50, 95, 99))
         return cls(
             count=int(arr.size),
             mean=float(arr.mean()),
-            p50=float(np.percentile(arr, 50)),
-            p95=float(np.percentile(arr, 95)),
-            p99=float(np.percentile(arr, 99)),
+            p50=float(p50),
+            p95=float(p95),
+            p99=float(p99),
             minimum=float(arr.min()),
             maximum=float(arr.max()),
         )
@@ -106,12 +113,17 @@ def aggregate_runs(runs: list[RunMetrics]) -> dict[str, float]:
     """
     if not runs:
         raise SimulationError("no runs to aggregate")
-    medians = [run.latency.p50 for run in runs]
-    throughputs = [run.throughput for run in runs]
+    medians = np.fromiter(
+        (run.latency.p50 for run in runs), dtype=float, count=len(runs)
+    )
+    throughputs = np.fromiter(
+        (run.throughput for run in runs), dtype=float, count=len(runs)
+    )
+    mean_median = float(medians.mean())
     return {
-        "mean_median_latency_s": float(np.mean(medians)),
-        "mean_median_latency_ms": float(np.mean(medians)) * 1e3,
-        "std_median_latency_s": float(np.std(medians)),
-        "mean_throughput": float(np.mean(throughputs)),
+        "mean_median_latency_s": mean_median,
+        "mean_median_latency_ms": mean_median * 1e3,
+        "std_median_latency_s": float(medians.std()),
+        "mean_throughput": float(throughputs.mean()),
         "runs": float(len(runs)),
     }

@@ -69,10 +69,17 @@ class WindowAggregateLogic(OperatorLogic):
         self.key_field = key_field
         # time-window state: key -> {window_start -> _TimeWindowState}
         self._time_state: dict[object, dict[float, _TimeWindowState]] = {}
+        # earliest pending window end across all keys: firing scans the
+        # whole state, so skip the scan entirely until the clock reaches
+        # the earliest end (the common case on every tuple)
+        self._min_end = float("inf")
         # count-window state: key -> deque[(value, origin)]
         self._count_state: dict[object, deque[tuple[float, float]]] = {}
         self._count_since_fire: dict[object, int] = {}
         self.windows_fired = 0
+        # Resolved once: the count-window branch runs per tuple.
+        self._count_tumbling = isinstance(assigner, TumblingCountWindows)
+        self._count_sliding = isinstance(assigner, SlidingCountWindows)
         if assigner.is_time_based:
             interval = getattr(assigner, "slide", None) or getattr(
                 assigner, "duration"
@@ -96,12 +103,16 @@ class WindowAggregateLogic(OperatorLogic):
         key = self._key_of(tup)
         value = float(tup.values[self.value_field])
         if self.assigner.is_time_based:
-            per_key = self._time_state.setdefault(key, {})
+            per_key = self._time_state.get(key)
+            if per_key is None:
+                per_key = self._time_state[key] = {}
             for window in self.assigner.assign(now):
                 state = per_key.get(window.start)
                 if state is None:
                     state = _TimeWindowState(window.end)
                     per_key[window.start] = state
+                    if window.end < self._min_end:
+                        self._min_end = window.end
                 state.add(value, tup.origin_time)
             return self._fire_time_windows(now)
         return self._process_count(key, value, tup.origin_time, now)
@@ -109,16 +120,18 @@ class WindowAggregateLogic(OperatorLogic):
     def _process_count(
         self, key: object, value: float, origin: float, now: float
     ) -> list[StreamTuple]:
-        buffer = self._count_state.setdefault(key, deque())
+        buffer = self._count_state.get(key)
+        if buffer is None:
+            buffer = self._count_state[key] = deque()
         buffer.append((value, origin))
         assigner = self.assigner
-        if isinstance(assigner, TumblingCountWindows):
+        if self._count_tumbling:
             if len(buffer) >= assigner.length:
                 out = self._emit(key, list(buffer), now)
                 buffer.clear()
                 return [out]
             return []
-        if isinstance(assigner, SlidingCountWindows):
+        if self._count_sliding:
             while len(buffer) > assigner.length:
                 buffer.popleft()
             count = self._count_since_fire.get(key, 0) + 1
@@ -134,7 +147,10 @@ class WindowAggregateLogic(OperatorLogic):
     # ---------------------------------------------------------- time firing
 
     def _fire_time_windows(self, now: float) -> list[StreamTuple]:
+        if now < self._min_end:
+            return []  # nothing can be ready yet: skip the state scan
         outputs: list[StreamTuple] = []
+        next_min = float("inf")
         for key, per_key in self._time_state.items():
             ready = [
                 start for start, st in per_key.items() if st.end <= now
@@ -144,6 +160,10 @@ class WindowAggregateLogic(OperatorLogic):
                 outputs.append(
                     self._emit_state(key, state, fire_time=now)
                 )
+            for st in per_key.values():
+                if st.end < next_min:
+                    next_min = st.end
+        self._min_end = next_min
         return outputs
 
     def on_time(self, now: float) -> list[StreamTuple]:
@@ -160,6 +180,7 @@ class WindowAggregateLogic(OperatorLogic):
                         self._emit_state(key, per_key[start], fire_time=now)
                     )
             self._time_state.clear()
+            self._min_end = float("inf")
         else:
             for key, buffer in self._count_state.items():
                 if buffer:

@@ -51,6 +51,9 @@ class WindowJoinLogic(OperatorLogic):
         self._windows: dict[
             float, tuple[float, list[dict[object, list[StreamTuple]]]]
         ] = {}
+        # earliest end among live windows, so expiry scans only run when
+        # something can actually expire (not on every probe)
+        self._min_end = float("inf")
         self.matches_emitted = 0
         self._last_matches = 0
         interval = getattr(assigner, "slide", None) or getattr(
@@ -82,8 +85,14 @@ class WindowJoinLogic(OperatorLogic):
             if entry is None:
                 entry = (window.end, [{}, {}])
                 self._windows[window.start] = entry
+                if window.end < self._min_end:
+                    self._min_end = window.end
             _, buffers = entry
-            buffers[port].setdefault(key, []).append(tup)
+            side = buffers[port]
+            bucket = side.get(key)
+            if bucket is None:
+                bucket = side[key] = []
+            bucket.append(tup)
             other = buffers[1 - port].get(key, ())
             for candidate in other:
                 if matches >= self.max_matches_per_probe:
@@ -112,11 +121,17 @@ class WindowJoinLogic(OperatorLogic):
         )
 
     def _expire(self, now: float) -> None:
+        if now < self._min_end:
+            return  # no live window has ended yet: skip the scan
         expired = [
             start for start, (end, _) in self._windows.items() if end <= now
         ]
         for start in expired:
             del self._windows[start]
+        self._min_end = min(
+            (end for end, _ in self._windows.values()),
+            default=float("inf"),
+        )
 
     def on_time(self, now: float) -> list[StreamTuple]:
         self._expire(now)
@@ -124,6 +139,7 @@ class WindowJoinLogic(OperatorLogic):
 
     def flush(self, now: float) -> list[StreamTuple]:
         self._windows.clear()
+        self._min_end = float("inf")
         return []
 
     def work_units(self, tup: StreamTuple) -> float:

@@ -62,6 +62,17 @@ class Partitioner:
         """Consumer indices (in ``range(num_consumers)``) for this tuple."""
         raise NotImplementedError
 
+    def constant_indices(self, num_consumers: int) -> list[int] | None:
+        """Indices when ``select`` is tuple-independent, else None.
+
+        Lets the engine resolve forward/broadcast fan-out once at build
+        time instead of allocating an index list per tuple. Strategies
+        whose choice depends on the tuple (hash) or on internal state
+        (rebalance) return None. Returning None when the configuration
+        is invalid preserves the original runtime error from ``select``.
+        """
+        return None
+
     def clone(self) -> "Partitioner":
         """Fresh instance with reset state, for a new producer subtask."""
         return type(self)()
@@ -90,6 +101,11 @@ class ForwardPartitioner(Partitioner):
                 f"forward channel from producer {self._producer_index} has "
                 f"only {num_consumers} consumers; parallelism must match"
             )
+        return [self._producer_index]
+
+    def constant_indices(self, num_consumers: int) -> list[int] | None:
+        if self._producer_index >= num_consumers:
+            return None  # select() will raise the PlanError at runtime
         return [self._producer_index]
 
     def clone(self) -> "ForwardPartitioner":
@@ -129,6 +145,9 @@ class HashPartitioner(Partitioner):
         if key_field is not None and key_field < 0:
             raise ConfigurationError("key_field must be non-negative")
         self.key_field = key_field
+        # _stable_hash is pure, and real key domains (words, sensor ids)
+        # repeat heavily — memoize per producer instance.
+        self._hash_cache: dict = {}
 
     def extract_key(self, tup: StreamTuple) -> Any:
         """The partitioning key for a tuple."""
@@ -144,7 +163,14 @@ class HashPartitioner(Partitioner):
     def select(self, tup: StreamTuple, num_consumers: int) -> list[int]:
         if num_consumers <= 0:
             raise PlanError("hash partitioning needs at least one consumer")
-        return [_stable_hash(self.extract_key(tup)) % num_consumers]
+        key = self.extract_key(tup)
+        try:
+            value = self._hash_cache[key]
+        except KeyError:
+            value = self._hash_cache[key] = _stable_hash(key)
+        except TypeError:  # unhashable key: compute without caching
+            value = _stable_hash(key)
+        return [value % num_consumers]
 
     def clone(self) -> "HashPartitioner":
         return HashPartitioner(self.key_field)
@@ -164,4 +190,9 @@ class BroadcastPartitioner(Partitioner):
     def select(self, tup: StreamTuple, num_consumers: int) -> list[int]:
         if num_consumers <= 0:
             raise PlanError("broadcast needs at least one consumer")
+        return list(range(num_consumers))
+
+    def constant_indices(self, num_consumers: int) -> list[int] | None:
+        if num_consumers <= 0:
+            return None  # select() will raise the PlanError at runtime
         return list(range(num_consumers))

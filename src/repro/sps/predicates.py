@@ -99,13 +99,19 @@ class Predicate:
                 f"{self.function.value} needs a string literal, "
                 f"got {type(self.literal).__name__}"
             )
+        # evaluate() runs once per tuple per filter: resolve the
+        # comparison function once instead of re-deriving it from the
+        # enum on every call (frozen dataclass, hence __setattr__).
+        ops = (
+            _STRING_OPS
+            if self.function.is_string_function
+            else _NUMERIC_OPS
+        )
+        object.__setattr__(self, "_op", ops[self.function])
 
     def evaluate(self, tup: StreamTuple) -> bool:
         """Evaluate the predicate against one tuple's values."""
-        value = tup.values[self.field_index]
-        if self.function.is_string_function:
-            return _STRING_OPS[self.function](value, self.literal)
-        return _NUMERIC_OPS[self.function](value, self.literal)
+        return self._op(tup.values[self.field_index], self.literal)
 
     def __call__(self, tup: StreamTuple) -> bool:
         return self.evaluate(tup)

@@ -80,15 +80,24 @@ class TumblingTimeWindows(WindowAssigner):
         if duration <= 0:
             raise ConfigurationError("window duration must be positive")
         self.duration = float(duration)
+        # (start, end, [Window]) of the last assignment: consecutive
+        # timestamps usually hit the same window, so skip the floor and
+        # the Window construction. Never mutated by callers.
+        self._last: tuple[float, float, list[Window]] | None = None
 
     def assign(self, event_time: float) -> list[Window]:
         """The single window containing the timestamp."""
+        last = self._last
+        if last is not None and last[0] <= event_time < last[1]:
+            return last[2]
         index = math.floor(event_time / self.duration)
         # Floating point can push index*duration past event_time.
         if index * self.duration > event_time:
             index -= 1
         start = index * self.duration
-        return [Window(start, start + self.duration)]
+        windows = [Window(start, start + self.duration)]
+        self._last = (start, start + self.duration, windows)
+        return windows
 
     def describe(self) -> str:
         return f"tumbling-time({self.duration * 1e3:g}ms)"

@@ -1,0 +1,103 @@
+"""Golden determinism tests for the simulation engine.
+
+The hot-path optimizations in :mod:`repro.sps.engine` (precompiled
+routing tables, precomputed arrival state, the idle-server fast path)
+must not change any simulated result. These tests pin that down three
+ways:
+
+1. running the same configuration twice yields *identical* metrics
+   dictionaries (no hidden global state, no iteration-order dependence);
+2. a set of hardcoded golden values — captured from the straightforward
+   pre-optimization implementation (with the sender-overhead accounting
+   fix applied) — still comes out, to 1e-9 relative precision;
+3. the parallel fan-out returns exactly what the serial loop returns.
+
+If an intentional semantic change (e.g. a new cost term) breaks the
+golden values, re-capture them with the recipe in the comments below —
+but never to paper over an unintended drift.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster import homogeneous_cluster
+from repro.core.runner import BenchmarkRunner, RunnerConfig
+
+#: The apps pinned by the goldens: WC exercises keyed aggregation over a
+#: hash shuffle, SG a UDO pipeline, AD a windowed join with broadcast.
+GOLDEN_APPS = ("WC", "SG", "AD")
+
+#: Recipe: runner config of the golden capture. Any change here
+#: invalidates the GOLDEN fixture below.
+GOLDEN_CONFIG = dict(
+    repeats=2,
+    dilation=25.0,
+    max_tuples_per_source=1200,
+    max_sim_time=3.0,
+    seed=11,
+)
+GOLDEN_PARALLELISM = 2
+
+#: Per-app, per-repeat (events_processed, results, mean latency s),
+#: captured from the pre-optimization engine at the config above on a
+#: 4-node m510 cluster.
+GOLDEN = {
+    "WC": [
+        (21668, 26, 0.3073962555162742),
+        (21678, 26, 0.30299855748393417),
+    ],
+    "SG": [
+        (8076, 286, 5.074298783458579),
+        (8124, 294, 5.3499872773414765),
+    ],
+    "AD": [
+        (13284, 39, 0.2657859812496416),
+        (13571, 56, 0.2913737970757395),
+    ],
+}
+
+
+def _run_all(workers: int = 1) -> dict[str, list[dict]]:
+    cluster = homogeneous_cluster("m510", 4)
+    runner = BenchmarkRunner(
+        cluster, RunnerConfig(**GOLDEN_CONFIG, workers=workers)
+    )
+    out = {}
+    for abbrev in GOLDEN_APPS:
+        query = runner.prepare_app(abbrev, GOLDEN_PARALLELISM)
+        out[abbrev] = [run.to_dict() for run in runner.run_plan(query.plan)]
+    return out
+
+
+def test_run_twice_is_bit_identical():
+    first = _run_all()
+    second = _run_all()
+    assert json.dumps(first, sort_keys=True) == json.dumps(
+        second, sort_keys=True
+    )
+
+
+def test_golden_values_hold():
+    results = _run_all()
+    for abbrev, repeats in GOLDEN.items():
+        for i, (events, num_results, mean_latency) in enumerate(repeats):
+            run = results[abbrev][i]
+            assert run["extras"]["events_processed"] == events, (
+                abbrev,
+                i,
+            )
+            assert run["results"] == num_results, (abbrev, i)
+            assert run["latency"]["mean"] == pytest.approx(
+                mean_latency, rel=1e-9
+            ), (abbrev, i)
+
+
+def test_parallel_fanout_matches_serial():
+    serial = _run_all(workers=1)
+    parallel = _run_all(workers=4)
+    assert json.dumps(serial, sort_keys=True) == json.dumps(
+        parallel, sort_keys=True
+    )

@@ -1,0 +1,97 @@
+"""Tests for the multiprocessing fan-out in :mod:`repro.core.parallel`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import homogeneous_cluster
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.core.parallel import ParallelRunner, default_workers, parallel_map
+from repro.core.runner import BenchmarkRunner, RunnerConfig
+from repro.sps.metrics import aggregate_runs
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _boom(x: int) -> int:
+    if x == 3:
+        raise SimulationError("worker failed on item 3")
+    return x
+
+
+class TestParallelRunnerMap:
+    def test_serial_preserves_order(self):
+        runner = ParallelRunner(workers=1)
+        assert runner.map(_square, range(6)) == [0, 1, 4, 9, 16, 25]
+
+    def test_parallel_preserves_order(self):
+        runner = ParallelRunner(workers=4)
+        assert runner.map(_square, range(20)) == [
+            x * x for x in range(20)
+        ]
+
+    def test_empty_items(self):
+        assert ParallelRunner(workers=4).map(_square, []) == []
+
+    def test_explicit_chunk_size(self):
+        runner = ParallelRunner(workers=2, chunk_size=3)
+        assert runner.map(_square, range(10)) == [
+            x * x for x in range(10)
+        ]
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelRunner(workers=0)
+        with pytest.raises(ConfigurationError):
+            ParallelRunner(workers=-2)
+
+    def test_worker_exception_surfaces_serial(self):
+        with pytest.raises(SimulationError, match="item 3"):
+            ParallelRunner(workers=1).map(_boom, range(6))
+
+    def test_worker_exception_surfaces_parallel(self):
+        # The pool must re-raise the worker's exception in the parent
+        # instead of hanging or returning a partial result list.
+        with pytest.raises(SimulationError, match="item 3"):
+            ParallelRunner(workers=4).map(_boom, range(6))
+
+    def test_parallel_map_convenience(self):
+        assert parallel_map(_square, range(5), workers=2) == [
+            0,
+            1,
+            4,
+            9,
+            16,
+        ]
+
+    def test_default_workers_at_least_one(self):
+        assert default_workers() >= 1
+
+
+class TestRunnerFanOut:
+    def _measure(self, workers: int) -> dict:
+        cluster = homogeneous_cluster("m510", 4)
+        runner = BenchmarkRunner(
+            cluster,
+            RunnerConfig(
+                repeats=4,
+                dilation=25.0,
+                max_tuples_per_source=400,
+                max_sim_time=2.0,
+                seed=23,
+                workers=workers,
+            ),
+        )
+        query = runner.prepare_app("WC", 2)
+        return aggregate_runs(runner.run_plan(query.plan))
+
+    def test_workers_do_not_change_results(self):
+        # Per-repeat seeds are derived from (seed, repeat), so the fan
+        # out must aggregate to exactly the serial numbers.
+        assert self._measure(workers=1) == self._measure(workers=4)
+
+    def test_runner_config_rejects_bad_workers(self):
+        with pytest.raises(ConfigurationError):
+            RunnerConfig(workers=0)
