@@ -11,6 +11,8 @@ a web UI; the same operations are exposed here):
 - ``experiment``                  — regenerate a paper figure
 - ``tables``                      — render the paper's config tables
 - ``lint-plan``                   — static pre-flight analysis of PQPs
+- ``trace``                       — profile one run: Chrome trace +
+  per-operator metrics time series (see :mod:`repro.obs`)
 """
 
 from __future__ import annotations
@@ -19,6 +21,7 @@ import argparse
 import sys
 
 from repro.cluster import heterogeneous_cluster, homogeneous_cluster
+from repro.common.errors import ConfigurationError
 from repro.core.controller import PDSPBench
 from repro.core.runner import BenchmarkRunner, RunnerConfig
 from repro.core.throughput import sustainable_throughput
@@ -164,6 +167,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-sweep", action="store_true",
         help="skip the parallel-sweep wall-clock measurement",
     )
+
+    trace = commands.add_parser(
+        "trace",
+        help="profile one run: write trace.json (Chrome trace_event) "
+        "and metrics.jsonl (per-operator time series)",
+    )
+    target = trace.add_mutually_exclusive_group()
+    target.add_argument(
+        "--app", default="WC",
+        help="application to trace — abbreviation or name "
+        "('WC', 'wordcount', 'Word Count'; default WC)",
+    )
+    target.add_argument(
+        "--structure", default=None,
+        choices=[s.value for s in QueryStructure],
+        help="trace a generated synthetic PQP instead of an app",
+    )
+    trace.add_argument("--parallelism", type=int, default=4)
+    trace.add_argument("--rate", type=float, default=100_000.0)
+    trace.add_argument(
+        "--max-tuples", type=int, default=2500,
+        help="tuples emitted per source subtask",
+    )
+    trace.add_argument("--sim-time", type=float, default=30.0)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--dilation", type=float, default=25.0)
+    trace.add_argument(
+        "--sample-interval", type=float, default=0.25,
+        help="metrics sampling period in simulated seconds",
+    )
+    trace.add_argument(
+        "--out", default="trace-out",
+        help="output directory for trace.json and metrics.jsonl",
+    )
+    trace.add_argument(
+        "--cluster", default="m510",
+        help="hardware type for a homogeneous cluster (default m510)",
+    )
+    trace.add_argument(
+        "--hetero", action="store_true",
+        help="use the mixed c6525_25g+c6320 heterogeneous cluster",
+    )
+    trace.add_argument("--nodes", type=int, default=4)
 
     tables = commands.add_parser(
         "tables", help="render the paper's configuration tables"
@@ -397,6 +443,170 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _resolve_app(name: str) -> str:
+    """Resolve an app given by abbreviation or (normalised) full name.
+
+    ``wordcount``, ``word-count`` and ``Word Count`` all resolve to
+    ``WC``; raises :class:`ConfigurationError` with the known names on
+    a miss.
+    """
+    from repro.apps import APP_INFOS
+
+    def norm(s: str) -> str:
+        return "".join(c for c in s.lower() if c.isalnum())
+
+    wanted = norm(name)
+    for abbrev, info in APP_INFOS.items():
+        if wanted in (norm(abbrev), norm(info.name)):
+            return abbrev
+    known = ", ".join(
+        f"{a} ({info.name})" for a, info in APP_INFOS.items()
+    )
+    raise ConfigurationError(f"unknown app {name!r}; known apps: {known}")
+
+
+def _cmd_trace(args) -> int:
+    from pathlib import Path
+
+    from repro.common.rng import RngFactory
+    from repro.obs import EngineObserver, MetricsRegistry, SpanTracer
+    from repro.obs.export import write_chrome_trace, write_metrics_jsonl
+    from repro.sps.engine import SimulationConfig, StreamEngine
+    from repro.sps.logical_kinds import OperatorKind
+    from repro.workload.generator import (
+        WorkloadGenerator,
+        scale_plan_costs,
+    )
+
+    from repro.common.errors import SimulationError
+
+    cluster = _cluster_from_args(args)
+    dilation = args.dilation
+    if args.structure is not None:
+        generator = WorkloadGenerator(seed=args.seed)
+        query = generator.generate_one(
+            cluster,
+            QueryStructure(args.structure),
+            event_rate=args.rate / dilation,
+        )
+        plan = query.plan
+        target = args.structure
+    else:
+        from repro.apps import build_app
+
+        try:
+            abbrev = _resolve_app(args.app)
+        except ConfigurationError as exc:
+            print(f"trace: {exc}", file=sys.stderr)
+            return 2
+        plan = build_app(
+            abbrev, event_rate=args.rate / dilation
+        ).plan
+        target = abbrev
+    if dilation != 1.0:
+        scale_plan_costs(plan, dilation)
+    plan.set_uniform_parallelism(args.parallelism)
+
+    registry = MetricsRegistry()
+    tracer = SpanTracer()
+    observer = EngineObserver(
+        registry=registry,
+        tracer=tracer,
+        sample_interval=args.sample_interval,
+    )
+    engine = StreamEngine(
+        plan,
+        cluster,
+        config=SimulationConfig(
+            max_tuples_per_source=args.max_tuples,
+            max_sim_time=args.sim_time,
+        ),
+        # Same seed derivation as BenchmarkRunner repeat 0, so the
+        # trace profiles exactly the run the benchmarks measure.
+        rng_factory=RngFactory(args.seed * 1000),
+        observer=observer,
+    )
+    try:
+        metrics = engine.run()
+    except SimulationError as exc:
+        print(
+            f"trace: {exc}\n(try a larger --max-tuples or --sim-time)",
+            file=sys.stderr,
+        )
+        return 1
+    summary = observer.summary()
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    trace_path = write_chrome_trace(
+        tracer,
+        out / "trace.json",
+        process_names=observer.process_names(),
+        thread_names=observer.thread_names(),
+    )
+    metrics_path = write_metrics_jsonl(
+        registry,
+        out / "metrics.jsonl",
+        meta={
+            "target": target,
+            "plan": plan.name,
+            "parallelism": args.parallelism,
+            "event_rate": args.rate,
+            "dilation": dilation,
+            "seed": args.seed,
+            "results": metrics.results,
+            "throughput": metrics.throughput,
+            "median_latency_ms": metrics.median_latency_ms,
+            "sim_duration": metrics.sim_duration,
+        },
+        summaries=summary["ops"],
+    )
+
+    rows = [
+        [
+            op,
+            entry["subtasks"],
+            entry["tuples_in"],
+            entry["tuples_out"],
+            round(entry["busy_s"], 4),
+            int(entry["shuffle_bytes"]),
+            entry["queue_peak"],
+        ]
+        for op, entry in summary["ops"].items()
+    ]
+    print(
+        render_table(
+            ["operator", "subtasks", "in", "out", "busy (s)",
+             "shuffle (B)", "queue peak"],
+            rows,
+            title=f"trace of {target} @ parallelism "
+            f"{args.parallelism}, {args.rate:g} ev/s",
+        )
+    )
+    print(f"results: {metrics.results}  "
+          f"throughput: {metrics.throughput:.1f} res/s  "
+          f"median latency: {metrics.median_latency_ms:.2f} ms")
+    print(f"trace events: {len(tracer.events)}  "
+          f"metric samples: {len(registry.series)}")
+    print(f"wrote {trace_path} and {metrics_path}")
+
+    # Cross-check: every result the run reports must have arrived at a
+    # sink, so sink tuples_in sums to the reported result count.
+    sink_in = sum(
+        summary["ops"][op.op_id]["tuples_in"]
+        for op in plan.operators_in_order()
+        if op.kind is OperatorKind.SINK
+    )
+    if sink_in != metrics.results:
+        print(
+            f"ERROR: sink tuples_in ({sink_in}) != reported results "
+            f"({metrics.results})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_tables(args) -> int:
     if args.which == "1":
         print(render_table1())
@@ -531,6 +741,8 @@ def main(argv: list[str] | None = None) -> int:
             report_path=args.report,
             with_sweep=not args.no_sweep,
         )
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "tables":
         return _cmd_tables(args)
     if args.command == "lint-plan":

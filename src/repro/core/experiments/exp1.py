@@ -18,6 +18,7 @@ paradox (O1, O2); UDO apps gain hugely at high degrees while AD stalls
 from __future__ import annotations
 
 from repro.cluster.cluster import Cluster, homogeneous_cluster
+from repro.core.experiments.persist import persist_cell
 from repro.core.parallel import ParallelRunner
 from repro.core.runner import BenchmarkRunner, RunnerConfig
 from repro.report.figures import FigureData, Series
@@ -78,8 +79,15 @@ def figure3_top(
     categories: dict[str, int] | None = None,
     event_rate: float = 100_000.0,
     seed: int = 7,
+    store=None,
 ) -> FigureData:
-    """Median end-to-end latency vs parallelism category, synthetic PQPs."""
+    """Median end-to-end latency vs parallelism category, synthetic PQPs.
+
+    With a ``store`` (a document store or collection), every sweep cell
+    persists a :class:`~repro.core.records.RunRecord` — including the
+    per-operator observability summary when the runner config sets
+    ``observe=True`` — for the ML dataset builder.
+    """
     cluster = cluster or homogeneous_cluster("m510", 10)
     runner = BenchmarkRunner(cluster, runner_config)
     categories = categories or PARALLELISM_CATEGORIES
@@ -104,9 +112,24 @@ def figure3_top(
 
         def cell(label, query=query):
             query.plan.set_uniform_parallelism(categories[label])
-            return runner.measure(query.plan)["mean_median_latency_ms"]
+            return runner.measure(query.plan)
 
-        latencies = pool.map(cell, labels)
+        measured = pool.map(cell, labels)
+        if store is not None:
+            for label, metrics in zip(labels, measured):
+                query.plan.set_uniform_parallelism(categories[label])
+                persist_cell(
+                    store,
+                    query.plan,
+                    cluster,
+                    metrics,
+                    workload_kind="synthetic",
+                    event_rate=event_rate,
+                    figure="fig3-top",
+                    structure=structure.value,
+                    category=label,
+                )
+        latencies = [m["mean_median_latency_ms"] for m in measured]
         series.append(Series(structure.value, list(labels), latencies))
     return FigureData(
         figure_id="fig3-top",
@@ -124,8 +147,13 @@ def figure3_bottom(
     apps=DEFAULT_APPS,
     categories: dict[str, int] | None = None,
     event_rate: float = 100_000.0,
+    store=None,
 ) -> FigureData:
-    """Median end-to-end latency vs parallelism, real-world applications."""
+    """Median end-to-end latency vs parallelism, real-world applications.
+
+    ``store`` persists one :class:`~repro.core.records.RunRecord` per
+    (app, category) cell, observability summary included when observing.
+    """
     cluster = cluster or homogeneous_cluster("m510", 10)
     runner = BenchmarkRunner(cluster, runner_config)
     categories = categories or EXTENDED_CATEGORIES
@@ -136,13 +164,29 @@ def figure3_bottom(
 
     def cell(pair):
         abbrev, label = pair
-        result = runner.measure_app(abbrev, categories[label], event_rate)
-        return result["mean_median_latency_ms"]
+        return runner.measure_app(abbrev, categories[label], event_rate)
 
     values = ParallelRunner(workers=runner.config.workers).map(cell, cells)
+    if store is not None:
+        for (abbrev, label), metrics in zip(cells, values):
+            query = runner.prepare_app(
+                abbrev, categories[label], event_rate
+            )
+            persist_cell(
+                store,
+                query.plan,
+                cluster,
+                metrics,
+                workload_kind="real-world",
+                event_rate=event_rate,
+                figure="fig3-bottom",
+                app=abbrev,
+                category=label,
+            )
     series = []
     for i, abbrev in enumerate(apps):
-        latencies = values[i * len(labels) : (i + 1) * len(labels)]
+        chunk = values[i * len(labels) : (i + 1) * len(labels)]
+        latencies = [m["mean_median_latency_ms"] for m in chunk]
         series.append(Series(abbrev, list(labels), latencies))
     return FigureData(
         figure_id="fig3-bottom",

@@ -24,6 +24,7 @@ from repro.cluster.cluster import (
     heterogeneous_cluster,
     homogeneous_cluster,
 )
+from repro.core.experiments.persist import persist_cell
 from repro.core.parallel import ParallelRunner
 from repro.core.runner import BenchmarkRunner, RunnerConfig
 from repro.report.figures import FigureData, Series
@@ -67,8 +68,13 @@ def figure4_top(
     runner_config: RunnerConfig | None = None,
     apps=DEFAULT_EXP2_APPS,
     event_rate: float = 100_000.0,
+    store=None,
 ) -> FigureData:
-    """Real-world apps across clusters, parallelism = node core count."""
+    """Real-world apps across clusters, parallelism = node core count.
+
+    ``store`` persists one :class:`~repro.core.records.RunRecord` per
+    (cluster, app) cell, observability summary included when observing.
+    """
     clusters = clusters or {
         name: cluster
         for name, cluster in default_clusters().items()
@@ -88,14 +94,31 @@ def figure4_top(
         name, abbrev = pair
         runner = runners[name]
         parallelism = runner.cluster.max_cores_per_node
-        result = runner.measure_app(abbrev, parallelism, event_rate)
-        return result["mean_median_latency_ms"]
+        return runner.measure_app(abbrev, parallelism, event_rate)
 
     values = ParallelRunner(workers=workers).map(cell, cells)
+    if store is not None:
+        for (name, abbrev), metrics in zip(cells, values):
+            runner = runners[name]
+            query = runner.prepare_app(
+                abbrev, runner.cluster.max_cores_per_node, event_rate
+            )
+            persist_cell(
+                store,
+                query.plan,
+                runner.cluster,
+                metrics,
+                workload_kind="real-world",
+                event_rate=event_rate,
+                figure="fig4-top",
+                app=abbrev,
+                cluster=name,
+            )
     series = []
     for i, (cluster_name, cluster) in enumerate(clusters.items()):
         parallelism = cluster.max_cores_per_node
-        latencies = values[i * len(apps) : (i + 1) * len(apps)]
+        chunk = values[i * len(apps) : (i + 1) * len(apps)]
+        latencies = [m["mean_median_latency_ms"] for m in chunk]
         series.append(
             Series(
                 f"{cluster_name} (p={parallelism})",

@@ -39,6 +39,7 @@ from repro.workload.querygen import QueryStructure
 
 __all__ = [
     "build_labelled_corpus",
+    "corpus_from_run_records",
     "figure5",
     "figure6",
     "COLLECTION_SECONDS_PER_QUERY",
@@ -77,6 +78,61 @@ def build_labelled_corpus(
             )
         )
     return Dataset(records)
+
+
+def corpus_from_run_records(
+    records,
+    cluster: Cluster,
+    plan_builder=None,
+) -> Dataset:
+    """Build a labelled dataset from persisted sweep records.
+
+    This closes the loop the paper's ML Manager implements: exp1/exp2
+    sweeps persist one :class:`~repro.core.records.RunRecord` per cell
+    (``store=...``), and this function turns those measured cells —
+    latency label plus observability summary — into training examples.
+
+    ``plan_builder(record)`` must rebuild the record's logical plan;
+    the default handles application records (``workload_name`` is the
+    Table 2 abbreviation) by rebuilding the app and re-applying the
+    persisted parallelism degrees. Records whose plan cannot be rebuilt
+    raise :class:`~repro.common.errors.TrainingError`.
+    """
+    from repro.apps import REGISTRY, build_app
+
+    def default_builder(record):
+        if record.workload_name not in REGISTRY:
+            raise TrainingError(
+                f"cannot rebuild plan for {record.workload_name!r}; "
+                "pass plan_builder= for non-application records"
+            )
+        query = build_app(
+            record.workload_name, event_rate=record.event_rate
+        )
+        query.plan.set_parallelism(record.degrees)
+        return query.plan
+
+    builder = plan_builder or default_builder
+    examples = []
+    for record in records:
+        latency_s = record.metrics.get("mean_median_latency_s")
+        if not latency_s or latency_s <= 0:
+            raise TrainingError(
+                f"record {record.workload_name!r} has no positive "
+                "'mean_median_latency_s' label"
+            )
+        examples.append(
+            encode_query(
+                builder(record),
+                cluster,
+                latency_s,
+                structure=record.params.get(
+                    "structure", record.workload_name
+                ),
+                observability=record.observability,
+            )
+        )
+    return Dataset(examples)
 
 
 def figure5(

@@ -1,0 +1,56 @@
+"""Per-cell persistence for experiment sweeps.
+
+The paper's PDSP-Bench stores every benchmark execution in MongoDB so
+the ML Manager can later assemble training corpora. The sweep drivers
+in exp1/exp2 mirror that: handed a ``store``, they persist one
+:class:`~repro.core.records.RunRecord` per measured sweep cell —
+including the cell's observability summary when the runner observes —
+which :func:`repro.core.experiments.exp3.corpus_from_run_records` can
+turn into a labelled dataset.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import Cluster
+from repro.core.records import RunRecord
+from repro.sps.logical import LogicalPlan
+from repro.storage.docstore import Collection, DocumentStore
+
+__all__ = ["runs_collection", "persist_cell"]
+
+
+def runs_collection(store) -> Collection:
+    """Resolve a store argument to a writable collection.
+
+    Accepts a :class:`Collection` directly or a :class:`DocumentStore`
+    (whose ``"runs"`` collection is used, matching the controller).
+    """
+    if isinstance(store, Collection):
+        return store
+    if isinstance(store, DocumentStore):
+        return store["runs"]
+    raise TypeError(
+        f"store must be a Collection or DocumentStore, got {type(store)!r}"
+    )
+
+
+def persist_cell(
+    store,
+    plan: LogicalPlan,
+    cluster: Cluster,
+    metrics: dict,
+    workload_kind: str,
+    event_rate: float,
+    **params,
+) -> RunRecord:
+    """Build and insert one sweep-cell record; returns the record."""
+    record = RunRecord.from_run(
+        plan,
+        cluster,
+        metrics,
+        workload_kind=workload_kind,
+        event_rate=event_rate,
+        params=params,
+    )
+    runs_collection(store).insert_one(record.to_document())
+    return record

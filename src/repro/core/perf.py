@@ -275,9 +275,32 @@ def run_bench(
         )
     path = Path(report_path)
     report = {}
+    report_error = None
     if path.exists():
-        report = json.loads(path.read_text())
+        try:
+            report = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            report_error = (
+                f"benchmark report {path} is not valid JSON ({exc}); "
+                "restore it from git or regenerate it with "
+                "'repro bench --write'"
+            )
+        if not isinstance(report, dict):
+            report_error = (
+                f"benchmark report {path} must contain a JSON object, "
+                f"got {type(report).__name__}; regenerate it with "
+                "'repro bench --write'"
+            )
+            report = {}
+    else:
+        report_error = (
+            f"benchmark report {path} does not exist; run "
+            "'repro bench --write' to create it"
+        )
     if check:
+        if report_error is not None:
+            print(f"PERF CHECK FAILED: {report_error}")
+            return 1
         failures = check_report(report, results, mode)
         if failures:
             for message in failures:

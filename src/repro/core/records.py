@@ -19,7 +19,14 @@ __all__ = ["RunRecord"]
 
 @dataclass
 class RunRecord:
-    """One persisted benchmark run."""
+    """One persisted benchmark run.
+
+    ``observability`` carries the per-operator metric summary of an
+    observed run (tuples in/out, busy time, shuffle bytes, stall time —
+    see :mod:`repro.obs`); empty for unobserved runs. It persists with
+    the record so the ML dataset builder can attach run-time features
+    to training examples.
+    """
 
     workload_name: str
     workload_kind: str  # "synthetic" | "real-world"
@@ -28,6 +35,7 @@ class RunRecord:
     event_rate: float
     metrics: dict[str, float]
     params: dict[str, Any] = field(default_factory=dict)
+    observability: dict[str, Any] = field(default_factory=dict)
 
     @classmethod
     def from_run(
@@ -39,20 +47,28 @@ class RunRecord:
         event_rate: float,
         params: dict[str, Any] | None = None,
     ) -> "RunRecord":
-        """Assemble a record from a measured plan."""
+        """Assemble a record from a measured plan.
+
+        A non-scalar ``"obs"`` entry in ``metrics`` (attached by an
+        observing runner) moves into the ``observability`` field so the
+        metrics dict stays purely numeric.
+        """
+        metrics = dict(metrics)
+        observability = metrics.pop("obs", None) or {}
         return cls(
             workload_name=plan.name,
             workload_kind=workload_kind,
             cluster_name=cluster.name,
             degrees=plan.parallelism_degrees(),
             event_rate=event_rate,
-            metrics=dict(metrics),
+            metrics=metrics,
             params=dict(params or {}),
+            observability=dict(observability),
         )
 
     def to_document(self) -> dict:
         """JSON-serialisable form for the document store."""
-        return {
+        document = {
             "workload_name": self.workload_name,
             "workload_kind": self.workload_kind,
             "cluster_name": self.cluster_name,
@@ -61,6 +77,9 @@ class RunRecord:
             "metrics": dict(self.metrics),
             "params": dict(self.params),
         }
+        if self.observability:
+            document["observability"] = dict(self.observability)
+        return document
 
     @classmethod
     def from_document(cls, document: dict) -> "RunRecord":
@@ -75,4 +94,5 @@ class RunRecord:
             event_rate=float(document["event_rate"]),
             metrics=dict(document["metrics"]),
             params=dict(document.get("params", {})),
+            observability=dict(document.get("observability", {})),
         )

@@ -41,6 +41,14 @@ class RunnerConfig:
     a process pool (see :mod:`repro.core.parallel`); 1 keeps the serial
     in-process loop. Results are identical either way — each repeat's
     seed is derived from (seed, repeat) alone.
+
+    ``observe`` attaches a registry-only
+    :class:`~repro.obs.EngineObserver` to every run: each repeat's
+    :class:`RunMetrics` then carries a per-operator observability
+    summary in ``extras["obs"]`` (sampled every ``obs_sample_interval``
+    simulated seconds), and :meth:`BenchmarkRunner.measure` adds the
+    repeat-merged summary under the ``"obs"`` key. Observation never
+    changes simulated results (DESIGN.md §8).
     """
 
     repeats: int = 3
@@ -50,6 +58,8 @@ class RunnerConfig:
     warmup_fraction: float = 0.1
     seed: int = 0
     workers: int = 1
+    observe: bool = False
+    obs_sample_interval: float = 0.25
 
     def __post_init__(self) -> None:
         if self.repeats < 1:
@@ -58,6 +68,10 @@ class RunnerConfig:
             raise ConfigurationError("dilation must be positive")
         if self.workers < 1:
             raise ConfigurationError("workers must be >= 1")
+        if self.obs_sample_interval <= 0:
+            raise ConfigurationError(
+                "obs_sample_interval must be positive"
+            )
 
 
 class BenchmarkRunner:
@@ -107,7 +121,17 @@ class BenchmarkRunner:
             warmup_fraction=self.config.warmup_fraction,
         )
 
+        observe = self.config.observe
+
         def one_repeat(repeat: int) -> RunMetrics:
+            observer = None
+            if observe:
+                from repro.obs import EngineObserver
+
+                observer = EngineObserver(
+                    sample_interval=self.config.obs_sample_interval,
+                    serve_spans=False,
+                )
             engine = StreamEngine(
                 plan,
                 self.cluster,
@@ -116,16 +140,32 @@ class BenchmarkRunner:
                 rng_factory=RngFactory(
                     self.config.seed * 1000 + repeat
                 ),
+                observer=observer,
             )
-            return engine.run()
+            metrics = engine.run()
+            if observer is not None:
+                metrics.extras["obs"] = observer.summary()
+            return metrics
 
         return ParallelRunner(workers=self.config.workers).map(
             one_repeat, range(self.config.repeats)
         )
 
     def measure(self, plan: LogicalPlan) -> dict[str, float]:
-        """Mean-of-medians aggregate over the repeats."""
-        return aggregate_runs(self.run_plan(plan))
+        """Mean-of-medians aggregate over the repeats.
+
+        With ``config.observe`` the merged per-operator observability
+        summary rides along under the (non-scalar) ``"obs"`` key.
+        """
+        runs = self.run_plan(plan)
+        result = aggregate_runs(runs)
+        if self.config.observe:
+            from repro.obs import merge_summaries
+
+            result["obs"] = merge_summaries(
+                [run.extras.get("obs", {}) for run in runs]
+            )
+        return result
 
     def measure_app(
         self,

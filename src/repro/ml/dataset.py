@@ -20,7 +20,41 @@ from repro.common.errors import TrainingError
 from repro.ml.encoding import flat_features, graph_encoding
 from repro.sps.logical import LogicalPlan
 
-__all__ = ["QueryRecord", "Dataset", "encode_query"]
+__all__ = [
+    "QueryRecord",
+    "Dataset",
+    "encode_query",
+    "OBS_FEATURE_KEYS",
+    "observability_features",
+]
+
+#: Run-wide observability totals used as auxiliary model features, in
+#: fixed order so feature vectors align across records.
+OBS_FEATURE_KEYS = (
+    "tuples_in",
+    "tuples_out",
+    "busy_s",
+    "shuffle_bytes",
+    "stall_s",
+)
+
+
+def observability_features(observability: dict | None) -> np.ndarray:
+    """Fixed-order feature vector from an observability summary.
+
+    Sums each :data:`OBS_FEATURE_KEYS` entry over the summary's
+    operators; zeros when the record carries no summary, so observed
+    and unobserved records can share a corpus.
+    """
+    values = np.zeros(len(OBS_FEATURE_KEYS))
+    if not observability:
+        return values
+    ops = observability.get("ops", {})
+    for index, key in enumerate(OBS_FEATURE_KEYS):
+        values[index] = sum(
+            float(entry.get(key, 0.0)) for entry in ops.values()
+        )
+    return values
 
 
 @dataclass
@@ -77,8 +111,14 @@ def encode_query(
     latency_s: float,
     structure: str = "",
     meta: dict | None = None,
+    observability: dict | None = None,
 ) -> QueryRecord:
-    """Encode one (plan, cluster, label) into a record."""
+    """Encode one (plan, cluster, label) into a record.
+
+    ``observability`` is the per-operator run summary persisted by the
+    sweep drivers; it rides along in ``meta["observability"]`` so
+    :func:`observability_features` can derive auxiliary features.
+    """
     if latency_s <= 0:
         raise TrainingError(
             f"latency label must be positive, got {latency_s}"
@@ -86,6 +126,9 @@ def encode_query(
     node_features, adj_in, adj_out, globals_vec = graph_encoding(
         plan, cluster
     )
+    record_meta = dict(meta or {})
+    if observability:
+        record_meta["observability"] = observability
     return QueryRecord(
         flat=flat_features(plan, cluster),
         node_features=node_features,
@@ -94,7 +137,7 @@ def encode_query(
         globals_vec=globals_vec,
         latency_s=latency_s,
         structure=structure,
-        meta=meta or {},
+        meta=record_meta,
     )
 
 
@@ -122,6 +165,20 @@ class Dataset:
     def structures(self) -> list[str]:
         """Structure label of each record."""
         return [record.structure for record in self.records]
+
+    def observability_matrix(self) -> np.ndarray:
+        """(n, len(OBS_FEATURE_KEYS)) auxiliary-feature matrix.
+
+        Rows for records without an observability summary are zero.
+        """
+        return np.stack(
+            [
+                observability_features(
+                    record.meta.get("observability")
+                )
+                for record in self.records
+            ]
+        )
 
     def subset(self, indices) -> "Dataset":
         """Dataset restricted to the given indices."""

@@ -1,0 +1,35 @@
+"""``repro.obs`` — the observability layer.
+
+Structured visibility into the simulated engine: a run-time metrics
+registry (counters, gauges, HDR-style histograms, sampled per-operator
+time series), a span tracer (JSONL trace events with parent/child span
+ids), exporters (Chrome ``trace_event`` JSON for Perfetto, metrics
+JSONL), and the :class:`EngineObserver` that threads them through
+:class:`~repro.sps.engine.StreamEngine` without perturbing any
+simulated result. See DESIGN.md §8.
+"""
+
+from repro.obs.export import (
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_events_jsonl,
+    write_metrics_jsonl,
+)
+from repro.obs.observer import EngineObserver, merge_summaries
+from repro.obs.registry import Histogram, MetricsRegistry
+from repro.obs.tracer import SpanTracer, TraceEvent
+
+__all__ = [
+    "EngineObserver",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanTracer",
+    "TraceEvent",
+    "merge_summaries",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_events_jsonl",
+    "write_metrics_jsonl",
+]

@@ -1,0 +1,172 @@
+"""Exporters for trace and metrics data.
+
+Two on-disk formats:
+
+- ``trace.json`` — Chrome ``trace_event`` JSON (the *JSON Object
+  Format*: a top-level object with a ``traceEvents`` array), which
+  loads directly in ``chrome://tracing`` and Perfetto. Simulated
+  seconds become microseconds (the format's unit); cluster nodes map
+  to processes and subtasks to threads, with metadata events naming
+  both.
+- ``metrics.jsonl`` — one JSON object per line: a ``meta`` header, one
+  ``sample`` row per operator per sampling tick (the time series), and
+  one ``summary`` row per operator with final totals.
+
+Both writers sort keys and emit no wall-clock state, so the files are
+byte-stable across runs of the same seeded simulation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import SpanTracer, TraceEvent
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_events_jsonl",
+    "write_metrics_jsonl",
+    "validate_chrome_trace",
+]
+
+_SECONDS_TO_US = 1e6
+
+
+def _chrome_event(event: TraceEvent) -> dict[str, Any]:
+    row: dict[str, Any] = {
+        "ph": event.ph,
+        "name": event.name,
+        "cat": event.cat,
+        "ts": event.ts * _SECONDS_TO_US,
+        "pid": event.pid,
+        "tid": event.tid,
+    }
+    if event.dur is not None:
+        row["dur"] = event.dur * _SECONDS_TO_US
+    if event.ph == "i":
+        row["s"] = "t"  # instant scope: thread
+    args = dict(event.args)
+    args["span_id"] = event.span_id
+    if event.parent_id is not None:
+        args["parent_id"] = event.parent_id
+    row["args"] = args
+    return row
+
+
+def to_chrome_trace(
+    tracer: SpanTracer,
+    process_names: dict[int, str] | None = None,
+    thread_names: dict[tuple[int, int], str] | None = None,
+) -> dict[str, Any]:
+    """Convert a tracer's events to a Chrome trace_event document."""
+    events: list[dict[str, Any]] = []
+    for pid, name in sorted((process_names or {}).items()):
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": name},
+            }
+        )
+    for (pid, tid), name in sorted((thread_names or {}).items()):
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+    events.extend(_chrome_event(event) for event in tracer.events)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    tracer: SpanTracer,
+    path: str | Path,
+    process_names: dict[int, str] | None = None,
+    thread_names: dict[tuple[int, int], str] | None = None,
+) -> Path:
+    """Write ``trace.json``; returns the path written."""
+    path = Path(path)
+    document = to_chrome_trace(tracer, process_names, thread_names)
+    path.write_text(json.dumps(document, sort_keys=True) + "\n")
+    return path
+
+
+def write_events_jsonl(tracer: SpanTracer, path: str | Path) -> Path:
+    """Write the raw span events, one JSON object per line."""
+    path = Path(path)
+    lines = [
+        json.dumps(event.to_dict(), sort_keys=True)
+        for event in tracer.events
+    ]
+    path.write_text("\n".join(lines) + ("\n" if lines else ""))
+    return path
+
+
+def write_metrics_jsonl(
+    registry: MetricsRegistry,
+    path: str | Path,
+    meta: dict[str, Any] | None = None,
+    summaries: dict[str, dict[str, Any]] | None = None,
+) -> Path:
+    """Write the metrics time series and final summaries as JSONL.
+
+    Line kinds: one ``meta`` header, ``sample`` rows in sampling order,
+    ``summary`` rows (one per operator, sorted by operator id), and a
+    final ``registry`` row with the counter/gauge/histogram snapshot.
+    """
+    path = Path(path)
+    lines = [json.dumps({"kind": "meta", **(meta or {})}, sort_keys=True)]
+    for row in registry.series:
+        lines.append(json.dumps({"kind": "sample", **row}, sort_keys=True))
+    for op, summary in sorted((summaries or {}).items()):
+        lines.append(
+            json.dumps(
+                {"kind": "summary", "op": op, **summary}, sort_keys=True
+            )
+        )
+    lines.append(
+        json.dumps(
+            {"kind": "registry", **registry.summary()}, sort_keys=True
+        )
+    )
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def validate_chrome_trace(document: Any) -> list[str]:
+    """Structural problems of a Chrome trace document (empty = valid).
+
+    Checks the JSON Object Format contract that ``chrome://tracing``
+    relies on: a ``traceEvents`` list whose entries carry ``ph`` and
+    ``name``, with numeric ``ts`` on every non-metadata event.
+    """
+    problems: list[str] = []
+    if not isinstance(document, dict):
+        return ["top level must be a JSON object"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing 'traceEvents' list"]
+    if not events:
+        problems.append("'traceEvents' is empty")
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {index} is not an object")
+            continue
+        if "ph" not in event or "name" not in event:
+            problems.append(f"event {index} lacks 'ph'/'name'")
+            continue
+        if event["ph"] != "M" and not isinstance(
+            event.get("ts"), (int, float)
+        ):
+            problems.append(f"event {index} lacks a numeric 'ts'")
+    return problems

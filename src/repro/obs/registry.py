@@ -1,0 +1,203 @@
+"""Run-time metrics registry.
+
+The registry is the numeric half of the observability layer (the tracer
+in :mod:`repro.obs.tracer` is the event half). It holds three metric
+kinds, all keyed by ``(metric name, operator id)``:
+
+- **counters** — monotonically increasing totals (tuples in/out, shuffle
+  bytes, stall seconds);
+- **gauges** — last-written values (queue depth at the latest sample);
+- **histograms** — fixed-bucket, HDR-style geometric bins for values
+  spanning orders of magnitude (service times, queueing delays,
+  watermark lag).
+
+On top of the instantaneous state the registry records **time series**:
+the engine observer samples every registered operator on a configurable
+*simulated-clock* interval and appends one row per operator per tick.
+Rows are plain dictionaries so they serialise to JSONL without any
+schema machinery (:func:`repro.obs.export.write_metrics_jsonl`).
+
+Everything is guarded by a single ``enabled`` flag so a registry can be
+handed to instrumented code and switched off without touching call
+sites; when disabled every mutator is a cheap early return.
+
+Determinism: the registry only stores what the caller hands it, in call
+order, and never consults wall-clock time or randomness — two runs of
+the same seeded simulation produce byte-identical exports.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+__all__ = ["Histogram", "MetricsRegistry"]
+
+
+class Histogram:
+    """Fixed-bucket histogram with geometrically growing bounds.
+
+    HDR-histogram style: bucket *i* covers values in
+    ``[lowest * growth**i, lowest * growth**(i + 1))``, so relative
+    (not absolute) precision is constant across the range — the right
+    trade-off for latencies and delays that span microseconds to
+    minutes. Values below ``lowest`` land in bucket 0; values beyond
+    the top bound land in the overflow bucket.
+    """
+
+    __slots__ = ("lowest", "growth", "counts", "total", "sum", "maximum")
+
+    def __init__(
+        self,
+        lowest: float = 1e-6,
+        growth: float = 2.0,
+        num_buckets: int = 40,
+    ) -> None:
+        if lowest <= 0 or growth <= 1.0 or num_buckets < 1:
+            raise ValueError(
+                "histogram needs lowest > 0, growth > 1, num_buckets >= 1"
+            )
+        self.lowest = lowest
+        self.growth = growth
+        # One extra slot catches overflow beyond the top bound.
+        self.counts = [0] * (num_buckets + 1)
+        self.total = 0
+        self.sum = 0.0
+        self.maximum = 0.0
+
+    def record(self, value: float) -> None:
+        """Count one observation."""
+        if value <= self.lowest:
+            index = 0
+        else:
+            index = int(math.log(value / self.lowest, self.growth)) + 1
+            if index >= len(self.counts):
+                index = len(self.counts) - 1
+        self.counts[index] += 1
+        self.total += 1
+        self.sum += value
+        if value > self.maximum:
+            self.maximum = value
+
+    def bucket_bound(self, index: int) -> float:
+        """Upper bound of bucket ``index`` (inf for the overflow slot)."""
+        if index >= len(self.counts) - 1:
+            return float("inf")
+        return self.lowest * self.growth**index
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper bound of the covering bucket."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.total == 0:
+            return 0.0
+        rank = q * self.total
+        seen = 0
+        for index, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank:
+                if index >= len(self.counts) - 1:
+                    return self.maximum
+                return self.bucket_bound(index)
+        return self.maximum
+
+    @property
+    def mean(self) -> float:
+        """Mean of all recorded values (0 when empty)."""
+        return self.sum / self.total if self.total else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable summary including non-empty buckets."""
+        return {
+            "total": self.total,
+            "mean": self.mean,
+            "max": self.maximum,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "buckets": {
+                f"{self.bucket_bound(i):.9g}": count
+                for i, count in enumerate(self.counts)
+                if count
+            },
+        }
+
+
+class MetricsRegistry:
+    """Counters, gauges, histograms and sampled time series."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.counters: dict[tuple[str, str], float] = {}
+        self.gauges: dict[tuple[str, str], float] = {}
+        self.histograms: dict[tuple[str, str], Histogram] = {}
+        #: time-series rows appended by the sampler, in sample order
+        self.series: list[dict[str, Any]] = []
+
+    # ------------------------------------------------------------ mutators
+
+    def inc(self, name: str, op: str, value: float = 1.0) -> None:
+        """Add ``value`` to the counter ``(name, op)``."""
+        if not self.enabled:
+            return
+        key = (name, op)
+        self.counters[key] = self.counters.get(key, 0.0) + value
+
+    def set_gauge(self, name: str, op: str, value: float) -> None:
+        """Set the gauge ``(name, op)`` to ``value``."""
+        if not self.enabled:
+            return
+        self.gauges[(name, op)] = value
+
+    def observe(self, name: str, op: str, value: float) -> None:
+        """Record ``value`` into the histogram ``(name, op)``."""
+        if not self.enabled:
+            return
+        key = (name, op)
+        histogram = self.histograms.get(key)
+        if histogram is None:
+            histogram = self.histograms[key] = Histogram()
+        histogram.record(value)
+
+    def record_sample(self, t: float, op: str, **values: float) -> None:
+        """Append one time-series row for operator ``op`` at sim time ``t``."""
+        if not self.enabled:
+            return
+        row: dict[str, Any] = {"t": t, "op": op}
+        row.update(values)
+        self.series.append(row)
+
+    # ------------------------------------------------------------ readers
+
+    def counter(self, name: str, op: str) -> float:
+        """Current value of a counter (0 when never incremented)."""
+        return self.counters.get((name, op), 0.0)
+
+    def gauge(self, name: str, op: str) -> float:
+        """Current value of a gauge (0 when never set)."""
+        return self.gauges.get((name, op), 0.0)
+
+    def histogram(self, name: str, op: str) -> Histogram | None:
+        """The histogram for ``(name, op)``, if any values were observed."""
+        return self.histograms.get((name, op))
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-serialisable snapshot of all non-series state.
+
+        Keys are sorted so the same run always serialises to the same
+        bytes (the byte-stability half of the determinism contract).
+        """
+        return {
+            "counters": {
+                f"{name}:{op}": value
+                for (name, op), value in sorted(self.counters.items())
+            },
+            "gauges": {
+                f"{name}:{op}": value
+                for (name, op), value in sorted(self.gauges.items())
+            },
+            "histograms": {
+                f"{name}:{op}": histogram.to_dict()
+                for (name, op), histogram in sorted(self.histograms.items())
+            },
+        }

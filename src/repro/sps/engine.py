@@ -46,6 +46,14 @@ None of the precomputation changes any simulated result: the same RNG
 draws happen in the same order, and every floating-point expression keeps
 the exact operand order of the straightforward implementation. The golden
 determinism tests (``tests/test_golden_determinism.py``) pin this down.
+
+**Observability.** Passing an :class:`repro.obs.EngineObserver` lets the
+run be traced and metered without perturbing it: every hook only *reads*
+simulation state (no RNG draws, no heap pushes), sampling is lazy (the
+loop checks ``now`` against the next sampling deadline instead of
+scheduling sampler events), and with no observer each hook site is a
+single ``is not None`` test. ``tests/test_obs.py`` pins the on/off
+bit-identity.
 """
 
 from __future__ import annotations
@@ -205,10 +213,14 @@ class StreamEngine:
         rng_factory: RngFactory | None = None,
         chaining: bool = False,
         preflight: bool = True,
+        observer=None,
     ) -> None:
         self.logical = plan
         self.cluster = cluster
         self.config = config or SimulationConfig()
+        #: optional EngineObserver; hooks fire only when not None
+        self.observer = observer
+        self._obs = observer
         if preflight:
             # Static analysis gate: refuse plans with ERROR diagnostics
             # before building anything. Tests that intentionally build
@@ -424,6 +436,10 @@ class StreamEngine:
         runtimes = self._runtimes
         enqueue = self._enqueue
         handle_done = self._handle_done
+        obs = self._obs
+        if obs is not None:
+            obs.on_run_start(self)
+        obs_next = obs.next_sample if obs is not None else math.inf
         events = 0
         while heap:
             if events > max_events:
@@ -435,6 +451,11 @@ class StreamEngine:
             time, _, kind, gid, payload, port = heappop(heap)
             events += 1
             self._now = time
+            if time >= obs_next:
+                # Lazy sampling: piggy-back on the event already being
+                # processed instead of scheduling sampler events, so the
+                # heap and sequence numbers are untouched.
+                obs_next = obs.sample(time)
             if kind == _TIMER:
                 if not self._finished:
                     self._handle_timer(gid)
@@ -460,6 +481,8 @@ class StreamEngine:
                     self._finished = True
                     break
         self._events_processed = events
+        if obs is not None:
+            obs.on_run_end(self._now)
         return self._collect_metrics()
 
     # -------------------------------------------------------------- events
@@ -530,6 +553,9 @@ class StreamEngine:
     def _enqueue(
         self, runtime: _SubtaskRuntime, tup: StreamTuple, port: int
     ) -> None:
+        obs = self._obs
+        if obs is not None:
+            obs.tuples_in[runtime.gid] += 1
         queue = runtime.queue
         if not runtime.busy and runtime.queue_head == len(queue):
             # Idle server, empty queue: start service directly, skipping
@@ -539,6 +565,8 @@ class StreamEngine:
             if runtime.queue_peak < 1:
                 runtime.queue_peak = 1
             if self._bp_limit is not None:
+                if obs is not None and runtime.gid in self._congested:
+                    obs.on_backpressure(runtime, self._now, False)
                 self._congested.discard(runtime.gid)
             runtime.served += 1
             runtime.busy = True
@@ -550,6 +578,8 @@ class StreamEngine:
             if sigma > 0:
                 service *= self._lognormal(runtime.noise_mu, sigma)
             runtime.busy_time += service
+            if obs is not None:
+                obs.on_serve(runtime, self._now, service, 0.0)
             self._seq += 1
             self._work += 1
             heappush(
@@ -570,6 +600,8 @@ class StreamEngine:
             runtime.queue_peak = depth
         limit = self._bp_limit
         if limit is not None and depth >= limit:
+            if obs is not None and runtime.gid not in self._congested:
+                obs.on_backpressure(runtime, self._now, True)
             self._congested.add(runtime.gid)
         if not runtime.busy:
             self._begin_service_now(runtime)
@@ -585,7 +617,8 @@ class StreamEngine:
         head = runtime.queue_head
         tup, port, enqueued_at = queue[head]
         now = self._now
-        runtime.wait_time += now - enqueued_at
+        wait = now - enqueued_at
+        runtime.wait_time += wait
         runtime.served += 1
         head += 1
         runtime.queue_head = head
@@ -596,6 +629,8 @@ class StreamEngine:
         if limit is not None and runtime.gid in self._congested:
             depth = len(queue) - runtime.queue_head
             if depth <= limit // 2:
+                if self._obs is not None:
+                    self._obs.on_backpressure(runtime, now, False)
                 self._congested.discard(runtime.gid)
         runtime.busy = True
         work = runtime.static_work
@@ -606,6 +641,8 @@ class StreamEngine:
         if sigma > 0:
             service *= self._lognormal(runtime.noise_mu, sigma)
         runtime.busy_time += service
+        if self._obs is not None:
+            self._obs.on_serve(runtime, now, service, wait)
         self._seq += 1
         self._work += 1
         heappush(
@@ -619,6 +656,8 @@ class StreamEngine:
             outputs = [tup]
         else:
             outputs = runtime.logic.process(tup, self._now, port)
+        if self._obs is not None:
+            self._obs.on_done(runtime, self._now, tup, outputs)
         overhead = self._route(runtime, outputs)
         runtime.busy_time += overhead
         if overhead > 0:
@@ -635,11 +674,15 @@ class StreamEngine:
             self._push(self._now + 1e-4, _STALL, gid, duration, 0)
             return
         runtime.busy = True
+        if self._obs is not None:
+            self._obs.on_stall(runtime, self._now, duration)
         self._push(self._now + duration, _BEGIN, gid, None, 0)
 
     def _handle_timer(self, gid: int) -> None:
         runtime = self._runtimes[gid]
         outputs = runtime.logic.on_time(self._now)
+        if outputs and self._obs is not None:
+            self._obs.on_window_fire(runtime, self._now, len(outputs))
         overhead = self._route(runtime, outputs)
         runtime.busy_time += overhead
         interval = runtime.logic.timer_interval
@@ -672,6 +715,7 @@ class StreamEngine:
         now = self._now
         heap = self._heap
         seq = self._seq
+        obs = self._obs
         pushed = 0
         offset = 0.0
         for (
@@ -696,6 +740,13 @@ class StreamEngine:
                     for _ in outputs:
                         group_overhead += per_output
                     offset += group_overhead
+                    if obs is not None:
+                        nbytes = 0.0
+                        for out in outputs:
+                            nbytes += out.size_bytes
+                        obs.shuffle_bytes[runtime.gid] += (
+                            nbytes * len(fixed)
+                        )
                 routed = None
             elif shuffle_cost:
                 # Dynamic fan-out with serde overhead: all selects of the
@@ -711,6 +762,11 @@ class StreamEngine:
                     group_overhead += shuffle_cost * len(indices)
                     routed.append((out, indices))
                 offset += group_overhead
+                if obs is not None:
+                    nbytes = 0.0
+                    for out, indices in routed:
+                        nbytes += out.size_bytes * len(indices)
+                    obs.shuffle_bytes[runtime.gid] += nbytes
             else:
                 # Dynamic fan-out, overhead-free group: the offset cannot
                 # change, so skip the buffering pass entirely.
@@ -834,6 +890,10 @@ class StreamEngine:
                 outputs = runtime.logic.flush(self._now)
                 if outputs:
                     emitted = True
+                    if self._obs is not None:
+                        self._obs.on_flush(
+                            runtime, self._now, len(outputs)
+                        )
                     self._route(runtime, outputs)
         return emitted
 

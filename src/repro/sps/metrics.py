@@ -90,6 +90,15 @@ class RunMetrics:
         """Median end-to-end latency in milliseconds (headline metric)."""
         return self.latency.p50 * 1e3
 
+    @property
+    def observability(self) -> dict[str, Any] | None:
+        """The attached observability summary, if the run was observed.
+
+        Populated by :class:`repro.core.runner.BenchmarkRunner` when its
+        config sets ``observe=True`` (see :mod:`repro.obs`).
+        """
+        return self.extras.get("obs")
+
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict form for the document store."""
         return {

@@ -1,0 +1,101 @@
+"""Tests for the perf harness's regression-check failure modes.
+
+``repro bench --check`` must fail loudly — clear message, exit code 1,
+no traceback — when the committed ``BENCH_engine.json`` is missing,
+corrupt, or structurally wrong, instead of silently passing or crashing.
+The measurement itself is monkeypatched out so these tests stay fast.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import perf
+
+_FAKE_RESULTS = {
+    "hotpath": {"events_per_sec": 100_000.0, "events": 1000},
+    "WC": {"events_per_sec": 50_000.0, "events": 1000},
+}
+
+
+@pytest.fixture(autouse=True)
+def _cheap_bench(monkeypatch):
+    monkeypatch.setattr(
+        perf, "run_engine_bench", lambda quick=False, **_: _FAKE_RESULTS
+    )
+    monkeypatch.setattr(perf, "calibration_score", lambda **_: 100.0)
+
+
+def _committed_report() -> dict:
+    return {
+        "calibration_kops": 100.0,
+        "quick": {"current": _FAKE_RESULTS},
+    }
+
+
+class TestCheckFailureModes:
+    def test_missing_report_fails_loudly(self, tmp_path, capsys):
+        code = perf.run_bench(
+            quick=True,
+            check=True,
+            report_path=tmp_path / "BENCH_engine.json",
+            with_sweep=False,
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "PERF CHECK FAILED" in out
+        assert "does not exist" in out
+        assert "repro bench --write" in out
+
+    def test_corrupt_report_fails_loudly(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text('{"quick": {"current": ')
+        code = perf.run_bench(
+            quick=True, check=True, report_path=path, with_sweep=False
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "PERF CHECK FAILED" in out
+        assert "not valid JSON" in out
+
+    def test_non_object_report_fails_loudly(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text("[1, 2, 3]\n")
+        code = perf.run_bench(
+            quick=True, check=True, report_path=path, with_sweep=False
+        )
+        assert code == 1
+        assert "JSON object" in capsys.readouterr().out
+
+    def test_intact_report_still_passes(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text(json.dumps(_committed_report()))
+        code = perf.run_bench(
+            quick=True, check=True, report_path=path, with_sweep=False
+        )
+        assert code == 0
+        assert "perf check passed" in capsys.readouterr().out
+
+    def test_regression_still_detected(self, tmp_path, capsys):
+        report = _committed_report()
+        report["quick"]["current"] = {
+            "hotpath": {"events_per_sec": 1_000_000.0, "events": 1000}
+        }
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text(json.dumps(report))
+        code = perf.run_bench(
+            quick=True, check=True, report_path=path, with_sweep=False
+        )
+        assert code == 1
+        assert "PERF REGRESSION" in capsys.readouterr().out
+
+    def test_write_recreates_missing_report(self, tmp_path):
+        path = tmp_path / "BENCH_engine.json"
+        code = perf.run_bench(
+            quick=True, write=True, report_path=path, with_sweep=False
+        )
+        assert code == 0
+        report = json.loads(path.read_text())
+        assert report["quick"]["current"] == _FAKE_RESULTS
