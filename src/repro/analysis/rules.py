@@ -14,7 +14,7 @@ schema    ``SCH101``-``SCH106``  — schema propagation and typing
 keying    ``KEY201``-``KEY204``  — keyed-state partitioning contracts
 window    ``WIN301``-``WIN305``  — window sanity
 resource  ``RES401``-``RES403``  — cluster/slot feasibility
-cost      ``COST501``-``COST505`` — cost and selectivity sanity
+cost      ``COST501``-``COST506`` — cost, selectivity and state sanity
 ========  ==========================================================
 
 Rules never raise on malformed plans: they *report*. The analyzer runs
@@ -257,6 +257,15 @@ RULE_CATALOG: dict[str, RuleSpec] = {
             "zero selectivity",
             "nothing flows downstream of this operator; the branch is "
             "effectively dead",
+        ),
+        _spec(
+            "COST506", "cost", Severity.WARNING,
+            "extreme sliding-window overlap",
+            "window state is sliced, so per-tuple cost stays O(1), but "
+            "each firing still combines ~2x(length/slide) slice partials "
+            "and the fire heap holds one pending entry per key per "
+            "overlapping window; overlaps this extreme dominate firing "
+            "cost and state size",
         ),
     )
 }
@@ -841,8 +850,13 @@ def _check_placement_contention(
 # ============================================================== cost rules
 
 
+#: length/slide ratio above which COST506 flags a window (every tuple
+#: belongs to this many windows; the paper's sweeps stay in [1.4, 3.3]).
+_EXTREME_OVERLAP = 64.0
+
+
 def check_costs(ctx: AnalysisContext) -> Iterator[Diagnostic]:
-    """COST501-COST505: selectivity and cost-profile sanity."""
+    """COST501-COST506: selectivity, cost-profile and state sanity."""
     fanout_kinds = (
         OperatorKind.FLATMAP,
         OperatorKind.WINDOW_JOIN,
@@ -893,6 +907,24 @@ def check_costs(ctx: AnalysisContext) -> Iterator[Diagnostic]:
                 f"{op.cost.base_cpu_s}",
                 op_id=op.op_id,
             )
+        if op.window is not None:
+            length, slide = _window_extents(op.window)
+            if (
+                length is not None
+                and slide is not None
+                and slide > 0
+                and length / slide >= _EXTREME_OVERLAP
+            ):
+                yield ctx.diag(
+                    "COST506",
+                    f"{op.op_id!r}: window length {length:g} over slide "
+                    f"{slide:g} puts every tuple in "
+                    f"{length / slide:.0f} windows",
+                    op_id=op.op_id,
+                    hint="widen the slide or shrink the window; firing "
+                    "cost and pending-window state grow with the "
+                    "overlap",
+                )
 
 
 #: All rules, in reporting order.

@@ -54,7 +54,10 @@ _SCHEMA = Schema(
     [Field("topic", DataType.INT), Field("text", DataType.STRING)]
 )
 
-_ALL_WORDS = list(_POSITIVE) + list(_NEGATIVE) + _NEUTRAL
+# Sorted: set iteration order depends on PYTHONHASHSEED, and the word
+# list feeds the tweet generator — unsorted, SA simulations would not
+# reproduce bit-identically across processes.
+_ALL_WORDS = sorted(_POSITIVE) + sorted(_NEGATIVE) + _NEUTRAL
 
 
 def _sample_tweet(rng: np.random.Generator) -> tuple:

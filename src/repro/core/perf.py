@@ -21,9 +21,13 @@ slower or faster than the one that produced the baseline.
 
 Workloads: ``hotpath`` is a synthetic engine-dominated plan (cheap
 operator logic, keyed shuffle, windowed aggregation) that isolates the
-event loop itself; ``WC``/``SG``/``AD`` exercise the real applications
-(word count, smart grid, ad analytics) whose operator logic shares the
-budget with the engine.
+event loop itself; ``slide8`` stresses sliding-window aggregation with
+an 8x overlap (every tuple belongs to 8 windows — the case slice-based
+aggregation turns from O(overlap) into O(1) per tuple); ``join8`` is a
+match-heavy sliding-window join (4x overlap on both probe sides);
+``WC``/``SG``/``AD`` exercise the real applications (word count, smart
+grid, ad analytics) whose operator logic shares the budget with the
+engine.
 """
 
 from __future__ import annotations
@@ -45,12 +49,18 @@ from repro.sps.logical import LogicalPlan
 from repro.sps.predicates import FilterFunction, Predicate
 from repro.sps.tuples import StreamTuple
 from repro.sps.types import DataType, Field, Schema
-from repro.sps.windows import AggregateFunction, TumblingTimeWindows
+from repro.sps.windows import (
+    AggregateFunction,
+    SlidingTimeWindows,
+    TumblingTimeWindows,
+)
 
 __all__ = [
     "ENGINE_WORKLOADS",
     "TOLERANCE",
     "hotpath_plan",
+    "slide8_plan",
+    "join8_plan",
     "run_engine_bench",
     "run_sweep_bench",
     "calibration_score",
@@ -64,11 +74,24 @@ DEFAULT_REPORT = "BENCH_engine.json"
 TOLERANCE = 0.30
 
 #: Workloads of the engine benchmark, in report order.
-ENGINE_WORKLOADS = ("hotpath", "WC", "SG", "AD")
+ENGINE_WORKLOADS = ("hotpath", "slide8", "join8", "WC", "SG", "AD")
 
 _BENCH_SEED = 17
 _BENCH_PARALLELISM = 4
 _BENCH_DILATION = 25.0
+
+_KV_SCHEMA = Schema(
+    [Field("k", DataType.INT), Field("v", DataType.DOUBLE)]
+)
+
+
+def _kv_generate(rng: np.random.Generator, now: float) -> StreamTuple:
+    """64-key (int, double) tuples shared by the synthetic workloads."""
+    return StreamTuple(
+        values=(int(rng.integers(64)), float(rng.random())),
+        event_time=now,
+        size_bytes=24.0,
+    )
 
 
 def hotpath_plan(parallelism: int = _BENCH_PARALLELISM) -> LogicalPlan:
@@ -78,19 +101,10 @@ def hotpath_plan(parallelism: int = _BENCH_PARALLELISM) -> LogicalPlan:
     to the engine itself — arrival scheduling, queueing, routing (one
     forward and one hash exchange) and window bookkeeping.
     """
-    schema = Schema([Field("k", DataType.INT), Field("v", DataType.DOUBLE)])
-
-    def generate(rng: np.random.Generator, now: float) -> StreamTuple:
-        return StreamTuple(
-            values=(int(rng.integers(64)), float(rng.random())),
-            event_time=now,
-            size_bytes=24.0,
-        )
-
     plan = LogicalPlan("bench-hotpath")
     plan.add_operator(
         builders.source(
-            "src", generate, schema, event_rate=4000.0,
+            "src", _kv_generate, _KV_SCHEMA, event_rate=4000.0,
             parallelism=parallelism,
         )
     )
@@ -115,6 +129,66 @@ def hotpath_plan(parallelism: int = _BENCH_PARALLELISM) -> LogicalPlan:
     plan.connect("src", "flt")
     plan.connect("flt", "agg")
     plan.connect("agg", "sink")
+    return plan
+
+
+def slide8_plan(parallelism: int = _BENCH_PARALLELISM) -> LogicalPlan:
+    """Sliding-window-heavy plan: every tuple lands in 8 windows.
+
+    400ms windows sliding by 50ms — the overlap the slice-based
+    aggregate collapses to one accumulator update per tuple.
+    """
+    plan = LogicalPlan("bench-sliding")
+    plan.add_operator(
+        builders.source(
+            "src", _kv_generate, _KV_SCHEMA, event_rate=4000.0,
+            parallelism=parallelism,
+        )
+    )
+    plan.add_operator(
+        builders.window_agg(
+            "agg",
+            SlidingTimeWindows(0.4, 0.05),
+            AggregateFunction.SUM,
+            value_field=1,
+            key_field=0,
+            parallelism=parallelism,
+        )
+    )
+    plan.add_operator(builders.sink("sink"))
+    plan.connect("src", "agg")
+    plan.connect("agg", "sink")
+    return plan
+
+
+def join8_plan(parallelism: int = _BENCH_PARALLELISM) -> LogicalPlan:
+    """Join-heavy plan: sliding windows overlap 4x on both probe sides."""
+    plan = LogicalPlan("bench-join")
+    plan.add_operator(
+        builders.source(
+            "lhs", _kv_generate, _KV_SCHEMA, event_rate=2000.0,
+            parallelism=parallelism,
+        )
+    )
+    plan.add_operator(
+        builders.source(
+            "rhs", _kv_generate, _KV_SCHEMA, event_rate=2000.0,
+            parallelism=parallelism,
+        )
+    )
+    plan.add_operator(
+        builders.window_join(
+            "join",
+            SlidingTimeWindows(0.2, 0.05),
+            left_key_field=0,
+            right_key_field=0,
+            parallelism=parallelism,
+        )
+    )
+    plan.add_operator(builders.sink("sink"))
+    plan.connect("lhs", "join", port=0)
+    plan.connect("rhs", "join", port=1)
+    plan.connect("join", "sink")
     return plan
 
 
@@ -147,6 +221,10 @@ def run_engine_bench(
     for name in workloads:
         if name == "hotpath":
             plan = hotpath_plan()
+        elif name == "slide8":
+            plan = slide8_plan()
+        elif name == "join8":
+            plan = join8_plan()
         else:
             runner = BenchmarkRunner(
                 cluster,

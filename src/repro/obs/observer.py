@@ -313,6 +313,9 @@ class EngineObserver:
             lag = registry.histogram("watermark_lag_s", op)
             if lag is not None:
                 entry["watermark_lag_max_s"] = lag.maximum
+            window = _window_counters(runtimes)
+            if window:
+                entry.update(window)
             ops[op] = entry
             totals["tuples_in"] += entry["tuples_in"]
             totals["tuples_out"] += entry["tuples_out"]
@@ -326,6 +329,32 @@ class EngineObserver:
             "ops": ops,
             "totals": totals,
         }
+
+
+#: Window-operator counters surfaced per op when any subtask's logic
+#: (or chained member) exposes them: fire/match totals plus the live
+#: slice-state footprint of the slice-based window operators.
+_WINDOW_COUNTERS = (
+    "windows_fired",
+    "matches_emitted",
+    "late_dropped",
+    "live_slices",
+    "pending_windows",
+)
+
+
+def _window_counters(runtimes: list) -> dict[str, int]:
+    """Sum window counters over subtask logics (incl. chained members)."""
+    out: dict[str, int] = {}
+    for runtime in runtimes:
+        logic = runtime.logic
+        members = getattr(logic, "logics", None) or (logic,)
+        for member in members:
+            for name in _WINDOW_COUNTERS:
+                value = getattr(member, name, None)
+                if value is not None:
+                    out[name] = out.get(name, 0) + int(value)
+    return out
 
 
 def merge_summaries(summaries: list[dict[str, Any]]) -> dict[str, Any]:

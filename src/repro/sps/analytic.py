@@ -139,9 +139,7 @@ class AnalyticEstimator:
             )
         return delay
 
-    def _window_residence(
-        self, op: LogicalOperator, rate_in: float
-    ) -> float:
+    def _window_residence(self, op: LogicalOperator, rate_in: float) -> float:
         if op.window is None:
             return 0.0
         if op.window.is_time_based:

@@ -80,9 +80,7 @@ class ChainedLogic(OperatorLogic):
         for index, logic in enumerate(self.logics):
             produced = logic.on_time(now)
             if produced:
-                collected.extend(
-                    self._run_tail(produced, index + 1, now)
-                )
+                collected.extend(self._run_tail(produced, index + 1, now))
         return collected
 
     def flush(self, now: float) -> list[StreamTuple]:
@@ -90,9 +88,7 @@ class ChainedLogic(OperatorLogic):
         for index, logic in enumerate(self.logics):
             produced = logic.flush(now)
             if produced:
-                collected.extend(
-                    self._run_tail(produced, index + 1, now)
-                )
+                collected.extend(self._run_tail(produced, index + 1, now))
         return collected
 
 

@@ -145,7 +145,9 @@ class LogicalPlan:
             partitioner = self._default_partitioner(
                 self._ops[src], self._ops[dst], port
             )
-        edge = LogicalEdge(src=src, dst=dst, partitioner=partitioner, port=port)
+        edge = LogicalEdge(
+            src=src, dst=dst, partitioner=partitioner, port=port
+        )
         self._edges.append(edge)
         return edge
 

@@ -1,4 +1,4 @@
-"""Windowed aggregation logic.
+"""Windowed aggregation logic (slice-based, incremental).
 
 Supports all four window combinations of Table 3 (tumbling/sliding x
 time/count) and the aggregate functions min/max/avg/mean/sum/count, keyed or
@@ -6,6 +6,35 @@ global. Time windows use processing-time semantics (Flink's default): a
 tuple joins the window(s) covering its arrival time at the operator, and a
 window fires once the subtask's clock passes its end — either on the next
 arrival or on the operator's recurring timer, whichever comes first.
+
+**Slicing.** Instead of appending every tuple into each of its
+``duration/slide`` overlapping windows, processing time is partitioned
+into non-overlapping *slices*: maximal runs of tuples sharing the same
+covering window-index interval ``[lo, hi]`` (see
+:meth:`~repro.sps.windows.SlidingTimeWindows.assign_index_range`).  Each
+tuple updates exactly one slice accumulator (count/sum/min/max plus the
+running earliest origin), so per-tuple cost is O(1) regardless of window
+overlap — the Scotty / Cutty stream-slicing idea.  A firing window ``w``
+is assembled by combining the (few) slices whose interval contains ``w``,
+in slice-creation order, which equals tuple-arrival order because the
+subtask clock is non-decreasing.
+
+**Heap-scheduled firing.** Pending windows are tracked in a global
+min-heap of ``(end, key_rank, window_index)`` entries, so firing pops
+exactly the ready windows instead of scanning every key's state dict.
+Ready windows are emitted in ``(key-first-seen, window_start)`` order —
+bit-identical to the order the previous scan-based implementation
+produced.
+
+**Float exactness.** ``min``/``max``/``count`` combine across slices
+exactly (order-insensitive).  Float ``sum``/``avg`` are only
+reproducible when folded in arrival order, so on genuinely overlapping
+sliding windows each slice also keeps its raw value list and a window's
+sum is folded as *first slice's running sum, then the later slices'
+individual values in order* — bit-identical to summing the window's
+value list.  Pass ``exact_sums=False`` to combine per-slice partial sums
+instead (O(slices) per fire, but re-associated: results can differ in
+the last ulp from the reference fold).
 
 Output tuples carry ``(key, aggregate)`` values and inherit the *earliest*
 origin time of the window's contributors, matching the paper's end-to-end
@@ -15,6 +44,7 @@ latency definition (window time counts toward latency).
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappop, heappush
 
 from repro.common.errors import ConfigurationError
 from repro.sps.operators.base import OperatorLogic
@@ -22,6 +52,7 @@ from repro.sps.tuples import StreamTuple
 from repro.sps.windows import (
     AggregateFunction,
     SlidingCountWindows,
+    SlidingTimeWindows,
     TumblingCountWindows,
     WindowAssigner,
 )
@@ -30,21 +61,94 @@ __all__ = ["WindowAggregateLogic"]
 
 _GLOBAL_KEY = "__global__"
 
+_INF = float("inf")
 
-class _TimeWindowState:
-    """Accumulated values of one (key, window) pair."""
 
-    __slots__ = ("values", "min_origin", "end")
+class _Slice:
+    """Accumulator over one run of tuples sharing a window interval.
 
-    def __init__(self, end: float) -> None:
-        self.values: list[float] = []
-        self.min_origin = float("inf")
-        self.end = end
+    ``values`` is only populated when the exact arrival-order fold is
+    required (float sum/avg on overlapping sliding windows); otherwise
+    the four scalar accumulators fully describe the slice.
+    """
 
-    def add(self, value: float, origin: float) -> None:
-        self.values.append(value)
-        if origin < self.min_origin:
-            self.min_origin = origin
+    __slots__ = (
+        "lo",
+        "hi",
+        "count",
+        "vsum",
+        "vmin",
+        "vmax",
+        "min_origin",
+        "values",
+    )
+
+    def __init__(self, lo: int, hi: int, keep_values: bool) -> None:
+        self.lo = lo
+        self.hi = hi
+        self.count = 0
+        self.vsum = 0.0
+        self.vmin = _INF
+        self.vmax = -_INF
+        self.min_origin = _INF
+        self.values: list[float] | None = [] if keep_values else None
+
+
+class _KeyTimeState:
+    """Per-key slice deque plus pending-window bookkeeping."""
+
+    __slots__ = ("rank", "slices", "pending", "next_mark")
+
+    def __init__(self, rank: int) -> None:
+        self.rank = rank
+        self.slices: deque[_Slice] = deque()
+        self.pending: set[int] = set()
+        # Window indices below this are already marked (or fired);
+        # marking only ever moves forward because the clock does.
+        self.next_mark: int | None = None
+
+
+class _KeyCountState:
+    """Per-key count-window accumulator.
+
+    Tumbling count windows reset the scalar accumulators on every fire,
+    so no buffer is kept at all.  Sliding count windows keep the value
+    deque (the window's contents) plus monotonic front-min/front-max
+    deques so every fire is O(1) for min/max/count/origin instead of the
+    former ``list(buffer)`` copy and O(n) ``min`` scans; only float
+    sum/avg still fold the deque in order (exactness — see module doc).
+    """
+
+    __slots__ = (
+        "count",
+        "vsum",
+        "vmin",
+        "vmax",
+        "min_origin",
+        "values",
+        "origins",
+        "minq",
+        "maxq",
+        "seq",
+    )
+
+    def __init__(self, sliding: bool, track_min: bool, track_max: bool):
+        self.count = 0
+        self.vsum = 0.0
+        self.vmin = _INF
+        self.vmax = -_INF
+        self.min_origin = _INF
+        self.values: deque[float] | None = deque() if sliding else None
+        # (arrival index, origin) with non-decreasing origins: front is
+        # the earliest-arriving minimum of the live window.
+        self.origins: deque[tuple[int, float]] = deque()
+        self.minq: deque[tuple[int, float]] | None = (
+            deque() if (sliding and track_min) else None
+        )
+        self.maxq: deque[tuple[int, float]] | None = (
+            deque() if (sliding and track_max) else None
+        )
+        self.seq = 0
 
 
 class WindowAggregateLogic(OperatorLogic):
@@ -52,6 +156,9 @@ class WindowAggregateLogic(OperatorLogic):
 
     ``key_field=None`` groups by the tuple's pre-assigned key (set by an
     upstream keyBy/hash exchange) or globally when the tuple has no key.
+
+    ``exact_sums`` (default ``True``) keeps float sum/avg bit-identical
+    to the per-window reference fold; see the module docstring.
     """
 
     def __init__(
@@ -60,6 +167,7 @@ class WindowAggregateLogic(OperatorLogic):
         function: AggregateFunction,
         value_field: int,
         key_field: int | None = None,
+        exact_sums: bool = True,
     ) -> None:
         if value_field < 0:
             raise ConfigurationError("value_field must be non-negative")
@@ -67,19 +175,37 @@ class WindowAggregateLogic(OperatorLogic):
         self.function = function
         self.value_field = value_field
         self.key_field = key_field
-        # time-window state: key -> {window_start -> _TimeWindowState}
-        self._time_state: dict[object, dict[float, _TimeWindowState]] = {}
-        # earliest pending window end across all keys: firing scans the
-        # whole state, so skip the scan entirely until the clock reaches
-        # the earliest end (the common case on every tuple)
-        self._min_end = float("inf")
-        # count-window state: key -> deque[(value, origin)]
-        self._count_state: dict[object, deque[tuple[float, float]]] = {}
+        self.exact_sums = exact_sums
+        # time-window state: key -> _KeyTimeState, in key-first-seen
+        # order (dict insertion order doubles as the rank order)
+        self._time_state: dict[object, _KeyTimeState] = {}
+        self._keys_by_rank: list[object] = []
+        # min-heap of (window end, key rank, window index): only keys
+        # with a ready window are touched at fire time
+        self._fire_heap: list[tuple[float, int, int]] = []
+        # count-window state: key -> _KeyCountState
+        self._count_state: dict[object, _KeyCountState] = {}
         self._count_since_fire: dict[object, int] = {}
         self.windows_fired = 0
-        # Resolved once: the count-window branch runs per tuple.
+        # Resolved once: these decide the per-tuple branch.
+        self._time_based = assigner.is_time_based
         self._count_tumbling = isinstance(assigner, TumblingCountWindows)
         self._count_sliding = isinstance(assigner, SlidingCountWindows)
+        fn = function
+        self._is_min = fn is AggregateFunction.MIN
+        self._is_max = fn is AggregateFunction.MAX
+        self._is_count = fn is AggregateFunction.COUNT
+        self._is_sum = fn is AggregateFunction.SUM
+        # Raw values are only needed for the exact cross-slice sum fold:
+        # float sum/avg, and only when windows can actually span more
+        # than one slice (genuinely overlapping sliding time windows).
+        sum_shaped = not (self._is_min or self._is_max or self._is_count)
+        self._keep_values = (
+            exact_sums
+            and sum_shaped
+            and isinstance(assigner, SlidingTimeWindows)
+            and assigner.slide < assigner.duration
+        )
         if assigner.is_time_based:
             interval = getattr(assigner, "slide", None) or getattr(
                 assigner, "duration"
@@ -102,42 +228,123 @@ class WindowAggregateLogic(OperatorLogic):
     ) -> list[StreamTuple]:
         key = self._key_of(tup)
         value = float(tup.values[self.value_field])
-        if self.assigner.is_time_based:
-            per_key = self._time_state.get(key)
-            if per_key is None:
-                per_key = self._time_state[key] = {}
-            for window in self.assigner.assign(now):
-                state = per_key.get(window.start)
-                if state is None:
-                    state = _TimeWindowState(window.end)
-                    per_key[window.start] = state
-                    if window.end < self._min_end:
-                        self._min_end = window.end
-                state.add(value, tup.origin_time)
+        if self._time_based:
+            st = self._time_state.get(key)
+            if st is None:
+                st = self._time_state[key] = _KeyTimeState(
+                    len(self._keys_by_rank)
+                )
+                self._keys_by_rank.append(key)
+            lo, hi = self.assigner.assign_index_range(now)
+            if lo <= hi:
+                slices = st.slices
+                # The clock is non-decreasing, so (lo, hi) intervals are
+                # too: a tuple either extends the newest slice or opens
+                # the next one.
+                if slices:
+                    sl = slices[-1]
+                    if sl.lo != lo or sl.hi != hi:
+                        sl = _Slice(lo, hi, self._keep_values)
+                        slices.append(sl)
+                else:
+                    sl = _Slice(lo, hi, self._keep_values)
+                    slices.append(sl)
+                if sl.count:
+                    if value < sl.vmin:
+                        sl.vmin = value
+                    if value > sl.vmax:
+                        sl.vmax = value
+                else:
+                    sl.vmin = value
+                    sl.vmax = value
+                sl.count += 1
+                sl.vsum += value
+                origin = tup.origin_time
+                if origin < sl.min_origin:
+                    sl.min_origin = origin
+                if sl.values is not None:
+                    sl.values.append(value)
+                # Mark newly-seen windows as pending on the fire heap.
+                mark = st.next_mark
+                w = lo if (mark is None or mark < lo) else mark
+                if w <= hi:
+                    pending = st.pending
+                    heap = self._fire_heap
+                    rank = st.rank
+                    window_end = self.assigner.window_end
+                    while w <= hi:
+                        pending.add(w)
+                        heappush(heap, (window_end(w), rank, w))
+                        w += 1
+                    st.next_mark = hi + 1
             return self._fire_time_windows(now)
         return self._process_count(key, value, tup.origin_time, now)
+
+    # ------------------------------------------------------- count windows
 
     def _process_count(
         self, key: object, value: float, origin: float, now: float
     ) -> list[StreamTuple]:
-        buffer = self._count_state.get(key)
-        if buffer is None:
-            buffer = self._count_state[key] = deque()
-        buffer.append((value, origin))
+        st = self._count_state.get(key)
+        if st is None:
+            st = self._count_state[key] = _KeyCountState(
+                self._count_sliding, self._is_min, self._is_max
+            )
         assigner = self.assigner
         if self._count_tumbling:
-            if len(buffer) >= assigner.length:
-                out = self._emit(key, list(buffer), now)
-                buffer.clear()
+            if st.count:
+                if value < st.vmin:
+                    st.vmin = value
+                if value > st.vmax:
+                    st.vmax = value
+            else:
+                st.vmin = value
+                st.vmax = value
+            st.count += 1
+            st.vsum += value
+            if origin < st.min_origin:
+                st.min_origin = origin
+            if st.count >= assigner.length:
+                out = self._emit_tumbling_count(key, st, now)
+                st.count = 0
+                st.vsum = 0.0
+                st.min_origin = _INF
                 return [out]
             return []
         if self._count_sliding:
-            while len(buffer) > assigner.length:
-                buffer.popleft()
+            values = st.values
+            i = st.seq
+            st.seq = i + 1
+            values.append(value)
+            origins = st.origins
+            while origins and origins[-1][1] > origin:
+                origins.pop()
+            origins.append((i, origin))
+            minq = st.minq
+            if minq is not None:
+                while minq and minq[-1][1] > value:
+                    minq.pop()
+                minq.append((i, value))
+            maxq = st.maxq
+            if maxq is not None:
+                while maxq and maxq[-1][1] < value:
+                    maxq.pop()
+                maxq.append((i, value))
+            while len(values) > assigner.length:
+                values.popleft()
+            head = st.seq - len(values)
+            while origins[0][0] < head:
+                origins.popleft()
+            if minq is not None:
+                while minq[0][0] < head:
+                    minq.popleft()
+            if maxq is not None:
+                while maxq[0][0] < head:
+                    maxq.popleft()
             count = self._count_since_fire.get(key, 0) + 1
-            if len(buffer) >= assigner.length and count >= assigner.slide:
+            if len(values) >= assigner.length and count >= assigner.slide:
                 self._count_since_fire[key] = 0
-                return [self._emit(key, list(buffer), now)]
+                return [self._emit_sliding_count(key, st, now)]
             self._count_since_fire[key] = count
             return []
         raise ConfigurationError(
@@ -147,70 +354,162 @@ class WindowAggregateLogic(OperatorLogic):
     # ---------------------------------------------------------- time firing
 
     def _fire_time_windows(self, now: float) -> list[StreamTuple]:
-        if now < self._min_end:
-            return []  # nothing can be ready yet: skip the state scan
+        heap = self._fire_heap
+        if not heap or heap[0][0] > now:
+            return []  # nothing ready: the common case on every tuple
+        states = self._time_state
+        keys_by_rank = self._keys_by_rank
+        ready: list[tuple[int, int]] = []
+        while heap and heap[0][0] <= now:
+            _end, rank, w = heappop(heap)
+            st = states[keys_by_rank[rank]]
+            if w in st.pending:
+                st.pending.discard(w)
+                ready.append((rank, w))
+        if not ready:
+            return []
+        # Emission order is pinned: key-first-seen major, window minor —
+        # exactly what the former all-keys scan produced.
+        ready.sort()
         outputs: list[StreamTuple] = []
-        next_min = float("inf")
-        for key, per_key in self._time_state.items():
-            ready = [
-                start for start, st in per_key.items() if st.end <= now
-            ]
-            for start in sorted(ready):
-                state = per_key.pop(start)
-                outputs.append(
-                    self._emit_state(key, state, fire_time=now)
-                )
-            for st in per_key.values():
-                if st.end < next_min:
-                    next_min = st.end
-        self._min_end = next_min
+        for rank, w in ready:
+            key = keys_by_rank[rank]
+            outputs.append(self._emit_window(key, states[key], w, now))
         return outputs
 
     def on_time(self, now: float) -> list[StreamTuple]:
-        if not self.assigner.is_time_based:
+        if not self._time_based:
             return []
         return self._fire_time_windows(now)
 
     def flush(self, now: float) -> list[StreamTuple]:
         outputs: list[StreamTuple] = []
-        if self.assigner.is_time_based:
-            for key, per_key in self._time_state.items():
-                for start in sorted(per_key):
-                    outputs.append(
-                        self._emit_state(key, per_key[start], fire_time=now)
-                    )
+        if self._time_based:
+            for key, st in self._time_state.items():
+                for w in sorted(st.pending):
+                    st.pending.discard(w)
+                    outputs.append(self._emit_window(key, st, w, now))
             self._time_state.clear()
-            self._min_end = float("inf")
+            self._keys_by_rank.clear()
+            self._fire_heap.clear()
         else:
-            for key, buffer in self._count_state.items():
-                if buffer:
-                    outputs.append(self._emit(key, list(buffer), now))
+            for key, st in self._count_state.items():
+                if st.values is not None:
+                    if st.values:
+                        outputs.append(self._emit_sliding_count(key, st, now))
+                elif st.count:
+                    outputs.append(self._emit_tumbling_count(key, st, now))
             self._count_state.clear()
         return outputs
 
     # -------------------------------------------------------------- emission
 
-    def _emit_state(
-        self, key: object, state: _TimeWindowState, fire_time: float
+    def _emit_window(
+        self, key: object, st: _KeyTimeState, w: int, fire_time: float
     ) -> StreamTuple:
+        slices = st.slices
+        # Slices wholly before the oldest pending window are dead; the
+        # fire order (ascending per key) makes this safe to pop eagerly.
+        while slices and slices[0].hi < w:
+            slices.popleft()
+        first = slices[0]
+        total = first.count
+        min_origin = first.min_origin
+        if self._is_min:
+            acc = first.vmin
+            for sl in slices:
+                if sl is first:
+                    continue
+                if sl.lo > w:
+                    break
+                total += sl.count
+                if sl.min_origin < min_origin:
+                    min_origin = sl.min_origin
+                if sl.vmin < acc:
+                    acc = sl.vmin
+            aggregate = acc
+        elif self._is_max:
+            acc = first.vmax
+            for sl in slices:
+                if sl is first:
+                    continue
+                if sl.lo > w:
+                    break
+                total += sl.count
+                if sl.min_origin < min_origin:
+                    min_origin = sl.min_origin
+                if sl.vmax > acc:
+                    acc = sl.vmax
+            aggregate = acc
+        else:
+            # sum-shaped: SUM, AVG, MEAN, COUNT
+            acc = first.vsum
+            for sl in slices:
+                if sl is first:
+                    continue
+                if sl.lo > w:
+                    break
+                total += sl.count
+                if sl.min_origin < min_origin:
+                    min_origin = sl.min_origin
+                if sl.values is not None:
+                    # exact fold: replay this slice's values in order
+                    for v in sl.values:
+                        acc += v
+                else:
+                    acc += sl.vsum
+            if self._is_count:
+                aggregate = float(total)
+            elif self._is_sum:
+                aggregate = acc
+            else:
+                aggregate = acc / total  # AVG and MEAN
         self.windows_fired += 1
-        aggregate = self.function.apply(state.values)
         out_key = None if key is _GLOBAL_KEY else key
         return StreamTuple(
             values=(out_key, aggregate),
             event_time=fire_time,
-            origin_time=state.min_origin,
+            origin_time=min_origin,
             key=out_key,
             size_bytes=40.0,
         )
 
-    def _emit(
-        self, key: object, items: list[tuple[float, float]], now: float
+    def _emit_tumbling_count(
+        self, key: object, st: _KeyCountState, now: float
+    ) -> StreamTuple:
+        if self._is_min:
+            aggregate = st.vmin
+        elif self._is_max:
+            aggregate = st.vmax
+        elif self._is_count:
+            aggregate = float(st.count)
+        elif self._is_sum:
+            aggregate = st.vsum
+        else:
+            aggregate = st.vsum / st.count
+        return self._emit_count(key, aggregate, st.min_origin, now)
+
+    def _emit_sliding_count(
+        self, key: object, st: _KeyCountState, now: float
+    ) -> StreamTuple:
+        values = st.values
+        if self._is_min:
+            aggregate = st.minq[0][1]
+        elif self._is_max:
+            aggregate = st.maxq[0][1]
+        elif self._is_count:
+            aggregate = float(len(values))
+        else:
+            # Ordered fold over the live window keeps float sums
+            # bit-identical to the reference (see module docstring).
+            total = float(sum(values))
+            aggregate = total if self._is_sum else total / len(values)
+        return self._emit_count(key, aggregate, st.origins[0][1], now)
+
+    def _emit_count(
+        self, key: object, aggregate: float, min_origin: float, now: float
     ) -> StreamTuple:
         self.windows_fired += 1
-        values = [value for value, _ in items]
-        min_origin = min(origin for _, origin in items)
-        aggregate = self.function.apply(values)
         out_key = None if key is _GLOBAL_KEY else key
         return StreamTuple(
             values=(out_key, aggregate),
@@ -219,3 +518,15 @@ class WindowAggregateLogic(OperatorLogic):
             key=out_key,
             size_bytes=40.0,
         )
+
+    # ------------------------------------------------------------- obs hooks
+
+    @property
+    def live_slices(self) -> int:
+        """Total live slice accumulators (observability)."""
+        return sum(len(st.slices) for st in self._time_state.values())
+
+    @property
+    def pending_windows(self) -> int:
+        """Windows marked but not yet fired (observability)."""
+        return sum(len(st.pending) for st in self._time_state.values())

@@ -18,9 +18,21 @@ In the simulator, event time is stamped at the source, so queueing delay
 and cross-node network transfer are exactly the disorder the watermark
 must absorb — the same trade-off (latency vs completeness) operators face
 in production.
+
+State is incremental: each (key, window) pair keeps scalar accumulators
+(count/sum/min/max and the earliest origin) updated in arrival order, so
+firing never rescans buffered values — the arrival-order running sum is
+bit-identical to summing a buffered value list, because tuples are
+folded into exactly the same windows in exactly the same order.  Ready
+windows are discovered through a min-heap of window ends instead of an
+all-keys scan, and emitted in the pinned (key-first-seen, window-start)
+order.  Window membership is computed once per tuple through the
+assigner's index-range API rather than materialising ``Window`` objects.
 """
 
 from __future__ import annotations
+
+from heapq import heappop, heappush
 
 from repro.common.errors import ConfigurationError
 from repro.sps.operators.base import OperatorLogic
@@ -31,14 +43,30 @@ __all__ = ["EventTimeWindowAggregateLogic"]
 
 _GLOBAL_KEY = "__global__"
 
+_INF = float("inf")
+
 
 class _WindowState:
-    __slots__ = ("values", "min_origin", "end")
+    """Incremental accumulators of one (key, window) pair."""
 
-    def __init__(self, end: float) -> None:
-        self.values: list[float] = []
-        self.min_origin = float("inf")
-        self.end = end
+    __slots__ = ("count", "vsum", "vmin", "vmax", "min_origin")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.vsum = 0.0
+        self.vmin = _INF
+        self.vmax = -_INF
+        self.min_origin = _INF
+
+
+class _KeyState:
+    """Per-key window map plus the key's pinned emission rank."""
+
+    __slots__ = ("rank", "windows")
+
+    def __init__(self, rank: int) -> None:
+        self.rank = rank
+        self.windows: dict[int, _WindowState] = {}
 
 
 class EventTimeWindowAggregateLogic(OperatorLogic):
@@ -71,10 +99,18 @@ class EventTimeWindowAggregateLogic(OperatorLogic):
         self.allowed_lateness = allowed_lateness
         self._max_event_time = float("-inf")
         self._fired_horizon = float("-inf")
-        # key -> {window_start -> _WindowState}
-        self._state: dict[object, dict[float, _WindowState]] = {}
+        self._state: dict[object, _KeyState] = {}
+        self._keys_by_rank: list[object] = []
+        # min-heap of (window end, key rank, window index), one entry
+        # per live (key, window) pair, pushed at state creation
+        self._fire_heap: list[tuple[float, int, int]] = []
         self.late_dropped = 0
         self.windows_fired = 0
+        fn = function
+        self._is_min = fn is AggregateFunction.MIN
+        self._is_max = fn is AggregateFunction.MAX
+        self._is_count = fn is AggregateFunction.COUNT
+        self._is_sum = fn is AggregateFunction.SUM
         interval = getattr(assigner, "slide", None) or getattr(
             assigner, "duration"
         )
@@ -95,43 +131,68 @@ class EventTimeWindowAggregateLogic(OperatorLogic):
     def process(
         self, tup: StreamTuple, now: float, port: int = 0
     ) -> list[StreamTuple]:
-        if tup.event_time > self._max_event_time:
-            self._max_event_time = tup.event_time
+        event_time = tup.event_time
+        if event_time > self._max_event_time:
+            self._max_event_time = event_time
+        assigner = self.assigner
+        lo, hi = assigner.assign_index_range(event_time)
+        if lo > hi:  # rounding left no containing window
+            return self._fire_ready(now)
+        lateness = self.allowed_lateness
+        horizon = self._fired_horizon
         # Late: every window this tuple belongs to has already fired.
-        newest_window_end = max(
-            w.end for w in self.assigner.assign(tup.event_time)
-        )
-        if newest_window_end + self.allowed_lateness <= self._fired_horizon:
+        if assigner.window_end(hi) + lateness <= horizon:
             self.late_dropped += 1
             return self._fire_ready(now)
         key = self._key_of(tup)
         value = float(tup.values[self.value_field])
-        per_key = self._state.setdefault(key, {})
-        for window in self.assigner.assign(tup.event_time):
-            if window.end + self.allowed_lateness <= self._fired_horizon:
+        kst = self._state.get(key)
+        if kst is None:
+            kst = self._state[key] = _KeyState(len(self._keys_by_rank))
+            self._keys_by_rank.append(key)
+        windows = kst.windows
+        origin = tup.origin_time
+        for w in range(lo, hi + 1):
+            end = assigner.window_end(w)
+            if end + lateness <= horizon:
                 continue  # this overlap already fired; count the rest
-            state = per_key.get(window.start)
+            state = windows.get(w)
             if state is None:
-                state = _WindowState(window.end)
-                per_key[window.start] = state
-            state.values.append(value)
-            if tup.origin_time < state.min_origin:
-                state.min_origin = tup.origin_time
+                state = windows[w] = _WindowState()
+                heappush(self._fire_heap, (end, kst.rank, w))
+            if state.count:
+                if value < state.vmin:
+                    state.vmin = value
+                if value > state.vmax:
+                    state.vmax = value
+            else:
+                state.vmin = value
+                state.vmax = value
+            state.count += 1
+            state.vsum += value
+            if origin < state.min_origin:
+                state.min_origin = origin
         return self._fire_ready(now)
 
     def _fire_ready(self, now: float) -> list[StreamTuple]:
         watermark = self.watermark
+        heap = self._fire_heap
+        lateness = self.allowed_lateness
         outputs: list[StreamTuple] = []
-        for key, per_key in self._state.items():
-            ready = [
-                start
-                for start, state in per_key.items()
-                if state.end + self.allowed_lateness <= watermark
-            ]
-            for start in sorted(ready):
-                state = per_key.pop(start)
-                if state.values:
-                    outputs.append(self._emit(key, state, now))
+        if heap and heap[0][0] + lateness <= watermark:
+            states = self._state
+            keys_by_rank = self._keys_by_rank
+            ready: list[tuple[int, int]] = []
+            while heap and heap[0][0] + lateness <= watermark:
+                _end, rank, w = heappop(heap)
+                if w in states[keys_by_rank[rank]].windows:
+                    ready.append((rank, w))
+            # Pinned emission order: key-first-seen major, window minor.
+            ready.sort()
+            for rank, w in ready:
+                key = keys_by_rank[rank]
+                state = states[key].windows.pop(w)
+                outputs.append(self._emit(key, state, now))
         if watermark > self._fired_horizon:
             self._fired_horizon = watermark
         return outputs
@@ -148,21 +209,32 @@ class EventTimeWindowAggregateLogic(OperatorLogic):
 
     def flush(self, now: float) -> list[StreamTuple]:
         outputs: list[StreamTuple] = []
-        for key, per_key in self._state.items():
-            for start in sorted(per_key):
-                state = per_key[start]
-                if state.values:
-                    outputs.append(self._emit(key, state, now))
+        for key, kst in self._state.items():
+            windows = kst.windows
+            for w in sorted(windows):
+                outputs.append(self._emit(key, windows[w], now))
         self._state.clear()
+        self._keys_by_rank.clear()
+        self._fire_heap.clear()
         return outputs
 
     def _emit(
         self, key: object, state: _WindowState, now: float
     ) -> StreamTuple:
         self.windows_fired += 1
+        if self._is_min:
+            aggregate = state.vmin
+        elif self._is_max:
+            aggregate = state.vmax
+        elif self._is_count:
+            aggregate = float(state.count)
+        elif self._is_sum:
+            aggregate = state.vsum
+        else:
+            aggregate = state.vsum / state.count  # AVG and MEAN
         out_key = None if key is _GLOBAL_KEY else key
         return StreamTuple(
-            values=(out_key, self.function.apply(state.values)),
+            values=(out_key, aggregate),
             event_time=now,
             origin_time=state.min_origin,
             key=out_key,

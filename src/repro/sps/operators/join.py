@@ -1,18 +1,29 @@
-"""Windowed equi-join logic.
+"""Windowed equi-join logic (slice-buffered).
 
-A symmetric hash join over processing-time windows: both inputs are buffered
-per (window, key); each arriving tuple immediately probes the opposite
-side's buffer of every window it falls into and emits the concatenated
-matches. Expired windows are garbage-collected on arrivals and on the
-recurring timer. Multi-way joins in the workload are cascades of these
-2-way joins, as in Flink.
+A symmetric hash join over processing-time windows: each arriving tuple
+is buffered once in the *slice* shared by all tuples with the same
+covering window-index interval (see
+:meth:`~repro.sps.windows.SlidingTimeWindows.assign_index_range`), not
+once per overlapping window, and immediately probes the opposite side's
+slices covered by each of its windows — ascending window order, slice
+arrival order, so the match sequence is bit-identical to the former
+per-window buffering. Expired slices are popped from the front of the
+slice deque on arrivals and on the recurring timer; no full-state rescan
+is needed because the slice deque is ordered by creation time.
+Multi-way joins in the workload are cascades of these 2-way joins, as in
+Flink.
 
 Work units grow with the number of matches produced, so join cost is
 data-dependent — a key ingredient of the paper's observation that join
-parallelism has a tipping point (O2).
+parallelism has a tipping point (O2). ``work_units`` reads the match
+count of the *previous* probe (the engine bills service time before
+running the logic); it is maintained on every return path, including
+raising ones.
 """
 
 from __future__ import annotations
+
+from collections import deque
 
 from repro.common.errors import ConfigurationError
 from repro.sps.operators.base import OperatorLogic
@@ -20,6 +31,21 @@ from repro.sps.tuples import StreamTuple, merge_origin
 from repro.sps.windows import WindowAssigner
 
 __all__ = ["WindowJoinLogic"]
+
+
+class _JoinSlice:
+    """Both sides' buffers for one run of same-interval tuples."""
+
+    __slots__ = ("lo", "hi", "end_hi", "sides")
+
+    def __init__(self, lo: int, hi: int, end_hi: float) -> None:
+        self.lo = lo
+        self.hi = hi
+        #: end of the newest covered window: once the clock passes it,
+        #: every window of this slice has expired
+        self.end_hi = end_hi
+        #: per side: key -> list[StreamTuple], in arrival order
+        self.sides: tuple[dict, dict] = ({}, {})
 
 
 class WindowJoinLogic(OperatorLogic):
@@ -46,14 +72,14 @@ class WindowJoinLogic(OperatorLogic):
         self.assigner = assigner
         self.key_fields = (left_key_field, right_key_field)
         self.max_matches_per_probe = max_matches_per_probe
-        # window_start -> (end, [left buffer, right buffer])
-        # each buffer: key -> list[StreamTuple]
-        self._windows: dict[
-            float, tuple[float, list[dict[object, list[StreamTuple]]]]
-        ] = {}
-        # earliest end among live windows, so expiry scans only run when
-        # something can actually expire (not on every probe)
-        self._min_end = float("inf")
+        # live slices, ordered by creation time (== by (lo, hi))
+        self._slices: deque[_JoinSlice] = deque()
+        # smallest window index that has not expired yet; None until the
+        # first slice exists.  Windows below it are dead.
+        self._cut: int | None = None
+        # earliest future window end: expiry work is skipped entirely
+        # until the clock reaches it (not on every probe)
+        self._next_expire = float("inf")
         self.matches_emitted = 0
         self._last_matches = 0
         interval = getattr(assigner, "slide", None) or getattr(
@@ -74,34 +100,84 @@ class WindowJoinLogic(OperatorLogic):
     def process(
         self, tup: StreamTuple, now: float, port: int = 0
     ) -> list[StreamTuple]:
-        if port not in (0, 1):
-            raise ConfigurationError(f"join port must be 0 or 1, got {port}")
-        self._expire(now)
-        key = self._key_of(tup, port)
         outputs: list[StreamTuple] = []
         matches = 0
-        for window in self.assigner.assign(now):
-            entry = self._windows.get(window.start)
-            if entry is None:
-                entry = (window.end, [{}, {}])
-                self._windows[window.start] = entry
-                if window.end < self._min_end:
-                    self._min_end = window.end
-            _, buffers = entry
-            side = buffers[port]
+        try:
+            if port not in (0, 1):
+                raise ConfigurationError(
+                    f"join port must be 0 or 1, got {port}"
+                )
+            self._expire(now)
+            key = self._key_of(tup, port)
+            assigner = self.assigner
+            lo, hi = assigner.assign_index_range(now)
+            if lo > hi:  # rounding left no containing window
+                return outputs
+            slices = self._slices
+            # The clock is non-decreasing, so a tuple extends the newest
+            # slice or opens the next one.
+            if slices:
+                sl = slices[-1]
+                if sl.lo != lo or sl.hi != hi:
+                    sl = _JoinSlice(lo, hi, assigner.window_end(hi))
+                    slices.append(sl)
+            else:
+                sl = _JoinSlice(lo, hi, assigner.window_end(hi))
+                slices.append(sl)
+                if self._cut is None:
+                    self._cut = lo
+                    self._next_expire = assigner.window_end(lo)
+            side = sl.sides[port]
             bucket = side.get(key)
             if bucket is None:
                 bucket = side[key] = []
             bucket.append(tup)
-            other = buffers[1 - port].get(key, ())
-            for candidate in other:
-                if matches >= self.max_matches_per_probe:
+            # Probe: windows ascending, covering slices in arrival
+            # order — the exact match sequence per-window buffering
+            # produced (a pair sharing k windows matches k times, as
+            # before).  One bucket lookup per overlapping slice; the
+            # bucket is then fanned out to the windows it covers.
+            opposite = 1 - port
+            cap = self.max_matches_per_probe
+            n_w = hi - lo + 1
+            per_window: list[list | None] = [None] * n_w
+            for s in slices:
+                if s.lo > hi:
                     break
-                outputs.append(self._join(tup, candidate, port, now, key))
-                matches += 1
-        self._last_matches = matches
-        self.matches_emitted += matches
-        return outputs
+                if s.hi < lo:
+                    continue
+                candidates = s.sides[opposite].get(key)
+                if candidates:
+                    a = s.lo - lo
+                    if a < 0:
+                        a = 0
+                    z = s.hi - lo
+                    if z > n_w - 1:
+                        z = n_w - 1
+                    for wi in range(a, z + 1):
+                        cell = per_window[wi]
+                        if cell is None:
+                            per_window[wi] = [candidates]
+                        else:
+                            cell.append(candidates)
+            for cell in per_window:
+                if cell is None:
+                    continue
+                for candidates in cell:
+                    for candidate in candidates:
+                        if matches >= cap:
+                            return outputs
+                        outputs.append(
+                            self._join(tup, candidate, port, now, key)
+                        )
+                        matches += 1
+            return outputs
+        finally:
+            # Billed by work_units on the *next* probe; maintained on
+            # raising paths too so cost accounting never reads a stale
+            # match count.
+            self._last_matches = matches
+            self.matches_emitted += matches
 
     def _join(
         self,
@@ -121,25 +197,28 @@ class WindowJoinLogic(OperatorLogic):
         )
 
     def _expire(self, now: float) -> None:
-        if now < self._min_end:
-            return  # no live window has ended yet: skip the scan
-        expired = [
-            start for start, (end, _) in self._windows.items() if end <= now
-        ]
-        for start in expired:
-            del self._windows[start]
-        self._min_end = min(
-            (end for end, _ in self._windows.values()),
-            default=float("inf"),
-        )
+        if now < self._next_expire:
+            return  # no live window has ended yet: skip entirely
+        assigner = self.assigner
+        cut = self._cut
+        # Advance the expiry cut to the first window still open.  The
+        # cut only ever moves forward, so this is amortised O(1).
+        while assigner.window_end(cut) <= now:
+            cut += 1
+        self._cut = cut
+        self._next_expire = assigner.window_end(cut)
+        slices = self._slices
+        while slices and slices[0].hi < cut:
+            slices.popleft()
 
     def on_time(self, now: float) -> list[StreamTuple]:
         self._expire(now)
         return []
 
     def flush(self, now: float) -> list[StreamTuple]:
-        self._windows.clear()
-        self._min_end = float("inf")
+        self._slices.clear()
+        self._cut = None
+        self._next_expire = float("inf")
         return []
 
     def work_units(self, tup: StreamTuple) -> float:
@@ -148,5 +227,17 @@ class WindowJoinLogic(OperatorLogic):
 
     @property
     def buffered_windows(self) -> int:
-        """Number of live (non-expired) windows held in state."""
-        return len(self._windows)
+        """Number of live (non-expired) windows holding buffered tuples."""
+        total = 0
+        floor = self._cut if self._cut is not None else -(1 << 62)
+        for s in self._slices:
+            lo = s.lo if s.lo > floor else floor
+            if s.hi >= lo:
+                total += s.hi - lo + 1
+                floor = s.hi + 1
+        return total
+
+    @property
+    def live_slices(self) -> int:
+        """Live slice buffers held in state (observability)."""
+        return len(self._slices)

@@ -17,9 +17,7 @@ from repro.sps.tuples import StreamTuple
 
 __all__ = ["FunctionUDO"]
 
-UDOFunction = Callable[
-    [dict[str, Any], StreamTuple, float], list[StreamTuple]
-]
+UDOFunction = Callable[[dict[str, Any], StreamTuple, float], list[StreamTuple]]
 
 
 class FunctionUDO(OperatorLogic):

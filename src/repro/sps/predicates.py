@@ -102,11 +102,7 @@ class Predicate:
         # evaluate() runs once per tuple per filter: resolve the
         # comparison function once instead of re-deriving it from the
         # enum on every call (frozen dataclass, hence __setattr__).
-        ops = (
-            _STRING_OPS
-            if self.function.is_string_function
-            else _NUMERIC_OPS
-        )
+        ops = _STRING_OPS if self.function.is_string_function else _NUMERIC_OPS
         object.__setattr__(self, "_op", ops[self.function])
 
     def evaluate(self, tup: StreamTuple) -> bool:

@@ -51,7 +51,18 @@ class Window:
 
 
 class WindowAssigner:
-    """Base class of the four type x policy window combinations."""
+    """Base class of the four type x policy window combinations.
+
+    Time-based assigners additionally expose an *index space*: window
+    ``i`` is ``[window_start(i), window_end(i))`` and
+    :meth:`assign_index_range` returns the inclusive index interval of
+    the windows containing a timestamp.  Slice-based operators
+    (:mod:`repro.sps.operators.aggregate`, ``...join``) work entirely in
+    index space, which avoids materialising ``duration/slide``
+    :class:`Window` objects per tuple.  The index API is defined to be
+    bit-for-bit consistent with :meth:`assign`: window ``i`` is in the
+    range iff a :class:`Window` with the same start would be returned.
+    """
 
     #: Whether windows are bounded by time (vs. by tuple count).
     is_time_based: bool = True
@@ -98,6 +109,21 @@ class TumblingTimeWindows(WindowAssigner):
         windows = [Window(start, start + self.duration)]
         self._last = (start, start + self.duration, windows)
         return windows
+
+    def assign_index_range(self, event_time: float) -> tuple[int, int]:
+        """Inclusive index interval of windows containing the timestamp."""
+        index = math.floor(event_time / self.duration)
+        if index * self.duration > event_time:
+            index -= 1
+        return index, index
+
+    def window_start(self, index: int) -> float:
+        """Start of window ``index`` (same expression as :meth:`assign`)."""
+        return index * self.duration
+
+    def window_end(self, index: int) -> float:
+        """End of window ``index`` (same expression as :meth:`assign`)."""
+        return index * self.duration + self.duration
 
     def describe(self) -> str:
         return f"tumbling-time({self.duration * 1e3:g}ms)"
@@ -151,6 +177,39 @@ class SlidingTimeWindows(WindowAssigner):
             index -= 1
         windows.reverse()
         return windows
+
+    def assign_index_range(self, event_time: float) -> tuple[int, int]:
+        """Inclusive index interval of windows containing the timestamp.
+
+        Uses the exact same floating-point predicates as :meth:`assign`
+        (``index * slide`` compared against the timestamp, the half-open
+        end re-checked through the same ``start + duration`` rounding),
+        so the interval ``[lo, hi]`` covers precisely the windows
+        ``assign`` would return.  ``lo > hi`` when rounding leaves no
+        containing window.  O(1): the scan below starts at most a couple
+        of indices under the true lower bound.
+        """
+        slide = self.slide
+        duration = self.duration
+        hi = math.floor(event_time / slide)
+        if hi * slide > event_time:
+            hi -= 1
+        threshold = event_time - duration
+        lo = math.floor(threshold / slide) - 2
+        # Window lo is included iff lo*slide > event_time - duration
+        # (assign's loop bound) and its half-open end exceeds the
+        # timestamp (assign's bit-for-bit containment re-check).
+        while lo * slide <= threshold or lo * slide + duration <= event_time:
+            lo += 1
+        return lo, hi
+
+    def window_start(self, index: int) -> float:
+        """Start of window ``index`` (same expression as :meth:`assign`)."""
+        return index * self.slide
+
+    def window_end(self, index: int) -> float:
+        """End of window ``index`` (same expression as :meth:`assign`)."""
+        return index * self.slide + self.duration
 
     def describe(self) -> str:
         return (

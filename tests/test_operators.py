@@ -289,6 +289,44 @@ class TestWindowJoin:
         out = logic.process(tup("k", 2.0), now=0.2, port=1)
         assert len(out) == 3
 
+    def test_match_cap_feeds_cost_accounting(self):
+        """A capped probe bills exactly the capped match count.
+
+        ``work_units`` reads the previous probe's matches, so the cap
+        must flow into the next billing, and a subsequent zero-match
+        probe must drop the cost back to the base unit.
+        """
+        logic = WindowJoinLogic(
+            TumblingTimeWindows(1.0),
+            left_key_field=0,
+            right_key_field=0,
+            max_matches_per_probe=3,
+        )
+        logic.setup(ctx())
+        for _ in range(10):
+            logic.process(tup("k", 1.0), now=0.1, port=0)
+        out = logic.process(tup("k", 2.0), now=0.2, port=1)
+        assert len(out) == 3
+        assert logic.matches_emitted == 3
+        assert logic.work_units(tup("k", 0.0)) == pytest.approx(2.5)
+        assert logic.process(tup("miss", 0.0), now=0.3, port=1) == []
+        assert logic.work_units(tup("k", 0.0)) == pytest.approx(1.0)
+
+    def test_raising_probe_resets_cost_accounting(self):
+        """A probe that raises must not leave ``work_units`` reading the
+
+        previous successful probe's match count (stale-cost regression:
+        raising paths used to skip the ``_last_matches`` update)."""
+        logic = self._logic()
+        for _ in range(4):
+            logic.process(tup("k", 1.0), now=0.1, port=0)
+        assert len(logic.process(tup("k", 2.0), now=0.2, port=1)) == 4
+        assert logic.work_units(tup("k", 0.0)) == pytest.approx(3.0)
+        with pytest.raises(ConfigurationError):
+            logic.process(tup("k", 3.0), now=0.3, port=2)
+        assert logic.work_units(tup("k", 0.0)) == pytest.approx(1.0)
+        assert logic.matches_emitted == 4  # raising probe emitted nothing
+
     def test_invalid_port(self):
         with pytest.raises(ConfigurationError):
             self._logic().process(tup("k", 1.0), now=0.1, port=2)

@@ -1,0 +1,99 @@
+"""Pinned per-app window counters across the full app registry.
+
+PR 5 rewrote the window operators around slice-based incremental
+aggregation and heap-scheduled firing with a *bit-identical* contract:
+every application plan must fire exactly the same windows and emit
+exactly the same join matches as the per-window buffering
+implementation it replaced. This pins ``windows_fired`` /
+``matches_emitted`` (plus events and results) for all 14 registered
+apps at a fixed configuration, so any semantic drift in windowing shows
+up as a counter change even in apps the golden suite does not cover.
+
+Recapture recipe (only for *intentional* semantic changes): run each
+app through ``BenchmarkRunner.prepare_app(abbrev, 2)`` on a 4-node m510
+cluster and a ``StreamEngine`` with ``SimulationConfig(1200, 3.0)`` and
+``RngFactory(11)``, then sum the counters over all runtimes (including
+chained ``.logics`` members).
+
+Note: the SA pin reflects the deterministic word-table fix in
+:mod:`repro.apps.sentiment` (sorted sentiment vocabularies); before it,
+SA's tweet stream varied with ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import repro.apps as apps
+from repro.cluster import homogeneous_cluster
+from repro.common.rng import RngFactory
+from repro.core.runner import BenchmarkRunner, RunnerConfig
+from repro.sps.engine import SimulationConfig, StreamEngine
+
+#: abbrev -> (events_processed, results, windows_fired, matches_emitted)
+PINNED = {
+    "AD": (13164, 31, 31, 403),
+    "BI": (18598, 848, 341, 1454),
+    "CA": (10018, 204, 204, 0),
+    "FD": (7667, 53, 0, 0),
+    "LP": (10095, 6, 6, 0),
+    "LR": (6901, 45, 383, 0),
+    "MO": (8409, 3, 0, 0),
+    "SA": (10426, 406, 406, 0),
+    "SD": (6069, 23, 0, 0),
+    "SG": (8100, 290, 0, 0),
+    "TM": (12001, 66, 1288, 0),
+    "TPCH": (9343, 4, 4, 0),
+    "TQ": (13290, 40, 2378, 0),
+    "WC": (21880, 26, 26, 0),
+}
+
+
+def _logic_counters(engine: StreamEngine) -> tuple[int, int]:
+    fired = 0
+    matched = 0
+    for runtime in engine._runtimes:
+        logic = runtime.logic
+        members = getattr(logic, "logics", None) or (logic,)
+        for member in members:
+            fired += getattr(member, "windows_fired", 0)
+            matched += getattr(member, "matches_emitted", 0)
+    return fired, matched
+
+
+def test_registry_is_fully_pinned():
+    assert sorted(apps.REGISTRY) == sorted(PINNED)
+
+
+def test_window_counters_match_pins():
+    cluster = homogeneous_cluster("m510", 4)
+    runner = BenchmarkRunner(
+        cluster,
+        RunnerConfig(
+            repeats=1,
+            dilation=25.0,
+            max_tuples_per_source=1200,
+            max_sim_time=3.0,
+            seed=11,
+        ),
+    )
+    mismatches = []
+    for abbrev in sorted(PINNED):
+        query = runner.prepare_app(abbrev, 2)
+        engine = StreamEngine(
+            query.plan,
+            cluster,
+            config=SimulationConfig(
+                max_tuples_per_source=1200, max_sim_time=3.0
+            ),
+            rng_factory=RngFactory(11),
+        )
+        metrics = engine.run()
+        fired, matched = _logic_counters(engine)
+        got = (
+            metrics.extras["events_processed"],
+            metrics.results,
+            fired,
+            matched,
+        )
+        if got != PINNED[abbrev]:
+            mismatches.append((abbrev, got, PINNED[abbrev]))
+    assert not mismatches, mismatches
