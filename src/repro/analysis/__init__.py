@@ -3,15 +3,20 @@
 The analyzer inspects a :class:`~repro.sps.logical.LogicalPlan` (plus,
 optionally, the target cluster and placement strategy) *before* anything
 executes and emits :class:`Diagnostic` records with stable rule codes in
-six families — DAG structure (``PLAN``), schema propagation (``SCH``),
+seven families — DAG structure (``PLAN``), schema propagation (``SCH``),
 keyed-state partitioning (``KEY``), window sanity (``WIN``), resource
-feasibility (``RES``) and cost/selectivity sanity (``COST``).
+feasibility (``RES``), cost/selectivity sanity (``COST``) and
+determinism (``DET``).
 
 Entry points:
 
 - :func:`analyze_plan` — collect every diagnostic, never raises.
 - :func:`preflight` — raise :class:`PreflightError` on any ERROR.
 - ``repro lint-plan`` — the CLI front-end.
+- :func:`sanitize_paths` / :func:`sanitize_app` — the determinism
+  sanitizer's code-level AST pass (``repro sanitize``).
+- :class:`RaceDetector` / :func:`compare_ledgers` — the runtime race
+  detector behind ``run_plan(sanitize=True)``.
 """
 
 from repro.analysis.analyzer import PlanAnalyzer, analyze_plan, preflight
@@ -21,7 +26,16 @@ from repro.analysis.diagnostics import (
     PreflightError,
     Severity,
 )
+from repro.analysis.racecheck import RaceDetector, compare_ledgers
 from repro.analysis.rules import RULE_CATALOG, RuleSpec
+from repro.analysis.sanitizer import (
+    sanitize_app,
+    sanitize_callable,
+    sanitize_file,
+    sanitize_paths,
+    sanitize_plan_sources,
+    sanitize_source,
+)
 
 __all__ = [
     "PlanAnalyzer",
@@ -33,4 +47,12 @@ __all__ = [
     "Severity",
     "RULE_CATALOG",
     "RuleSpec",
+    "RaceDetector",
+    "compare_ledgers",
+    "sanitize_app",
+    "sanitize_callable",
+    "sanitize_file",
+    "sanitize_paths",
+    "sanitize_plan_sources",
+    "sanitize_source",
 ]

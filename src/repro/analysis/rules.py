@@ -15,7 +15,15 @@ keying    ``KEY201``-``KEY204``  — keyed-state partitioning contracts
 window    ``WIN301``-``WIN305``  — window sanity
 resource  ``RES401``-``RES403``  — cluster/slot feasibility
 cost      ``COST501``-``COST506`` — cost, selectivity and state sanity
+determinism  ``DET601``-``DET609`` — reproducibility hazards
 ========  ==========================================================
+
+The determinism family is different in kind: DET601-DET606 are *code*
+rules applied by the AST sanitizer (:mod:`repro.analysis.sanitizer`) to
+operator source rather than to plan structure, and DET607-DET609 are
+emitted at run time by the race detector
+(:mod:`repro.analysis.racecheck`). They share the catalogue so
+``repro sanitize --list-rules`` and diagnostics speak one vocabulary.
 
 Rules never raise on malformed plans: they *report*. The analyzer runs
 every rule and aggregates, so a plan with five problems produces five
@@ -266,6 +274,71 @@ RULE_CATALOG: dict[str, RuleSpec] = {
             "and the fire heap holds one pending entry per key per "
             "overlapping window; overlaps this extreme dominate firing "
             "cost and state size",
+        ),
+        _spec(
+            "DET601", "determinism", Severity.ERROR,
+            "unseeded global RNG use",
+            "module-level random/numpy.random draws bypass the per-run "
+            "RngFactory derivation; two processes (or two repeats) see "
+            "different streams and results stop being bit-identical",
+        ),
+        _spec(
+            "DET602", "determinism", Severity.ERROR,
+            "wall-clock read in operator logic",
+            "operators live in simulated time; time.time/datetime.now "
+            "leaks host wall-clock into results, which then differ on "
+            "every run and every machine",
+        ),
+        _spec(
+            "DET603", "determinism", Severity.WARNING,
+            "set iteration order reaches data",
+            "set iteration order depends on PYTHONHASHSEED; converting "
+            "or iterating a set into tuples, word tables or RNG draws "
+            "makes runs differ across processes (the apps/sentiment.py "
+            "bug PR 5 fixed)",
+        ),
+        _spec(
+            "DET604", "determinism", Severity.WARNING,
+            "mutable global state in operator path",
+            "module/class-level mutable state written from process() is "
+            "shared across subtask instances in-process but silently "
+            "forked per worker under ParallelRunner — the same plan "
+            "computes different things serial vs parallel",
+        ),
+        _spec(
+            "DET605", "determinism", Severity.WARNING,
+            "id()/hash-order-dependent key",
+            "id() values and builtin str hash() differ across processes; "
+            "keys or ordering derived from them are not reproducible "
+            "(use fields, ranks or partitioning._stable_hash)",
+        ),
+        _spec(
+            "DET606", "determinism", Severity.WARNING,
+            "fork-unsafe resource captured",
+            "open files, locks and sockets created at import time are "
+            "duplicated by fork; ParallelRunner children then share "
+            "file offsets or deadlock on parent-held locks",
+        ),
+        _spec(
+            "DET607", "determinism", Severity.ERROR,
+            "keyed state aliased across subtasks",
+            "the run delivered one key to two subtasks of a keyed "
+            "operator; its state is split and window results depend on "
+            "the race between instances",
+        ),
+        _spec(
+            "DET608", "determinism", Severity.ERROR,
+            "RNG stream shared across subtasks",
+            "two subtasks draw from one generator object (or from "
+            "identically seeded clones); draw interleaving then depends "
+            "on event order and serial != parallel",
+        ),
+        _spec(
+            "DET609", "determinism", Severity.ERROR,
+            "RNG draw ledger diverged",
+            "the per-stream RNG state fingerprints of a serial and a "
+            "parallel run differ: some component drew a different "
+            "number (or order) of values — the runs are not comparable",
         ),
     )
 }

@@ -1,0 +1,704 @@
+"""The determinism sanitizer: a code-level AST lint (``dsan``).
+
+Every optimization the engine has absorbed rests on one invariant:
+*identical inputs produce bit-identical results*, serially and under
+:class:`~repro.core.parallel.ParallelRunner` fan-out. That invariant is
+easy to break from user code — an unseeded ``np.random`` draw, a
+wall-clock read inside ``process()``, a word table built by iterating a
+``set`` — and golden tests only catch the breakage after the fact (and
+only on the seeds they pin; the PR 5 ``apps/sentiment.py`` hash-order
+bug survived two PRs that way).
+
+This module walks Python *source* (files, directories, app modules or
+live callables) and flags the DET rule family of the shared catalogue
+(:data:`repro.analysis.rules.RULE_CATALOG`):
+
+- **DET601** — unseeded ``random`` / ``numpy.random`` module-level draws
+  anywhere in scanned code (all randomness must flow through
+  :class:`~repro.common.rng.RngFactory`-derived generators).
+- **DET602** — wall-clock reads (``time.time``, ``datetime.now``, ...)
+  inside *operator scope* (see below); operators live in simulated time.
+- **DET603** — ``set`` iteration order reaching data: ``for x in s``,
+  ``list(s)``, ``tuple(s)``, ``",".join(s)`` or ``enumerate(s)`` over a
+  statically set-typed expression, without a ``sorted()`` wrapper.
+- **DET604** — mutable module-level state mutated from operator scope
+  (plus ``global`` statements there, and mutable class-level literals on
+  operator classes): shared in-process, silently forked per worker.
+- **DET605** — ``id()`` / builtin ``hash()`` in operator scope: both
+  differ across processes (``PYTHONHASHSEED``, allocator addresses).
+- **DET606** — fork-unsafe resources (``open``, ``threading.Lock``,
+  sockets) created at import time; fork duplicates them.
+
+**Operator scope** is determined structurally: methods of classes whose
+base names contain ``Logic`` or ``UDO``, functions named like the
+:class:`~repro.sps.operators.base.OperatorLogic` surface (``process``,
+``on_time``, ``flush``, ``generate``, ``work_units``), and functions
+whose first parameter is ``state`` or that take an ``rng`` parameter
+(the :class:`~repro.sps.operators.udo.FunctionUDO` and sampler
+conventions). DET601/603/606 apply everywhere in scanned code since
+this codebase runs *all* of it under the determinism contract.
+
+A finding can be acknowledged in place with a trailing ``# dsan: ok``
+comment (optionally naming codes: ``# dsan: ok DET603``) — the escape
+hatch for intentional wall-clock use such as benchmark harness timing.
+
+Findings reuse :class:`~repro.analysis.diagnostics.Diagnostic` with
+``op_id`` carrying ``"<file>:<line>"`` so text and JSON renderings stay
+schema-compatible with ``repro lint-plan``.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from pathlib import Path
+
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic
+from repro.analysis.rules import RULE_CATALOG
+
+__all__ = [
+    "sanitize_source",
+    "sanitize_file",
+    "sanitize_paths",
+    "sanitize_callable",
+    "sanitize_app",
+    "sanitize_plan_sources",
+]
+
+#: function names that put a def into operator scope regardless of class
+_OPERATOR_FUNCS = frozenset(
+    {"process", "on_time", "flush", "generate", "work_units"}
+)
+
+#: random-module attributes that are *allowed* (seeded construction)
+_ALLOWED_NP_RANDOM = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: stdlib ``random`` attributes that draw from (or reseed) the global
+#: stream, plus the explicitly nondeterministic SystemRandom
+_STDLIB_RANDOM_DRAWS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "randbytes",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "triangular",
+        "betavariate",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "lognormvariate",
+        "normalvariate",
+        "vonmisesvariate",
+        "paretovariate",
+        "weibullvariate",
+        "getrandbits",
+        "seed",
+        "setstate",
+        "SystemRandom",
+    }
+)
+
+#: wall-clock reads on the ``time`` module
+_TIME_CLOCKS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "localtime",
+        "gmtime",
+        "ctime",
+    }
+)
+
+#: wall-clock constructors on ``datetime.datetime`` / ``datetime.date``
+_DATETIME_CLOCKS = frozenset({"now", "utcnow", "today"})
+
+#: method calls that mutate a dict/list/set in place
+_MUTATORS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "sort",
+        "reverse",
+    }
+)
+
+#: constructors whose call yields a fork-unsafe resource
+_FORK_UNSAFE_CALLS = {
+    "open": "an open file handle",
+    "threading.Lock": "a lock",
+    "threading.RLock": "a lock",
+    "threading.Condition": "a condition variable",
+    "threading.Semaphore": "a semaphore",
+    "threading.BoundedSemaphore": "a semaphore",
+    "threading.Event": "an event",
+    "multiprocessing.Lock": "a lock",
+    "multiprocessing.RLock": "a lock",
+    "multiprocessing.Queue": "a queue",
+    "socket.socket": "a socket",
+}
+
+#: sequence constructors through which set order reaches data
+_ORDER_SINKS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+
+def _diag(code: str, location: str, message: str) -> Diagnostic:
+    spec = RULE_CATALOG[code]
+    return Diagnostic(
+        code=code,
+        severity=spec.severity,
+        message=message,
+        op_id=location,
+        hint=spec.rationale,
+    )
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for an attribute/name chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _Imports:
+    """Resolves local aliases back to canonical module/attr paths."""
+
+    def __init__(self) -> None:
+        #: alias -> module path (``np`` -> ``numpy``)
+        self.modules: dict[str, str] = {}
+        #: name -> ``module.attr`` (``now`` -> ``datetime.datetime.now``)
+        self.names: dict[str, str] = {}
+
+    def collect(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.modules[alias.asname or alias.name] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.names[local] = f"{node.module}.{alias.name}"
+
+    def resolve_call(self, func: ast.AST) -> str | None:
+        """Canonical dotted path of a call target, if resolvable."""
+        dotted = _dotted(func)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        if head in self.modules:
+            base = self.modules[head]
+            return f"{base}.{rest}" if rest else base
+        if head in self.names:
+            base = self.names[head]
+            return f"{base}.{rest}" if rest else base
+        return dotted
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Dict, ast.List, ast.Set)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("dict", "list", "set")
+    return False
+
+
+def _suppressed(source_lines: list[str], lineno: int, code: str) -> bool:
+    """Whether the line acknowledges the finding via ``# dsan: ok``."""
+    if not 1 <= lineno <= len(source_lines):
+        return False
+    line = source_lines[lineno - 1]
+    marker = line.find("# dsan: ok")
+    if marker < 0:
+        return False
+    tail = line[marker + len("# dsan: ok") :].strip()
+    return not tail or code in tail.split()
+
+
+class _Sanitizer(ast.NodeVisitor):
+    """One pass over one module's AST, yielding DET diagnostics."""
+
+    def __init__(self, tree: ast.Module, filename: str) -> None:
+        self.filename = filename
+        self.imports = _Imports()
+        self.imports.collect(tree)
+        self.findings: list[Diagnostic] = []
+        #: module-level names bound to mutable literals
+        self.module_mutables: set[str] = set()
+        #: module-level names statically known to be sets
+        self.module_sets: set[str] = set()
+        #: names (any scope) known to be sets, shadowing-tolerant
+        self._set_names: set[str] = set()
+        #: stack of (function node, is_operator_scope)
+        self._scope: list[tuple[ast.AST, bool]] = []
+        self._class_stack: list[tuple[str, bool]] = []
+        self._index_module(tree)
+
+    # -------------------------------------------------------- indexing
+
+    def _index_module(self, tree: ast.Module) -> None:
+        for node in tree.body:
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            if value is None:
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if _is_mutable_literal(value):
+                    self.module_mutables.add(target.id)
+                if self._is_set_expr(value):
+                    self.module_sets.add(target.id)
+                    self._set_names.add(target.id)
+
+    # ------------------------------------------------------- set typing
+
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        """Statically set-typed: literals, set()/frozenset(), set ops."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in ("set", "frozenset"):
+                return True
+        if isinstance(node, ast.Name):
+            return node.id in self._set_names
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+        ):
+            return self._is_set_expr(node.left) or self._is_set_expr(
+                node.right
+            )
+        return False
+
+    # ---------------------------------------------------------- scoping
+
+    @property
+    def in_operator_scope(self) -> bool:
+        return any(is_op for _, is_op in self._scope)
+
+    def _function_is_operator(self, node) -> bool:
+        if node.name in _OPERATOR_FUNCS:
+            return True
+        if self._class_stack and self._class_stack[-1][1]:
+            return True
+        args = node.args.posonlyargs + node.args.args
+        names = [a.arg for a in args]
+        if names and names[0] == "self":
+            names = names[1:]
+        if names and names[0] == "state":
+            return True
+        return "rng" in names
+
+    # ---------------------------------------------------------- visitors
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        base_names = [b for b in map(_dotted, node.bases) if b]
+        is_operator = any(
+            "Logic" in base or "UDO" in base for base in base_names
+        )
+        if is_operator:
+            self._check_class_attrs(node)
+        self._class_stack.append((node.name, is_operator))
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _check_class_attrs(self, node: ast.ClassDef) -> None:
+        for stmt in node.body:
+            value = None
+            if isinstance(stmt, ast.Assign):
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                value = stmt.value
+            if value is not None and _is_mutable_literal(value):
+                self._emit(
+                    "DET604",
+                    stmt.lineno,
+                    f"operator class {node.name!r} declares a mutable "
+                    "class-level attribute; it is shared by every "
+                    "subtask instance in one process",
+                )
+
+    def _visit_function(self, node) -> None:
+        is_operator = self._function_is_operator(node)
+        # Locally bound sets participate in DET603 within the function.
+        added: list[str] = []
+        for stmt in ast.walk(node):
+            if isinstance(stmt, ast.Assign) and self._is_set_expr(
+                stmt.value
+            ):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        if target.id not in self._set_names:
+                            self._set_names.add(target.id)
+                            added.append(target.id)
+        self._scope.append((node, is_operator))
+        self.generic_visit(node)
+        self._scope.pop()
+        for name in added:
+            self._set_names.discard(name)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node) -> None:
+        self._visit_function(node)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        if self.in_operator_scope:
+            self._emit(
+                "DET604",
+                node.lineno,
+                "operator code declares "
+                f"global {', '.join(node.names)}; module globals are "
+                "shared in-process and forked per worker",
+            )
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._is_set_expr(node.iter):
+            self._emit(
+                "DET603",
+                node.lineno,
+                "iteration over a set; wrap it in sorted() so the "
+                "order is hash-seed independent",
+            )
+        self.generic_visit(node)
+
+    def visit_comprehension_iter(self, node) -> None:
+        for gen in node.generators:
+            if self._is_set_expr(gen.iter):
+                self._emit(
+                    "DET603",
+                    node.lineno,
+                    "comprehension over a set; wrap the iterable in "
+                    "sorted() so the order is hash-seed independent",
+                )
+        self.generic_visit(node)
+
+    visit_ListComp = visit_comprehension_iter
+    visit_GeneratorExp = visit_comprehension_iter
+    visit_DictComp = visit_comprehension_iter
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_store(node.target, node.lineno)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_store(target, node.lineno)
+        self.generic_visit(node)
+
+    def _check_store(self, target: ast.expr, lineno: int) -> None:
+        """DET604: subscript/attribute stores into module mutables."""
+        if not self.in_operator_scope:
+            return
+        if isinstance(target, ast.Subscript) and isinstance(
+            target.value, ast.Name
+        ):
+            if target.value.id in self.module_mutables:
+                self._emit(
+                    "DET604",
+                    lineno,
+                    f"operator code writes into module-level "
+                    f"{target.value.id!r}",
+                )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_call(node)
+        self.generic_visit(node)
+
+    def _check_call(self, node: ast.Call) -> None:
+        resolved = self.imports.resolve_call(node.func)
+        lineno = node.lineno
+
+        # ---- DET601: global RNG draws -------------------------------
+        if resolved is not None:
+            if resolved.startswith("numpy.random."):
+                attr = resolved.rsplit(".", 1)[1]
+                if attr not in _ALLOWED_NP_RANDOM:
+                    self._emit(
+                        "DET601",
+                        lineno,
+                        f"call to {resolved} draws from the global "
+                        "numpy stream; use an RngFactory-derived "
+                        "generator",
+                    )
+            elif resolved.startswith("random."):
+                attr = resolved.split(".", 1)[1]
+                if attr.split(".")[0] in _STDLIB_RANDOM_DRAWS:
+                    self._emit(
+                        "DET601",
+                        lineno,
+                        f"call to {resolved} uses the process-global "
+                        "stdlib stream; use an RngFactory-derived "
+                        "generator",
+                    )
+
+        # ---- DET602: wall-clock in operator scope -------------------
+        if resolved is not None and self.in_operator_scope:
+            if resolved.startswith("time."):
+                attr = resolved.split(".", 1)[1]
+                if attr in _TIME_CLOCKS:
+                    self._emit(
+                        "DET602",
+                        lineno,
+                        f"operator code reads the wall clock via "
+                        f"{resolved}; use the simulated `now` argument",
+                    )
+            elif resolved.startswith("datetime."):
+                if resolved.rsplit(".", 1)[-1] in _DATETIME_CLOCKS:
+                    self._emit(
+                        "DET602",
+                        lineno,
+                        f"operator code reads the wall clock via "
+                        f"{resolved}; use the simulated `now` argument",
+                    )
+
+        # ---- DET603: set order into sequences -----------------------
+        if isinstance(node.func, ast.Name):
+            name = node.func.id
+            if (
+                name in _ORDER_SINKS
+                and node.args
+                and self._is_set_expr(node.args[0])
+            ):
+                self._emit(
+                    "DET603",
+                    lineno,
+                    f"{name}() over a set freezes hash-seed-dependent "
+                    "order into a sequence; use sorted() instead",
+                )
+            # ---- DET605: id()/hash() in operator scope --------------
+            if name in ("id", "hash") and self.in_operator_scope:
+                in_dunder_hash = any(
+                    getattr(fn, "name", None) == "__hash__"
+                    for fn, _ in self._scope
+                )
+                if not in_dunder_hash:
+                    self._emit(
+                        "DET605",
+                        lineno,
+                        f"operator code calls {name}(); the value "
+                        "differs across processes and hash seeds",
+                    )
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "join":
+            if node.args and self._is_set_expr(node.args[0]):
+                self._emit(
+                    "DET603",
+                    node.lineno,
+                    "str.join over a set freezes hash-seed-dependent "
+                    "order into a string; use sorted() instead",
+                )
+
+        # ---- DET604: mutating module-level state from operators -----
+        if (
+            self.in_operator_scope
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATORS
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in self.module_mutables
+        ):
+            self._emit(
+                "DET604",
+                lineno,
+                f"operator code mutates module-level "
+                f"{node.func.value.id!r} via .{node.func.attr}()",
+            )
+
+        # ---- DET606: fork-unsafe resources at import time -----------
+        if not self._scope and resolved in _FORK_UNSAFE_CALLS:
+            self._emit(
+                "DET606",
+                lineno,
+                f"module-level {resolved}() creates "
+                f"{_FORK_UNSAFE_CALLS[resolved]}; fork-based "
+                "ParallelRunner children duplicate it",
+            )
+
+    # ------------------------------------------------------------ emit
+
+    def _emit(self, code: str, lineno: int, message: str) -> None:
+        self.findings.append(
+            _diag(code, f"{self.filename}:{lineno}", message)
+        )
+
+
+def sanitize_source(
+    source: str, filename: str = "<string>"
+) -> AnalysisReport:
+    """Run the DET rules over one module's source text."""
+    report = AnalysisReport(plan_name=filename)
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        report.add(
+            _diag(
+                "DET601",
+                f"{filename}:{exc.lineno or 0}",
+                f"source could not be parsed: {exc.msg}",
+            )
+        )
+        return report
+    checker = _Sanitizer(tree, filename)
+    checker.visit(tree)
+    lines = source.splitlines()
+    for diagnostic in checker.findings:
+        lineno = int(diagnostic.op_id.rsplit(":", 1)[1])
+        if not _suppressed(lines, lineno, diagnostic.code):
+            report.add(diagnostic)
+    return report
+
+
+def sanitize_file(path: str | Path) -> AnalysisReport:
+    """Sanitize one Python file."""
+    path = Path(path)
+    return sanitize_source(
+        path.read_text(encoding="utf-8"), filename=str(path)
+    )
+
+
+def sanitize_paths(
+    paths,
+) -> list[tuple[str, AnalysisReport]]:
+    """Sanitize files and directory trees; dirs are walked for ``*.py``."""
+    reports: list[tuple[str, AnalysisReport]] = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            for file in sorted(entry.rglob("*.py")):
+                reports.append((str(file), sanitize_file(file)))
+        else:
+            reports.append((str(entry), sanitize_file(entry)))
+    return reports
+
+
+def _source_of(obj) -> tuple[str, str] | None:
+    """(dedented source, location label) of a live object, if known."""
+    try:
+        source = inspect.getsource(obj)
+        file = inspect.getsourcefile(obj) or "<unknown>"
+        _, lineno = inspect.getsourcelines(obj)
+    except (OSError, TypeError):
+        return None
+    label = f"{file}:{lineno}"
+    return textwrap.dedent(source), label
+
+
+def sanitize_callable(obj) -> AnalysisReport:
+    """Sanitize a live callable, operator-logic class or UDO instance.
+
+    Objects exposing ``dsan_targets()`` (the
+    :class:`~repro.sps.operators.udo.FunctionUDO` protocol) contribute
+    each target callable; plain callables and classes contribute their
+    own source. Built-ins without retrievable source yield an empty
+    report rather than an error.
+    """
+    targets = []
+    dsan_targets = getattr(obj, "dsan_targets", None)
+    if callable(dsan_targets):
+        targets.extend(t for t in dsan_targets() if t is not None)
+    else:
+        targets.append(obj)
+    name = getattr(obj, "__name__", type(obj).__name__)
+    report = AnalysisReport(plan_name=name)
+    for target in targets:
+        located = _source_of(target)
+        if located is None:
+            continue
+        source, label = located
+        report.extend(sanitize_source(source, filename=label))
+    return report
+
+
+def sanitize_app(abbrev: str) -> AnalysisReport:
+    """Sanitize the module that defines one built-in application."""
+    from repro.apps import REGISTRY
+
+    builder = REGISTRY[abbrev]
+    file = inspect.getsourcefile(builder)
+    if file is None:  # pragma: no cover - registry is always file-backed
+        return AnalysisReport(plan_name=abbrev)
+    report = sanitize_file(file)
+    report.plan_name = abbrev
+    return report
+
+
+#: (path, mtime) -> report; plan-source scans repeat per run_plan call
+_FILE_CACHE: dict[tuple[str, float], AnalysisReport] = {}
+
+
+def sanitize_plan_sources(plan) -> AnalysisReport:
+    """Sanitize the source modules behind a plan's operator logics.
+
+    Resolves each operator's ``logic_factory`` to its defining module
+    (deduplicated), scans every module file once (mtime-cached across
+    calls), and folds UDO ``dsan_targets`` contributions in. This is
+    the static layer of ``run_plan(sanitize=True)``.
+    """
+    report = AnalysisReport(plan_name=plan.name)
+    seen: set[str] = set()
+    for op in plan.operators.values():
+        factory = op.logic_factory
+        module = inspect.getmodule(factory)
+        file = getattr(module, "__file__", None)
+        if file is None:
+            # Modules loaded outside sys.modules (spec_from_file_location)
+            # still have a source file on record.
+            try:
+                file = inspect.getsourcefile(factory)
+            except TypeError:
+                file = None
+        if file is None or file in seen:
+            continue
+        seen.add(file)
+        try:
+            mtime = Path(file).stat().st_mtime
+        except OSError:
+            continue
+        key = (file, mtime)
+        cached = _FILE_CACHE.get(key)
+        if cached is None:
+            cached = sanitize_file(file)
+            _FILE_CACHE[key] = cached
+        report.extend(cached)
+    return report

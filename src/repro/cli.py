@@ -11,6 +11,9 @@ a web UI; the same operations are exposed here):
 - ``experiment``                  — regenerate a paper figure
 - ``tables``                      — render the paper's config tables
 - ``lint-plan``                   — static pre-flight analysis of PQPs
+- ``sanitize``                    — determinism sanitizer: DET-rule AST
+  lint over code or apps, optional race-detected run (see
+  :mod:`repro.analysis.sanitizer`)
 - ``trace``                       — profile one run: Chrome trace +
   per-operator metrics time series (see :mod:`repro.obs`)
 """
@@ -259,6 +262,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("--nodes", type=int, default=10)
     lint.add_argument("--seed", type=int, default=0)
+
+    san = commands.add_parser(
+        "sanitize",
+        help="run the determinism sanitizer (DET rules) over code",
+    )
+    san.add_argument(
+        "paths", nargs="*",
+        help="files or directories to scan; default: the installed "
+        "repro package tree when no apps are selected either",
+    )
+    san.add_argument(
+        "--app", nargs="*", default=None,
+        help="sanitize the modules of these apps (abbreviation or name)",
+    )
+    san.add_argument(
+        "--all-apps", action="store_true",
+        help="sanitize every built-in application module",
+    )
+    san.add_argument(
+        "--runtime", action="store_true",
+        help="additionally run each selected app briefly with the "
+        "race detector attached",
+    )
+    san.add_argument("--parallelism", type=int, default=2)
+    san.add_argument("--rate", type=float, default=100_000.0)
+    san.add_argument("--seed", type=int, default=0)
+    san.add_argument(
+        "--strict", action="store_true",
+        help="treat warnings as errors for the exit code",
+    )
+    san.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        dest="output_format",
+    )
+    san.add_argument(
+        "--list-rules", action="store_true",
+        help="print the DET rule family and exit",
+    )
     return parser
 
 
@@ -714,6 +755,109 @@ def _cmd_lint_plan(args) -> int:
     return 1 if failed else 0
 
 
+def _sanitize_runtime_report(abbrev: str, args):
+    """One short race-detected run of an app; its findings as a report."""
+    from repro.analysis.diagnostics import AnalysisReport
+    from repro.apps import build_app
+    from repro.sps.engine import SimulationConfig, StreamEngine
+
+    app = build_app(abbrev, event_rate=args.rate, seed=args.seed)
+    app.set_parallelism(args.parallelism)
+    engine = StreamEngine(
+        app.plan,
+        homogeneous_cluster(num_nodes=4),
+        config=SimulationConfig(
+            max_tuples_per_source=500, max_sim_time=2.0
+        ),
+        sanitize=True,
+    )
+    engine.run()
+    report: AnalysisReport = engine.race_detector.report(
+        plan_name=f"{abbrev} (runtime)"
+    )
+    return report
+
+
+def _cmd_sanitize(args) -> int:
+    import json as json_module
+    from pathlib import Path
+
+    from repro.analysis import RULE_CATALOG, sanitize_app, sanitize_paths
+
+    if args.list_rules:
+        rows = [
+            [spec.code, spec.severity.value, spec.title]
+            for spec in RULE_CATALOG.values()
+            if spec.family == "determinism"
+        ]
+        print(
+            render_table(
+                ["code", "severity", "rule"],
+                rows,
+                title="determinism sanitizer rule family",
+            )
+        )
+        return 0
+
+    reports = []
+    if args.paths:
+        reports.extend(sanitize_paths(args.paths))
+    abbrevs = []
+    if args.all_apps:
+        from repro.apps import REGISTRY
+
+        abbrevs = sorted(REGISTRY)
+    elif args.app:
+        try:
+            abbrevs = [_resolve_app(name) for name in args.app]
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    for abbrev in abbrevs:
+        reports.append((abbrev, sanitize_app(abbrev)))
+        if args.runtime:
+            runtime_report = _sanitize_runtime_report(abbrev, args)
+            reports.append((runtime_report.plan_name, runtime_report))
+    if not reports:
+        # No explicit target: sanitize the installed package tree.
+        import repro
+
+        tree = Path(repro.__file__).parent
+        reports.extend(sanitize_paths([tree]))
+
+    failed = False
+    for _, report in reports:
+        if report.has_errors:
+            failed = True
+        elif args.strict and report.warnings():
+            failed = True
+    if args.output_format == "json":
+        print(
+            json_module.dumps(
+                [
+                    json_module.loads(report.to_json())
+                    for _, report in reports
+                ],
+                indent=2,
+            )
+        )
+    else:
+        dirty = [
+            (name, report)
+            for name, report in reports
+            if not report.is_clean
+        ]
+        for _, report in dirty:
+            print(report.format())
+        verdict = "FAILED" if failed else "ok"
+        print(
+            f"sanitized {len(reports)} target(s), "
+            f"{len(dirty)} with findings"
+            f"{' (strict)' if args.strict else ''}: {verdict}"
+        )
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -747,6 +891,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_tables(args)
     if args.command == "lint-plan":
         return _cmd_lint_plan(args)
+    if args.command == "sanitize":
+        return _cmd_sanitize(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -40,6 +40,15 @@ class SimulationError(ReproError):
     """The discrete-event engine detected an inconsistency while running."""
 
 
+class DeterminismError(SimulationError):
+    """The determinism sanitizer found a reproducibility hazard.
+
+    Raised by ``run_plan(sanitize=True)`` when the static pass or the
+    runtime race detector (:mod:`repro.analysis.racecheck`) reports an
+    ERROR-severity DET finding; ``code`` carries the DET rule code.
+    """
+
+
 class TrainingError(ReproError):
     """An ML model could not be trained on the provided corpus."""
 

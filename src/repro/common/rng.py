@@ -10,10 +10,11 @@ perturbs another component's stream.
 from __future__ import annotations
 
 import hashlib
+import json
 
 import numpy as np
 
-__all__ = ["derive_seed", "RngFactory"]
+__all__ = ["derive_seed", "state_fingerprint", "RngFactory"]
 
 
 def derive_seed(root_seed: int, *names: str) -> int:
@@ -29,6 +30,21 @@ def derive_seed(root_seed: int, *names: str) -> int:
         digest.update(b"\x1f")
         digest.update(name.encode("utf-8"))
     return int.from_bytes(digest.digest()[:8], "big") >> 1
+
+
+def state_fingerprint(gen: np.random.Generator) -> str:
+    """A stable digest of a generator's current internal state.
+
+    Reads ``gen.bit_generator.state`` — a pure inspection, no draw, so
+    fingerprinting never perturbs the stream it measures. Two generators
+    have equal fingerprints iff they are at the same point of the same
+    stream: the determinism sanitizer's RNG-draw ledger
+    (:mod:`repro.analysis.racecheck`) compares fingerprints taken after
+    a serial and a parallel run to prove the runs drew identically.
+    """
+    state = gen.bit_generator.state
+    payload = json.dumps(state, sort_keys=True, default=repr)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
 class RngFactory:

@@ -30,9 +30,14 @@ import os
 from collections.abc import Callable, Iterable, Sequence
 from typing import Any, TypeVar
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, DeterminismError
 
-__all__ = ["ParallelRunner", "parallel_map", "default_workers"]
+__all__ = [
+    "ParallelRunner",
+    "parallel_map",
+    "default_workers",
+    "fork_unsafe_captures",
+]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -62,6 +67,68 @@ def default_workers() -> int:
     return max(1, min(os.cpu_count() or 1, 8))
 
 
+def _is_fork_unsafe(value: Any) -> str | None:
+    """Why a captured value is hazardous under fork, or None if fine.
+
+    A live RNG generator captured by a work closure means every forked
+    child inherits an identical copy and the parent keeps drawing too —
+    the classic shared-stream divergence (DET608/DET606 territory). Open
+    files, locks and sockets are duplicated with their buffers/holders.
+    """
+    import io
+    import socket
+    import threading
+
+    if isinstance(value, io.IOBase):
+        return "an open file handle"
+    if isinstance(value, socket.socket):
+        return "a socket"
+    lock_types = (
+        type(threading.Lock()),
+        type(threading.RLock()),
+        threading.Condition,
+        threading.Semaphore,
+        threading.Event,
+    )
+    if isinstance(value, lock_types):
+        return "a synchronisation primitive"
+    np = __import__("numpy")
+    if isinstance(value, np.random.Generator):
+        return "a live numpy Generator"
+    return None
+
+
+def fork_unsafe_captures(fn: Callable) -> list[str]:
+    """Fork-unsafe values captured by ``fn``'s closure, as descriptions.
+
+    Scans the function's closure cells (and one level of dict values
+    inside them) for resources that must not be silently duplicated by
+    ``fork``. This is the DET606 runtime complement of the static
+    sanitizer: the AST pass sees module-level constructions, this sees
+    what the *actual* work closure carries into the pool.
+    """
+    hazards: list[str] = []
+    closure = getattr(fn, "__closure__", None) or ()
+    names = getattr(fn.__code__, "co_freevars", ()) if closure else ()
+    for name, cell in zip(names, closure):
+        try:
+            value = cell.cell_contents
+        except ValueError:  # pragma: no cover - empty cell
+            continue
+        why = _is_fork_unsafe(value)
+        if why is not None:
+            hazards.append(f"closure variable {name!r} holds {why}")
+            continue
+        if isinstance(value, dict):
+            for key, item in value.items():
+                why = _is_fork_unsafe(item)
+                if why is not None:
+                    hazards.append(
+                        f"closure variable {name!r}[{key!r}] holds {why}"
+                    )
+    return hazards
+
+
 class ParallelRunner:
     """Maps a function over independent work items, possibly in parallel.
 
@@ -69,10 +136,19 @@ class ParallelRunner:
     and dispatches indices in chunks. Worker exceptions propagate to the
     caller (the pool is torn down, nothing hangs). Result order always
     matches item order.
+
+    ``check_captures=True`` refuses (with
+    :class:`~repro.common.errors.DeterminismError`, code DET606) to fork
+    when the work closure captures fork-unsafe resources — open files,
+    locks, sockets or live RNG generators. The serial path never checks:
+    without fork there is nothing to duplicate.
     """
 
     def __init__(
-        self, workers: int = 1, chunk_size: int | None = None
+        self,
+        workers: int = 1,
+        chunk_size: int | None = None,
+        check_captures: bool = False,
     ) -> None:
         if workers < 1:
             raise ConfigurationError("workers must be >= 1")
@@ -80,6 +156,7 @@ class ParallelRunner:
             raise ConfigurationError("chunk_size must be >= 1")
         self.workers = workers
         self.chunk_size = chunk_size
+        self.check_captures = check_captures
 
     # ------------------------------------------------------------------ map
 
@@ -93,6 +170,14 @@ class ParallelRunner:
         workers = min(self.workers, len(work))
         if workers <= 1 or _IN_WORKER or not self._fork_available():
             return [fn(item) for item in work]
+        if self.check_captures:
+            hazards = fork_unsafe_captures(fn)
+            if hazards:
+                raise DeterminismError(
+                    "refusing to fork a closure with fork-unsafe "
+                    "captures: " + "; ".join(hazards),
+                    code="DET606",
+                )
         chunk = self.chunk_size or max(1, len(work) // (workers * 4))
         ctx = multiprocessing.get_context("fork")
         previous = list(_TASK)

@@ -49,6 +49,17 @@ class RunnerConfig:
     simulated seconds), and :meth:`BenchmarkRunner.measure` adds the
     repeat-merged summary under the ``"obs"`` key. Observation never
     changes simulated results (DESIGN.md §8).
+
+    ``sanitize`` runs the determinism sanitizer around every repeat:
+    the static AST pass over the plan's operator source modules before
+    anything executes, a :class:`~repro.analysis.racecheck.RaceDetector`
+    inside every engine, a fork-capture check on the fan-out closure,
+    and — when ``workers > 1`` — a serial reference run whose RNG-draw
+    ledger must match the pooled first repeat (DET609). ERROR findings
+    raise :class:`~repro.common.errors.DeterminismError`; findings and
+    ledgers ride along in ``extras["race"]``. ``sanitize=False`` runs
+    are bit-identical to runs made before the sanitizer existed
+    (DESIGN.md §10).
     """
 
     repeats: int = 3
@@ -60,6 +71,7 @@ class RunnerConfig:
     workers: int = 1
     observe: bool = False
     obs_sample_interval: float = 0.25
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.repeats < 1:
@@ -122,6 +134,9 @@ class BenchmarkRunner:
         )
 
         observe = self.config.observe
+        sanitize = self.config.sanitize
+        if sanitize:
+            self._static_sanitize(plan)
 
         def one_repeat(repeat: int) -> RunMetrics:
             observer = None
@@ -141,15 +156,89 @@ class BenchmarkRunner:
                     self.config.seed * 1000 + repeat
                 ),
                 observer=observer,
+                sanitize=sanitize,
             )
             metrics = engine.run()
             if observer is not None:
                 metrics.extras["obs"] = observer.summary()
+            detector = engine.race_detector
+            if detector is not None:
+                metrics.extras["race"] = {
+                    "findings": [
+                        d.to_dict() for d in detector.findings
+                    ],
+                    "rng_ledger": detector.rng_ledger,
+                }
             return metrics
 
-        return ParallelRunner(workers=self.config.workers).map(
-            one_repeat, range(self.config.repeats)
-        )
+        runs = ParallelRunner(
+            workers=self.config.workers, check_captures=sanitize
+        ).map(one_repeat, range(self.config.repeats))
+        if sanitize:
+            self._check_race_findings(plan, runs, one_repeat)
+        return runs
+
+    # ---------------------------------------------------------- sanitizing
+
+    def _static_sanitize(self, plan: LogicalPlan) -> None:
+        """Layer 1: the AST pass over the plan's operator sources."""
+        from repro.analysis.sanitizer import sanitize_plan_sources
+        from repro.common.errors import DeterminismError
+
+        report = sanitize_plan_sources(plan)
+        if report.has_errors:
+            errors = report.errors()
+            raise DeterminismError(
+                f"static sanitizer rejected plan {plan.name!r}: "
+                + "; ".join(
+                    f"{d.code} [{d.location}] {d.message}"
+                    for d in errors[:5]
+                ),
+                code=errors[0].code,
+            )
+
+    def _check_race_findings(
+        self, plan: LogicalPlan, runs: list[RunMetrics], one_repeat
+    ) -> None:
+        """Layer 2 verdicts: raise on races; cross-check parallel runs.
+
+        With ``workers > 1`` the pooled first repeat is re-run serially
+        in-process and its RNG-draw ledger compared against the pooled
+        one — equal ledgers prove the fork changed no draw (DET609).
+        """
+        from repro.analysis.racecheck import compare_ledgers
+        from repro.common.errors import DeterminismError
+
+        errors: list[tuple[str, str]] = []
+        for repeat, metrics in enumerate(runs):
+            race = metrics.extras.get("race") or {}
+            for finding in race.get("findings", ()):
+                if finding["severity"] == "error":
+                    errors.append(
+                        (
+                            finding["code"],
+                            f"repeat {repeat}: {finding['code']} "
+                            f"[{finding['op_id']}] {finding['message']}",
+                        )
+                    )
+        if not errors and self.config.workers > 1 and runs:
+            pooled = runs[0].extras.get("race", {}).get("rng_ledger", {})
+            reference = (
+                one_repeat(0).extras.get("race", {}).get("rng_ledger", {})
+            )
+            for diag in compare_ledgers(reference, pooled):
+                errors.append(
+                    (
+                        diag.code,
+                        f"{diag.code} [{diag.location}] {diag.message}",
+                    )
+                )
+        if errors:
+            raise DeterminismError(
+                f"race detector rejected plan {plan.name!r}: "
+                + "; ".join(message for _, message in errors[:5]),
+                code=errors[0][0],
+            )
 
     def measure(self, plan: LogicalPlan) -> dict[str, float]:
         """Mean-of-medians aggregate over the repeats.

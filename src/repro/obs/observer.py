@@ -38,6 +38,24 @@ class EngineObserver:
     a registry only.
     """
 
+    #: The observer protocol the engine drives. Anything standing in
+    #: for an observer (e.g. the determinism sanitizer's
+    #: :class:`~repro.analysis.racecheck.RaceDetector`, which wraps one)
+    #: must implement these callables, expose ``next_sample``, and own
+    #: the ``tuples_in``/``tuples_out``/``shuffle_bytes``/``stall_s``
+    #: per-gid arrays the hot path bumps directly.
+    HOOKS = (
+        "on_run_start",
+        "on_run_end",
+        "sample",
+        "on_serve",
+        "on_done",
+        "on_window_fire",
+        "on_flush",
+        "on_stall",
+        "on_backpressure",
+    )
+
     def __init__(
         self,
         registry: MetricsRegistry | None = None,

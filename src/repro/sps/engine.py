@@ -217,13 +217,25 @@ class StreamEngine:
         chaining: bool = False,
         preflight: bool = True,
         observer=None,
+        sanitize: bool = False,
     ) -> None:
         self.logical = plan
         self.cluster = cluster
         self.config = config or SimulationConfig()
         #: optional EngineObserver; hooks fire only when not None
         self.observer = observer
-        self._obs = observer
+        #: RaceDetector when sanitize=True, else None; it wraps the
+        #: observer so user-facing observation is unchanged, and like
+        #: the observer it only reads — sanitize=False runs stay
+        #: bit-identical (tests/test_racecheck.py pins this).
+        self.race_detector = None
+        if sanitize:
+            from repro.analysis.racecheck import RaceDetector
+
+            self.race_detector = RaceDetector(inner=observer)
+            self._obs = self.race_detector
+        else:
+            self._obs = observer
         if preflight:
             # Static analysis gate: refuse plans with ERROR diagnostics
             # before building anything. Tests that intentionally build

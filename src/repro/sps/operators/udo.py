@@ -57,3 +57,12 @@ class FunctionUDO(OperatorLogic):
         if self._work_profile is None:
             return self.work_factor
         return self._work_profile(tup)
+
+    def dsan_targets(self) -> tuple[Callable | None, ...]:
+        """Callables the determinism sanitizer should scan.
+
+        The static AST pass (:mod:`repro.analysis.sanitizer`) cannot see
+        through ``FunctionUDO`` to the wrapped user function; this
+        protocol hands it the actual callables whose source matters.
+        """
+        return (self._fn, self._work_profile, self._timer_fn)

@@ -1,6 +1,6 @@
 """Tests for the static plan analyzer (repro.analysis).
 
-Each of the six rule families is exercised with at least one failing
+Each of the plan-level rule families is exercised with at least one failing
 fixture (a hand-built broken plan) and one passing fixture, as the
 pre-flight gate's contract requires.
 """
@@ -144,10 +144,11 @@ class TestDiagnosticPrimitives:
         assert data["clean"] is True
         assert data["diagnostics"] == []
 
-    def test_catalogue_covers_all_six_families(self):
+    def test_catalogue_covers_all_seven_families(self):
         families = {spec.family for spec in RULE_CATALOG.values()}
         assert families == {
-            "dag", "schema", "keying", "window", "resource", "cost"
+            "dag", "schema", "keying", "window", "resource", "cost",
+            "determinism",
         }
 
     def test_every_diagnostic_code_is_catalogued(self):

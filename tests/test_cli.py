@@ -156,3 +156,85 @@ class TestLintPlan:
         assert main(["lint-plan"]) == 0
         capsys.readouterr()
         assert main(["lint-plan", "--strict"]) == 1
+
+
+class TestSanitize:
+    def test_tree_scan_clean(self, capsys):
+        from pathlib import Path
+
+        import repro
+
+        tree = str(Path(repro.__file__).parent / "apps")
+        assert main(["sanitize", tree, "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out
+
+    def test_default_target_is_package_tree(self, capsys):
+        assert main(["sanitize", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "sanitized" in out and "ok" in out
+
+    def test_all_apps_clean(self, capsys):
+        assert main(["sanitize", "--all-apps", "--strict"]) == 0
+        assert "14 target(s)" in capsys.readouterr().out
+
+    def test_unknown_app_alias_exits_two(self, capsys):
+        assert main(["sanitize", "--app", "NOPE"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown app" in err
+
+    def test_app_full_name_resolves(self, capsys):
+        assert main(["sanitize", "--app", "word-count"]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_list_rules_shows_det_family(self, capsys):
+        assert main(["sanitize", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("DET601", "DET603", "DET606", "DET607", "DET609"):
+            assert code in out
+        assert "PLAN003" not in out
+
+    def test_lint_plan_list_rules_includes_det(self, capsys):
+        assert main(["lint-plan", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "DET601" in out and "DET609" in out
+
+    def test_json_schema_stable(self, capsys, tmp_path):
+        import json
+
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\nx = random.random()\n")
+        assert main(["sanitize", str(dirty), "--format", "json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert sorted(data[0]) == [
+            "clean", "diagnostics", "errors", "infos", "plan", "warnings",
+        ]
+        (diag,) = data[0]["diagnostics"]
+        assert sorted(diag) == [
+            "code", "edge", "hint", "message", "op_id", "severity",
+        ]
+        assert diag["code"] == "DET601"
+        assert diag["op_id"].endswith("dirty.py:2")
+
+    def test_strict_promotes_warnings_to_failure(self, capsys, tmp_path):
+        warn_only = tmp_path / "warn.py"
+        warn_only.write_text("S = {1, 2}\nwords = list(S)\n")
+        assert main(["sanitize", str(warn_only)]) == 0
+        capsys.readouterr()
+        assert main(["sanitize", str(warn_only), "--strict"]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_error_findings_exit_non_zero(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n")
+        assert main(["sanitize", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "DET601" in out and "FAILED" in out
+
+    def test_runtime_flag_runs_race_detector(self, capsys):
+        code = main(
+            ["sanitize", "--app", "WC", "--runtime",
+             "--parallelism", "2", "--rate", "2000", "--strict"]
+        )
+        assert code == 0
+        assert "2 target(s)" in capsys.readouterr().out

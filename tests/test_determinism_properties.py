@@ -1,0 +1,146 @@
+"""Property tests for the determinism sanitizer (ISSUE 6 satellite).
+
+For generated plan configurations, a serial run and a ``workers=2``
+parallel run must produce identical RNG-draw ledgers and identical
+metrics with the race detector enabled (no false positives on clean
+plans), while the seeded shared-RNG mutation is always detected.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import homogeneous_cluster
+from repro.common.errors import DeterminismError
+from repro.core.runner import BenchmarkRunner, RunnerConfig
+from repro.sps import builders
+from repro.sps.logical import LogicalPlan
+from repro.sps.operators.base import OperatorLogic
+from repro.sps.types import DataType, Field, Schema
+from repro.sps.windows import AggregateFunction, TumblingTimeWindows
+from tests.conftest import kv_generator
+
+SCHEMA = Schema([Field("k", DataType.INT), Field("v", DataType.DOUBLE)])
+
+
+class DrawingLogic(OperatorLogic):
+    """A clean stochastic UDO: draws from its own subtask stream."""
+
+    def process(self, tup, now, port=0):
+        if self.ctx.rng.random() < 0.9:
+            return [tup]
+        return []
+
+
+def generated_plan(parallelism, num_keys, windowed):
+    plan = LogicalPlan("prop")
+    plan.add_operator(
+        builders.source(
+            "src", kv_generator(num_keys), SCHEMA, event_rate=300.0
+        )
+    )
+    plan.add_operator(
+        builders.udo(
+            "udo", DrawingLogic, parallelism=parallelism,
+            output_schema=SCHEMA,
+        )
+    )
+    plan.add_operator(builders.sink("sink"))
+    plan.connect("src", "udo")
+    if windowed:
+        plan.add_operator(
+            builders.window_agg(
+                "agg",
+                TumblingTimeWindows(0.5),
+                AggregateFunction.SUM,
+                value_field=1,
+                key_field=0,
+                parallelism=parallelism,
+            )
+        )
+        plan.connect("udo", "agg")
+        plan.connect("agg", "sink")
+    else:
+        plan.connect("udo", "sink")
+    return plan
+
+
+def make_runner(workers, seed):
+    return BenchmarkRunner(
+        homogeneous_cluster(num_nodes=2),
+        RunnerConfig(
+            repeats=2,
+            max_tuples_per_source=150,
+            max_sim_time=2.0,
+            seed=seed,
+            workers=workers,
+            sanitize=True,
+        ),
+    )
+
+
+class TestCleanPlansHaveNoRaces:
+    @given(
+        parallelism=st.integers(min_value=1, max_value=3),
+        num_keys=st.integers(min_value=1, max_value=8),
+        windowed=st.booleans(),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_serial_and_parallel_ledgers_identical(
+        self, parallelism, num_keys, windowed, seed
+    ):
+        plan = generated_plan(parallelism, num_keys, windowed)
+        serial = make_runner(1, seed).run_plan(plan)
+        parallel = make_runner(2, seed).run_plan(plan)
+        for a, b in zip(serial, parallel):
+            assert a.extras["race"]["findings"] == []
+            assert b.extras["race"]["findings"] == []
+            assert (a.extras["race"]["rng_ledger"]
+                    == b.extras["race"]["rng_ledger"])
+            # The golden results are bit-identical too.
+            assert a.latency.mean == b.latency.mean
+            assert a.throughput == b.throughput
+            assert a.results == b.results
+
+
+class TestMutationsAreDetected:
+    @given(
+        parallelism=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_shared_rng_always_caught(self, parallelism, seed):
+        shared = np.random.default_rng(seed)
+
+        class MutantLogic(OperatorLogic):
+            def setup(self, ctx):
+                super().setup(ctx)
+                self._rng = shared
+
+            def process(self, tup, now, port=0):
+                _ = self._rng.random()
+                return [tup]
+
+        plan = LogicalPlan("mutant")
+        plan.add_operator(
+            builders.source(
+                "src", kv_generator(4), SCHEMA, event_rate=300.0
+            )
+        )
+        plan.add_operator(
+            builders.udo(
+                "udo", MutantLogic, parallelism=parallelism,
+                output_schema=SCHEMA,
+            )
+        )
+        plan.add_operator(builders.sink("sink"))
+        plan.connect("src", "udo")
+        plan.connect("udo", "sink")
+        try:
+            make_runner(1, seed).run_plan(plan)
+            raised = False
+        except DeterminismError as exc:
+            raised = True
+            assert exc.code == "DET608"
+        assert raised

@@ -1,0 +1,287 @@
+"""Tests for the determinism sanitizer's static AST pass (DET601-606)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import RULE_CATALOG, Severity
+from repro.analysis.sanitizer import (
+    sanitize_app,
+    sanitize_callable,
+    sanitize_file,
+    sanitize_paths,
+    sanitize_plan_sources,
+    sanitize_source,
+)
+from repro.apps import REGISTRY, build_app
+from repro.sps.operators.udo import FunctionUDO
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def codes(source: str) -> list[str]:
+    return [d.code for d in sanitize_source(source, "snippet.py")]
+
+
+class TestRuleCatalogue:
+    def test_det_family_registered(self):
+        det = [c for c in RULE_CATALOG if c.startswith("DET")]
+        assert det == [f"DET60{i}" for i in range(1, 10)]
+
+    def test_severities(self):
+        assert RULE_CATALOG["DET601"].severity is Severity.ERROR
+        assert RULE_CATALOG["DET602"].severity is Severity.ERROR
+        assert RULE_CATALOG["DET603"].severity is Severity.WARNING
+        assert RULE_CATALOG["DET607"].severity is Severity.ERROR
+        assert RULE_CATALOG["DET609"].severity is Severity.ERROR
+
+
+class TestDet601UnseededRng:
+    def test_stdlib_random_draw(self):
+        assert codes("import random\nx = random.random()\n") == ["DET601"]
+
+    def test_stdlib_random_aliased(self):
+        src = "import random as r\ndef f():\n    return r.choice([1])\n"
+        assert codes(src) == ["DET601"]
+
+    def test_numpy_global_draw(self):
+        src = "import numpy as np\ndef f():\n    return np.random.rand()\n"
+        assert codes(src) == ["DET601"]
+
+    def test_from_import_draw(self):
+        src = "from random import shuffle\nshuffle([1, 2])\n"
+        assert codes(src) == ["DET601"]
+
+    def test_seeded_default_rng_allowed(self):
+        src = "import numpy as np\nrng = np.random.default_rng(42)\n"
+        assert codes(src) == []
+
+    def test_generator_draws_allowed(self):
+        src = (
+            "def f(rng):\n"
+            "    return rng.random() + rng.integers(10)\n"
+        )
+        assert codes(src) == []
+
+
+class TestDet602WallClock:
+    OPERATOR = (
+        "import time\n"
+        "class FooLogic(OperatorLogic):\n"
+        "    def process(self, tup, now, port=0):\n"
+        "        return [time.time()]\n"
+    )
+
+    def test_wall_clock_in_operator(self):
+        assert codes(self.OPERATOR) == ["DET602"]
+
+    def test_datetime_now_in_operator(self):
+        src = (
+            "from datetime import datetime\n"
+            "class FooUDO(Base):\n"
+            "    def process(self, tup, now):\n"
+            "        return datetime.now()\n"
+        )
+        assert codes(src) == ["DET602"]
+
+    def test_wall_clock_outside_operators_allowed(self):
+        # Benchmark harness timing (core/perf.py, ml fit) is legitimate.
+        src = "import time\ndef bench():\n    return time.perf_counter()\n"
+        assert codes(src) == []
+
+
+class TestDet603SetOrder:
+    def test_for_over_set_literal(self):
+        assert codes("for x in {1, 2}:\n    pass\n") == ["DET603"]
+
+    def test_list_of_module_set(self):
+        assert codes("S = {1, 2}\nwords = list(S)\n") == ["DET603"]
+
+    def test_join_over_set(self):
+        assert codes("s = ','.join({'a', 'b'})\n") == ["DET603"]
+
+    def test_comprehension_over_set(self):
+        src = "def f():\n    return [x for x in {1, 2}]\n"
+        assert codes(src) == ["DET603"]
+
+    def test_set_union_tracked(self):
+        src = "A = {1}\nB = {2}\nwords = list(A | B)\n"
+        assert codes(src) == ["DET603"]
+
+    def test_sorted_is_the_fix(self):
+        assert codes("S = {1, 2}\nwords = sorted(S)\n") == []
+
+    def test_membership_only_is_fine(self):
+        src = "S = {1, 2}\ndef f(x):\n    return x in S\n"
+        assert codes(src) == []
+
+
+class TestDet604MutableGlobals:
+    def test_mutating_module_dict_from_operator(self):
+        src = (
+            "CACHE = {}\n"
+            "class FooLogic(Base):\n"
+            "    def process(self, tup, now):\n"
+            "        CACHE.update({1: 2})\n"
+        )
+        assert codes(src) == ["DET604"]
+
+    def test_subscript_store_from_operator(self):
+        src = (
+            "CACHE = {}\n"
+            "def process(tup, now):\n"
+            "    CACHE[tup] = 1\n"
+        )
+        assert codes(src) == ["DET604"]
+
+    def test_global_statement_in_operator(self):
+        src = "N = 0\ndef process(tup, now):\n    global N\n    return N\n"
+        assert codes(src) == ["DET604"]
+
+    def test_mutable_class_attr_on_operator_class(self):
+        src = "class FooLogic(OperatorLogic):\n    shared = []\n"
+        assert codes(src) == ["DET604"]
+
+    def test_reading_module_constant_allowed(self):
+        src = (
+            "WORDS = ('a', 'b')\n"
+            "def process(tup, now):\n"
+            "    return WORDS[0]\n"
+        )
+        assert codes(src) == []
+
+
+class TestDet605HashOrderKeys:
+    def test_id_in_operator(self):
+        src = (
+            "class L(OperatorLogic):\n"
+            "    def process(self, t, now):\n"
+            "        return id(t)\n"
+        )
+        assert codes(src) == ["DET605"]
+
+    def test_hash_in_operator(self):
+        src = "def process(tup, now):\n    return hash(tup)\n"
+        assert codes(src) == ["DET605"]
+
+    def test_dunder_hash_exempt(self):
+        src = (
+            "class Key:\n"
+            "    def __hash__(self):\n"
+            "        return hash(self.v)\n"
+        )
+        assert codes(src) == []
+
+
+class TestDet606ForkUnsafe:
+    def test_module_level_open(self):
+        assert codes("f = open('/tmp/x')\n") == ["DET606"]
+
+    def test_module_level_lock(self):
+        src = "import threading\nLOCK = threading.Lock()\n"
+        assert codes(src) == ["DET606"]
+
+    def test_open_inside_function_allowed(self):
+        src = "def load():\n    with open('x') as f:\n        return f\n"
+        assert codes(src) == []
+
+
+class TestSuppression:
+    def test_bare_marker(self):
+        src = "S = {1}\nwords = list(S)  # dsan: ok\n"
+        assert codes(src) == []
+
+    def test_marker_with_matching_code(self):
+        src = "S = {1}\nwords = list(S)  # dsan: ok DET603\n"
+        assert codes(src) == []
+
+    def test_marker_with_other_code_does_not_suppress(self):
+        src = "S = {1}\nwords = list(S)  # dsan: ok DET601\n"
+        assert codes(src) == ["DET603"]
+
+
+class TestDiagnosticShape:
+    def test_location_is_file_and_line(self):
+        report = sanitize_source("import random\nx = random.random()\n",
+                                 "pkg/mod.py")
+        (diag,) = report.diagnostics
+        assert diag.op_id == "pkg/mod.py:2"
+        assert diag.location == "pkg/mod.py:2"
+
+    def test_syntax_error_reported_not_raised(self):
+        report = sanitize_source("def broken(:\n", "bad.py")
+        assert report.has_errors
+
+    def test_hint_comes_from_catalogue(self):
+        report = sanitize_source("import random\nx = random.random()\n")
+        (diag,) = report.diagnostics
+        assert diag.hint == RULE_CATALOG["DET601"].rationale
+
+
+class TestFileAndTreeScanning:
+    def test_sanitize_file(self, tmp_path):
+        target = tmp_path / "m.py"
+        target.write_text("import random\nx = random.random()\n")
+        report = sanitize_file(target)
+        assert [d.code for d in report] == ["DET601"]
+
+    def test_sanitize_paths_walks_directories(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        (tmp_path / "bad.py").write_text("for x in {1, 2}:\n    pass\n")
+        reports = sanitize_paths([tmp_path])
+        assert len(reports) == 2
+        by_name = {Path(name).name: rep for name, rep in reports}
+        assert by_name["ok.py"].is_clean
+        assert [d.code for d in by_name["bad.py"]] == ["DET603"]
+
+    def test_whole_tree_is_clean(self):
+        reports = sanitize_paths([SRC_ROOT])
+        dirty = [
+            (name, rep.format())
+            for name, rep in reports
+            if not rep.is_clean
+        ]
+        assert not dirty, dirty
+
+
+class TestCallableAndAppScanning:
+    def test_function_udo_targets_scanned(self):
+        import random  # noqa: F401 - exercised via the UDO body
+
+        def bad_udo(state, tup, now):
+            import random
+
+            return [tup] if random.random() > 0.5 else []
+
+        udo = FunctionUDO(bad_udo)
+        report = sanitize_callable(udo)
+        assert "DET601" in report.codes()
+
+    def test_clean_callable(self):
+        def clean_udo(state, tup, now):
+            state["n"] = state.get("n", 0) + 1
+            return [tup]
+
+        assert sanitize_callable(FunctionUDO(clean_udo)).is_clean
+
+    def test_builtin_without_source_is_empty_report(self):
+        assert sanitize_callable(len).is_clean
+
+    @pytest.mark.parametrize("abbrev", sorted(REGISTRY))
+    def test_every_app_module_clean(self, abbrev):
+        report = sanitize_app(abbrev)
+        assert report.plan_name == abbrev
+        assert not report.has_errors, report.format()
+        assert not report.warnings(), report.format()
+
+    def test_plan_sources_scan(self):
+        app = build_app("WC", event_rate=1000.0)
+        report = sanitize_plan_sources(app.plan)
+        assert report.plan_name == app.plan.name
+        assert not report.has_errors
+
+    def test_plan_sources_cached_across_calls(self):
+        app = build_app("SA", event_rate=1000.0)
+        first = sanitize_plan_sources(app.plan)
+        second = sanitize_plan_sources(app.plan)
+        assert len(first) == len(second)
