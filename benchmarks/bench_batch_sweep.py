@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Batch-size × throughput/latency sweep — standalone entry point.
+
+Runs the ``hotpath`` and ``WC`` engine workloads under the scalar event
+loop and under the columnar micro-batch executor at a ladder of batch
+sizes, printing simulator events/sec (wall-clock cost of simulating)
+against the simulated mean end-to-end latency (micro-batching trades
+latency for throughput: tuples wait for their batch).  See
+:func:`repro.core.perf.run_batch_sweep`.
+
+    python benchmarks/bench_batch_sweep.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.core.perf import run_batch_sweep  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    args = parser.parse_args(argv)
+    sweep = run_batch_sweep(quick=args.quick)
+    for name, rows in sweep.items():
+        print(f"{name}: batch size vs throughput / simulated latency")
+        for row in rows:
+            label = (
+                "scalar"
+                if row["batch_size"] is None
+                else f"b={row['batch_size']}"
+            )
+            print(
+                f"  {label:>7s}  {row['events_per_sec']:>12,.0f} ev/s"
+                f"  latency {row['latency_mean_ms']:>9.3f} ms"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -121,12 +121,15 @@ class PlanAnalyzer:
     ``cluster`` enables the resource-feasibility family (RES4xx);
     ``placement`` additionally enables the per-node contention check
     (RES403). Both are optional — without them the analyzer covers the
-    plan-local families only.
+    plan-local families only. ``batch`` additionally runs the advisory
+    BAT7xx batch-friendliness family, for plans destined for the
+    columnar micro-batch executor.
     """
 
-    def __init__(self, cluster=None, placement=None) -> None:
+    def __init__(self, cluster=None, placement=None, batch=False) -> None:
         self.cluster = cluster
         self.placement = placement
+        self.batch = batch
 
     def analyze(self, plan: LogicalPlan) -> AnalysisReport:
         """Collect every diagnostic for ``plan`` (never raises)."""
@@ -140,15 +143,17 @@ class PlanAnalyzer:
             has_cycle=has_cycle,
         )
         report = AnalysisReport(plan_name=plan.name)
-        report.extend(run_all_rules(ctx))
+        report.extend(run_all_rules(ctx, include_batch=self.batch))
         return report
 
 
 def analyze_plan(
-    plan: LogicalPlan, cluster=None, placement=None
+    plan: LogicalPlan, cluster=None, placement=None, batch=False
 ) -> AnalysisReport:
     """One-shot convenience wrapper around :class:`PlanAnalyzer`."""
-    return PlanAnalyzer(cluster=cluster, placement=placement).analyze(plan)
+    return PlanAnalyzer(
+        cluster=cluster, placement=placement, batch=batch
+    ).analyze(plan)
 
 
 def preflight(plan: LogicalPlan, cluster=None, placement=None) -> AnalysisReport:

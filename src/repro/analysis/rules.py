@@ -16,6 +16,7 @@ window    ``WIN301``-``WIN305``  — window sanity
 resource  ``RES401``-``RES403``  — cluster/slot feasibility
 cost      ``COST501``-``COST506`` — cost, selectivity and state sanity
 determinism  ``DET601``-``DET609`` — reproducibility hazards
+batch     ``BAT701``-``BAT703`` — columnar micro-batch friendliness
 ========  ==========================================================
 
 The determinism family is different in kind: DET601-DET606 are *code*
@@ -24,6 +25,15 @@ operator source rather than to plan structure, and DET607-DET609 are
 emitted at run time by the race detector
 (:mod:`repro.analysis.racecheck`). They share the catalogue so
 ``repro sanitize --list-rules`` and diagnostics speak one vocabulary.
+
+The batch family is advisory and mode-specific: its findings only
+matter when a plan is destined for the columnar micro-batch executor
+(:mod:`repro.sps.batch`), so it lives in :data:`BATCH_RULES` rather
+than :data:`ALL_RULES` and runs only on request
+(``repro lint-plan --batch`` or ``analyze_plan(..., batch=True)``).
+A scalar-mode plan full of UDOs is perfectly healthy; the same plan
+under ``batch_size=N`` would spend most of its time on the per-tuple
+fallback, which BAT701 warns about.
 
 Rules never raise on malformed plans: they *report*. The analyzer runs
 every rule and aggregates, so a plan with five problems produces five
@@ -47,7 +57,14 @@ from repro.sps.partitioning import (
 )
 from repro.sps.types import DataType, Schema
 
-__all__ = ["RuleSpec", "RULE_CATALOG", "AnalysisContext", "run_all_rules"]
+__all__ = [
+    "RuleSpec",
+    "RULE_CATALOG",
+    "AnalysisContext",
+    "run_all_rules",
+    "ALL_RULES",
+    "BATCH_RULES",
+]
 
 
 @dataclass(frozen=True)
@@ -339,6 +356,30 @@ RULE_CATALOG: dict[str, RuleSpec] = {
             "the per-stream RNG state fingerprints of a serial and a "
             "parallel run differ: some component drew a different "
             "number (or order) of values — the runs are not comparable",
+        ),
+        _spec(
+            "BAT701", "batch", Severity.WARNING,
+            "majority of operators force the scalar fallback",
+            "more than half of the plan's operators have no vectorized "
+            "kernel (UDOs, joins, count windows, maps without a "
+            "vector_fn); under batch_size=N the columnar executor "
+            "degenerates to the per-tuple path and batching buys "
+            "latency without throughput",
+        ),
+        _spec(
+            "BAT702", "batch", Severity.INFO,
+            "operator has no vectorized kernel",
+            "this operator runs on the per-tuple scalar fallback in "
+            "batch mode; results are still correct, only the columnar "
+            "fast path is lost across it",
+        ),
+        _spec(
+            "BAT703", "batch", Severity.INFO,
+            "source emits rows, not columns",
+            "without a vector generator the source materialises "
+            "per-tuple rows; downstream vectorized kernels need "
+            "columnar input, so they fall back too — columnarity is "
+            "decided at the source",
         ),
     )
 }
@@ -1000,6 +1041,117 @@ def check_costs(ctx: AnalysisContext) -> Iterator[Diagnostic]:
                 )
 
 
+# ============================================================= batch rules
+
+
+#: fallback-operator density above which BAT701 warns: past this point
+#: the columnar executor spends the majority of the plan on the
+#: per-tuple path and micro-batching mostly adds latency.
+_FALLBACK_DENSITY = 0.5
+
+
+def _batch_fallback_reason(op: LogicalOperator) -> str | None:
+    """Why ``op`` would run on the scalar fallback in batch mode.
+
+    Mirrors the kernel dispatch of
+    :meth:`repro.sps.batch.BatchStreamEngine._kernel_mode` statically:
+    the operator's logic is instantiated once (factories are cheap,
+    stateless constructors) and probed for a vectorized form. ``None``
+    means a columnar kernel exists.
+    """
+    kind = op.kind
+    if kind in (OperatorKind.SOURCE, OperatorKind.SINK):
+        return None  # sources are BAT703's concern; sinks batch natively
+    if kind is OperatorKind.WINDOW_JOIN:
+        return "window joins keep per-key scalar join state"
+    if kind is OperatorKind.UDO:
+        return "user-defined operators run custom per-tuple logic"
+    try:
+        logic = op.logic_factory()
+    except Exception:  # noqa: BLE001 — probing must never break linting
+        return "operator logic could not be instantiated for probing"
+    if kind is OperatorKind.FILTER:
+        from repro.sps.operators.filter_op import FilterLogic
+
+        if isinstance(logic, FilterLogic):
+            return None
+        return "custom filter logic has no columnar predicate"
+    if kind in (OperatorKind.MAP, OperatorKind.FLATMAP):
+        if getattr(logic, "has_vector_fn", False):
+            return None
+        builder = (
+            "map_values" if kind is OperatorKind.MAP else "flat_map"
+        )
+        return (
+            "no vector_fn; pass one to "
+            f"builders.{builder}(..., vector_fn=...)"
+        )
+    if kind is OperatorKind.WINDOW_AGG:
+        try:
+            supports = bool(logic.supports_batch())
+        except Exception:  # noqa: BLE001
+            supports = False
+        if supports:
+            return None
+        return "count-based windows keep scalar ring-buffer state"
+    return None
+
+
+def check_batch_friendliness(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    """BAT701-BAT703: how much of the plan the columnar executor covers.
+
+    Advisory and mode-specific — only in :data:`BATCH_RULES`.
+    """
+    ops = list(ctx.plan.operators.values())
+    fallbacks: list[tuple[LogicalOperator, str]] = []
+    for op in ops:
+        reason = _batch_fallback_reason(op)
+        if reason is not None:
+            fallbacks.append((op, reason))
+    row_sources = []
+    for op in ops:
+        if op.kind is not OperatorKind.SOURCE:
+            continue
+        try:
+            logic = op.logic_factory()
+        except Exception:  # noqa: BLE001
+            continue
+        if not getattr(logic, "has_vector_generator", False):
+            row_sources.append(op)
+    if ops:
+        density = (len(fallbacks) + len(row_sources)) / len(ops)
+        if density > _FALLBACK_DENSITY:
+            yield ctx.diag(
+                "BAT701",
+                f"{len(fallbacks) + len(row_sources)} of {len(ops)} "
+                f"operators ({density:.0%}) would run on the scalar "
+                "fallback in batch mode",
+                hint="keep this plan on the scalar event loop, or give "
+                "its maps/flat-maps vector_fns and its sources "
+                "vector generators",
+            )
+    for op, reason in fallbacks:
+        yield ctx.diag(
+            "BAT702",
+            f"{op.kind.value} {op.op_id!r}: {reason}",
+            op_id=op.op_id,
+        )
+    for op in row_sources:
+        yield ctx.diag(
+            "BAT703",
+            f"source {op.op_id!r} has no vector generator; every "
+            "downstream columnar kernel sees rows and falls back",
+            op_id=op.op_id,
+            hint="pass vector_generator=... to builders.source",
+        )
+
+
+#: Advisory batch-friendliness rules, run only on request (the findings
+#: are meaningless for scalar-mode plans, and builtin apps are expected
+#: to stay diagnostic-clean under the default rule set).
+BATCH_RULES = (check_batch_friendliness,)
+
+
 #: All rules, in reporting order.
 ALL_RULES = (
     check_dag_structure,
@@ -1014,7 +1166,15 @@ ALL_RULES = (
 )
 
 
-def run_all_rules(ctx: AnalysisContext) -> Iterable[Diagnostic]:
-    """Run every rule over a prepared context."""
-    for rule in ALL_RULES:
+def run_all_rules(
+    ctx: AnalysisContext, include_batch: bool = False
+) -> Iterable[Diagnostic]:
+    """Run every rule over a prepared context.
+
+    ``include_batch`` appends the advisory :data:`BATCH_RULES` family —
+    opt-in because its findings only matter for plans destined for the
+    columnar micro-batch executor.
+    """
+    rules = ALL_RULES + BATCH_RULES if include_batch else ALL_RULES
+    for rule in rules:
         yield from rule(ctx)

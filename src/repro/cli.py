@@ -49,6 +49,7 @@ def _runner_config(args) -> RunnerConfig:
         max_sim_time=args.sim_time,
         seed=args.seed,
         workers=args.workers,
+        batch_size=getattr(args, "batch_size", None),
     )
 
 
@@ -71,6 +72,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--workers", type=int, default=1,
         help="process-pool size for independent runs (1 = serial; "
         "results are identical either way)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=None,
+        help="run on the columnar micro-batch executor with this many "
+        "tuples per micro-batch (default: scalar event loop)",
     )
     parser.add_argument(
         "--storage", default=None,
@@ -251,6 +257,12 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
+    )
+    lint.add_argument(
+        "--batch", action="store_true",
+        help="additionally run the advisory BAT7xx batch-friendliness "
+        "rules (for plans destined for the columnar micro-batch "
+        "executor)",
     )
     lint.add_argument(
         "--cluster", default="m510",
@@ -722,7 +734,7 @@ def _cmd_lint_plan(args) -> int:
 
     cluster = _cluster_from_args(args)
     reports = [
-        (name, analyze_plan(plan, cluster=cluster))
+        (name, analyze_plan(plan, cluster=cluster, batch=args.batch))
         for name, plan in _lint_targets(args)
     ]
     failed = False

@@ -27,7 +27,12 @@ aggregation turns from O(overlap) into O(1) per tuple); ``join8`` is a
 match-heavy sliding-window join (4x overlap on both probe sides);
 ``WC``/``SG``/``AD`` exercise the real applications (word count, smart
 grid, ad analytics) whose operator logic shares the budget with the
-engine.
+engine; ``hotpath-b256``/``WC-b256`` run the first and fourth of those
+under the columnar micro-batch executor (``SimulationConfig.batch_size``,
+see :mod:`repro.sps.batch`) — the ≥1M events/sec fast path, gated by the
+same tolerance.  :func:`run_batch_sweep` additionally captures the batch
+size × throughput/latency trade-off
+(``benchmarks/bench_batch_sweep.py``).
 """
 
 from __future__ import annotations
@@ -62,6 +67,7 @@ __all__ = [
     "slide8_plan",
     "join8_plan",
     "run_engine_bench",
+    "run_batch_sweep",
     "run_sweep_bench",
     "calibration_score",
     "run_bench",
@@ -73,8 +79,19 @@ DEFAULT_REPORT = "BENCH_engine.json"
 #: Relative throughput drop that fails ``--check``.
 TOLERANCE = 0.30
 
-#: Workloads of the engine benchmark, in report order.
-ENGINE_WORKLOADS = ("hotpath", "slide8", "join8", "WC", "SG", "AD")
+#: Workloads of the engine benchmark, in report order.  The ``-b<N>``
+#: suffixed entries run the same plan under the columnar micro-batch
+#: executor with that batch size (the ≥1M ev/s tentpole targets).
+ENGINE_WORKLOADS = (
+    "hotpath",
+    "slide8",
+    "join8",
+    "WC",
+    "SG",
+    "AD",
+    "hotpath-b256",
+    "WC-b256",
+)
 
 _BENCH_SEED = 17
 _BENCH_PARALLELISM = 4
@@ -94,6 +111,18 @@ def _kv_generate(rng: np.random.Generator, now: float) -> StreamTuple:
     )
 
 
+def _kv_generate_vec(rng: np.random.Generator, nows: np.ndarray) -> tuple:
+    """Columnar micro-batch form of :func:`_kv_generate`.
+
+    Draws one ``(n, 2)`` uniform block — row ``i`` holds tuple ``i``'s
+    draws contiguously, so splitting the stream at any micro-batch
+    boundary consumes the RNG identically (batch-size invariance).
+    """
+    draws = rng.random((len(nows), 2))
+    keys = (draws[:, 0] * 64.0).astype(np.int64)
+    return (keys, np.ascontiguousarray(draws[:, 1])), 24.0
+
+
 def hotpath_plan(parallelism: int = _BENCH_PARALLELISM) -> LogicalPlan:
     """A synthetic engine-stress plan: source -> filter -> keyed agg -> sink.
 
@@ -106,6 +135,7 @@ def hotpath_plan(parallelism: int = _BENCH_PARALLELISM) -> LogicalPlan:
         builders.source(
             "src", _kv_generate, _KV_SCHEMA, event_rate=4000.0,
             parallelism=parallelism,
+            vector_generator=_kv_generate_vec,
         )
     )
     plan.add_operator(
@@ -143,6 +173,7 @@ def slide8_plan(parallelism: int = _BENCH_PARALLELISM) -> LogicalPlan:
         builders.source(
             "src", _kv_generate, _KV_SCHEMA, event_rate=4000.0,
             parallelism=parallelism,
+            vector_generator=_kv_generate_vec,
         )
     )
     plan.add_operator(
@@ -192,9 +223,15 @@ def join8_plan(parallelism: int = _BENCH_PARALLELISM) -> LogicalPlan:
     return plan
 
 
-def _measure(plan, cluster, tuples: int, rounds: int) -> dict:
+def _measure(
+    plan, cluster, tuples: int, rounds: int, batch_size: int | None = None
+) -> dict:
     """Best-of-``rounds`` events/sec of one plan on fixed seeds."""
-    sim = SimulationConfig(max_tuples_per_source=tuples, max_sim_time=8.0)
+    sim = SimulationConfig(
+        max_tuples_per_source=tuples,
+        max_sim_time=8.0,
+        batch_size=batch_size,
+    )
     best = 0.0
     events = 0
     for _ in range(rounds):
@@ -210,6 +247,34 @@ def _measure(plan, cluster, tuples: int, rounds: int) -> dict:
     return {"events_per_sec": round(best, 1), "events": int(events)}
 
 
+def _parse_workload(name: str) -> tuple[str, int | None]:
+    """Split ``"WC-b256"`` into ``("WC", 256)``; plain names pass through."""
+    base, sep, suffix = name.rpartition("-b")
+    if sep and suffix.isdigit():
+        return base, int(suffix)
+    return name, None
+
+
+def _build_workload(name: str, cluster, tuples: int):
+    if name == "hotpath":
+        return hotpath_plan()
+    if name == "slide8":
+        return slide8_plan()
+    if name == "join8":
+        return join8_plan()
+    runner = BenchmarkRunner(
+        cluster,
+        RunnerConfig(
+            repeats=1,
+            dilation=_BENCH_DILATION,
+            max_tuples_per_source=tuples,
+            max_sim_time=8.0,
+            seed=_BENCH_SEED,
+        ),
+    )
+    return runner.prepare_app(name, _BENCH_PARALLELISM).plan
+
+
 def run_engine_bench(
     quick: bool = False, workloads=ENGINE_WORKLOADS
 ) -> dict[str, dict]:
@@ -219,26 +284,62 @@ def run_engine_bench(
     cluster = homogeneous_cluster("m510", 4)
     results: dict[str, dict] = {}
     for name in workloads:
-        if name == "hotpath":
-            plan = hotpath_plan()
-        elif name == "slide8":
-            plan = slide8_plan()
-        elif name == "join8":
-            plan = join8_plan()
-        else:
-            runner = BenchmarkRunner(
-                cluster,
-                RunnerConfig(
-                    repeats=1,
-                    dilation=_BENCH_DILATION,
-                    max_tuples_per_source=tuples,
-                    max_sim_time=8.0,
-                    seed=_BENCH_SEED,
-                ),
-            )
-            plan = runner.prepare_app(name, _BENCH_PARALLELISM).plan
-        results[name] = _measure(plan, cluster, tuples, rounds)
+        base, batch_size = _parse_workload(name)
+        plan = _build_workload(base, cluster, tuples)
+        results[name] = _measure(
+            plan, cluster, tuples, rounds, batch_size=batch_size
+        )
     return results
+
+
+def run_batch_sweep(
+    quick: bool = False,
+    workloads: tuple[str, ...] = ("hotpath", "WC"),
+    batch_sizes: tuple[int, ...] = (1, 16, 64, 256, 1024),
+) -> dict[str, list[dict]]:
+    """The batch-size × throughput/latency trade-off, per workload.
+
+    For each workload the scalar engine (``batch=None``) and each batch
+    size are measured on the same plan and seeds; rows report simulator
+    events/sec (wall-clock cost) and the simulated mean end-to-end
+    latency (batching adds simulated latency — tuples wait for their
+    micro-batch — which is exactly the trade-off this sweep captures).
+    """
+    tuples = 1500 if quick else 5000
+    rounds = 1 if quick else 2
+    cluster = homogeneous_cluster("m510", 4)
+    sweep: dict[str, list[dict]] = {}
+    for name in workloads:
+        plan = _build_workload(name, cluster, tuples)
+        rows: list[dict] = []
+        for batch_size in (None, *batch_sizes):
+            sim = SimulationConfig(
+                max_tuples_per_source=tuples,
+                max_sim_time=8.0,
+                batch_size=batch_size,
+            )
+            best = 0.0
+            latency = 0.0
+            for _ in range(rounds):
+                engine = StreamEngine(
+                    plan, cluster, config=sim,
+                    rng_factory=RngFactory(_BENCH_SEED),
+                )
+                start = time.perf_counter()
+                metrics = engine.run()
+                elapsed = time.perf_counter() - start
+                events = metrics.extras["events_processed"]
+                best = max(best, events / elapsed)
+                latency = metrics.latency.mean
+            rows.append(
+                {
+                    "batch_size": batch_size,
+                    "events_per_sec": round(best, 1),
+                    "latency_mean_ms": round(latency * 1000.0, 3),
+                }
+            )
+        sweep[name] = rows
+    return sweep
 
 
 def run_sweep_bench(

@@ -50,6 +50,11 @@ class RunnerConfig:
     repeat-merged summary under the ``"obs"`` key. Observation never
     changes simulated results (DESIGN.md §8).
 
+    ``batch_size`` switches every run onto the columnar micro-batch
+    executor (:mod:`repro.sps.batch`) with that many tuples per
+    micro-batch; ``None`` (the default) keeps the scalar event loop,
+    bit-identical to runs made before batch mode existed.
+
     ``sanitize`` runs the determinism sanitizer around every repeat:
     the static AST pass over the plan's operator source modules before
     anything executes, a :class:`~repro.analysis.racecheck.RaceDetector`
@@ -72,10 +77,13 @@ class RunnerConfig:
     observe: bool = False
     obs_sample_interval: float = 0.25
     sanitize: bool = False
+    batch_size: int | None = None
 
     def __post_init__(self) -> None:
         if self.repeats < 1:
             raise ConfigurationError("repeats must be >= 1")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
         if self.dilation <= 0:
             raise ConfigurationError("dilation must be positive")
         if self.workers < 1:
@@ -131,6 +139,7 @@ class BenchmarkRunner:
             max_tuples_per_source=self.config.max_tuples_per_source,
             max_sim_time=self.config.max_sim_time,
             warmup_fraction=self.config.warmup_fraction,
+            batch_size=self.config.batch_size,
         )
 
         observe = self.config.observe

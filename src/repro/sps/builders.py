@@ -45,14 +45,23 @@ def source(
     event_rate: float,
     parallelism: int = 1,
     arrival: str = "poisson",
+    vector_generator=None,
 ) -> LogicalOperator:
-    """A parallel source emitting ``event_rate`` tuples/s in total."""
+    """A parallel source emitting ``event_rate`` tuples/s in total.
+
+    ``vector_generator`` optionally supplies the columnar form batch
+    mode uses to build whole micro-batches (``(rng, nows) -> (columns,
+    sizes)``, see :data:`~repro.sps.operators.source.VectorTupleGenerator`);
+    without it batch mode calls ``generator`` once per tuple.
+    """
     if event_rate <= 0:
         raise ConfigurationError("event_rate must be positive")
     return LogicalOperator(
         op_id=op_id,
         kind=OperatorKind.SOURCE,
-        logic_factory=lambda: SourceLogic(generator),
+        logic_factory=lambda: SourceLogic(
+            generator, vector_generator=vector_generator
+        ),
         parallelism=parallelism,
         selectivity=1.0,
         output_schema=schema,
@@ -91,12 +100,18 @@ def map_op(
     parallelism: int = 1,
     cost: OperatorCost | None = None,
     output_schema: Schema | None = None,
+    vector_fn: Callable[[tuple], tuple] | None = None,
 ) -> LogicalOperator:
-    """A 1-to-1 transformation."""
+    """A 1-to-1 transformation.
+
+    ``vector_fn`` optionally supplies the column-wise form used by batch
+    mode (columns in, columns out); without it the map falls back to
+    per-tuple ``fn`` calls there.
+    """
     return LogicalOperator(
         op_id=op_id,
         kind=OperatorKind.MAP,
-        logic_factory=lambda: MapLogic(fn),
+        logic_factory=lambda: MapLogic(fn, vector_fn=vector_fn),
         parallelism=parallelism,
         selectivity=1.0,
         cost=cost,
@@ -111,12 +126,20 @@ def flat_map(
     parallelism: int = 1,
     cost: OperatorCost | None = None,
     output_schema: Schema | None = None,
+    vector_fn: Callable[[tuple], tuple] | None = None,
 ) -> LogicalOperator:
-    """A 1-to-N transformation; selectivity is the expected fan-out."""
+    """A 1-to-N transformation; selectivity is the expected fan-out.
+
+    ``vector_fn`` optionally supplies the columnar expansion batch mode
+    uses (columns in, ``(columns, counts)`` out); without it the
+    flat-map falls back to per-tuple ``fn`` calls there.
+    """
     return LogicalOperator(
         op_id=op_id,
         kind=OperatorKind.FLATMAP,
-        logic_factory=lambda: FlatMapLogic(fn, expected_fanout),
+        logic_factory=lambda: FlatMapLogic(
+            fn, expected_fanout, vector_fn=vector_fn
+        ),
         parallelism=parallelism,
         selectivity=expected_fanout,
         cost=cost,

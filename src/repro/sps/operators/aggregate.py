@@ -46,7 +46,10 @@ from __future__ import annotations
 from collections import deque
 from heapq import heappop, heappush
 
+import numpy as np
+
 from repro.common.errors import ConfigurationError
+from repro.sps.columnar import sequential_sum
 from repro.sps.operators.base import OperatorLogic
 from repro.sps.tuples import StreamTuple
 from repro.sps.windows import (
@@ -55,6 +58,7 @@ from repro.sps.windows import (
     SlidingTimeWindows,
     TumblingCountWindows,
     WindowAssigner,
+    index_range_arrays as _index_range_arrays,
 )
 
 __all__ = ["WindowAggregateLogic"]
@@ -519,6 +523,249 @@ class WindowAggregateLogic(OperatorLogic):
             size_bytes=40.0,
         )
 
+    # --------------------------------------------------------- batch kernel
+
+    def supports_batch(self) -> bool:
+        # Count windows fire on per-key arrival counts with ring-buffer
+        # state; they stay on the scalar fallback (see repro.sps.batch).
+        return self._time_based
+
+    def process_time_batch(
+        self, keys, values, nows, origins, ticks
+    ) -> list[tuple[float, bool, StreamTuple]]:
+        """Fold one micro-batch into the slice state, vectorized.
+
+        ``keys`` is a list of per-row group keys (or ``None`` when every
+        row is global), ``values``/``nows``/``origins`` float64 arrays
+        with ``nows`` non-decreasing, and ``ticks`` this instance's full
+        timer-tick schedule (sorted array) used to attribute fire times.
+
+        Updates the *same* per-key slice/pending/heap state the scalar
+        path uses — segments of rows sharing a (key, slice) pair are
+        reduced at once (``cumsum`` for the order-exact sum fold,
+        ``reduceat`` for the order-free min/max/origin) — then fires every
+        window whose end the batch's clock passed, each at the earliest
+        tuple-or-tick opportunity ``>=`` its end, exactly where the scalar
+        event loop would have fired it.  Returns
+        ``(fire_time, tick_triggered, tuple)`` triples in emission order.
+        """
+        n = len(values)
+        if n:
+            lo, hi = _index_range_arrays(self.assigner, nows)
+            valid = lo <= hi
+            if keys is None:
+                st = self._get_time_state(_GLOBAL_KEY)
+                idxs = np.flatnonzero(valid)
+                self._fold_key_rows(st, idxs, values, origins, lo, hi)
+            else:
+                codes, firsts, uniques = _group_codes(keys)
+                # Ranks are assigned at key-first-seen, in arrival order
+                # (scalar creates the key state on its first tuple even
+                # when rounding leaves that tuple without a window).
+                states = [None] * len(uniques)
+                for gi in np.argsort(firsts, kind="stable").tolist():
+                    states[gi] = self._get_time_state(uniques[gi])
+                order = np.argsort(codes, kind="stable")
+                order = order[valid[order]]
+                if len(order):
+                    codes_o = codes[order]
+                    bounds = np.flatnonzero(codes_o[1:] != codes_o[:-1])
+                    starts = np.concatenate(([0], bounds + 1)).tolist()
+                    stops = np.concatenate(
+                        (bounds + 1, [len(order)])
+                    ).tolist()
+                    for a, b in zip(starts, stops):
+                        self._fold_key_rows(
+                            states[codes_o[a]],
+                            order[a:b],
+                            values,
+                            origins,
+                            lo,
+                            hi,
+                        )
+        return self._fire_batch(nows, ticks)
+
+    def _get_time_state(self, key) -> _KeyTimeState:
+        st = self._time_state.get(key)
+        if st is None:
+            st = self._time_state[key] = _KeyTimeState(
+                len(self._keys_by_rank)
+            )
+            self._keys_by_rank.append(key)
+        return st
+
+    def _fold_key_rows(self, st, idxs, values, origins, lo, hi) -> None:
+        """Fold rows ``idxs`` (arrival order, one key) into its slices.
+
+        ``lo``/``hi`` are the whole batch's index-interval arrays; the
+        rows are cut into runs sharing one (lo, hi) — the slices — and
+        each run is reduced at once.
+        """
+        count = len(idxs)
+        if count == 0:
+            return
+        vals = values[idxs]
+        lo_r = lo[idxs]
+        hi_r = hi[idxs]
+        if lo_r[0] == lo_r[count - 1] and hi_r[0] == hi_r[count - 1]:
+            # Fast path: the whole run lands in one slice — the common
+            # case for tumbling windows, where only the chunks straddling
+            # a window boundary ever split.
+            self._fold_segment(
+                st,
+                int(lo_r[0]),
+                int(hi_r[0]),
+                vals.min(),
+                vals.max(),
+                origins[idxs].min(),
+                vals,
+            )
+            return
+        orgs = origins[idxs]
+        bounds = np.flatnonzero(
+            (lo_r[1:] != lo_r[:-1]) | (hi_r[1:] != hi_r[:-1])
+        )
+        starts = np.concatenate(([0], bounds + 1))
+        stops = np.concatenate((bounds + 1, [count]))
+        seg_min = np.minimum.reduceat(vals, starts)
+        seg_max = np.maximum.reduceat(vals, starts)
+        seg_org = np.minimum.reduceat(orgs, starts)
+        for si in range(len(starts)):
+            a = int(starts[si])
+            b = int(stops[si])
+            self._fold_segment(
+                st,
+                int(lo_r[a]),
+                int(hi_r[a]),
+                seg_min[si],
+                seg_max[si],
+                seg_org[si],
+                vals[a:b],
+            )
+
+    def _fold_segment(
+        self, st, s_lo: int, s_hi: int, smin, smax, sorg, vals
+    ) -> None:
+        """Fold one same-(lo, hi) run of values into its slice state."""
+        slices = st.slices
+        if slices:
+            sl = slices[-1]
+            if sl.lo != s_lo or sl.hi != s_hi:
+                sl = _Slice(s_lo, s_hi, self._keep_values)
+                slices.append(sl)
+        else:
+            sl = _Slice(s_lo, s_hi, self._keep_values)
+            slices.append(sl)
+        if sl.count:
+            if smin < sl.vmin:
+                sl.vmin = smin
+            if smax > sl.vmax:
+                sl.vmax = smax
+        else:
+            sl.vmin = smin
+            sl.vmax = smax
+        sl.count += len(vals)
+        sl.vsum = sequential_sum(sl.vsum, vals)
+        if sorg < sl.min_origin:
+            sl.min_origin = sorg
+        if sl.values is not None:
+            sl.values.extend(vals.tolist())
+        mark = st.next_mark
+        w = s_lo if (mark is None or mark < s_lo) else mark
+        if w <= s_hi:
+            pending = st.pending
+            heap = self._fire_heap
+            rank = st.rank
+            window_end = self.assigner.window_end
+            while w <= s_hi:
+                pending.add(w)
+                heappush(heap, (window_end(w), rank, w))
+                w += 1
+            st.next_mark = s_hi + 1
+
+    def _fire_batch(
+        self, nows, ticks
+    ) -> list[tuple[float, bool, StreamTuple]]:
+        heap = self._fire_heap
+        n = len(nows)
+        if not heap or n == 0 or heap[0][0] > nows[n - 1]:
+            return []
+        last_now = nows[n - 1]
+        states = self._time_state
+        keys_by_rank = self._keys_by_rank
+        n_ticks = len(ticks)
+        popped: list[tuple[float, bool, int, int]] = []
+        while heap and heap[0][0] <= last_now:
+            end, rank, w = heappop(heap)
+            st = states[keys_by_rank[rank]]
+            if w in st.pending:
+                st.pending.discard(w)
+                ti = int(np.searchsorted(nows, end, side="left"))
+                t_tuple = float(nows[ti])  # exists: end <= last_now
+                tk = int(np.searchsorted(ticks, end, side="left"))
+                if tk < n_ticks and float(ticks[tk]) < t_tuple:
+                    popped.append((float(ticks[tk]), True, rank, w))
+                else:
+                    popped.append((t_tuple, False, rank, w))
+        return self._emit_fire_groups(popped)
+
+    def _emit_fire_groups(
+        self, popped: list[tuple[float, bool, int, int]]
+    ) -> list[tuple[float, bool, StreamTuple]]:
+        """Emit pops grouped by fire opportunity, (rank, window) within.
+
+        Pops arrive end-ascending, hence fire-time non-decreasing; each
+        equal-fire-time run is one scalar ``_fire_time_windows`` call,
+        whose ``ready.sort()`` order is reproduced here.
+        """
+        out: list[tuple[float, bool, StreamTuple]] = []
+        states = self._time_state
+        keys_by_rank = self._keys_by_rank
+        i = 0
+        total = len(popped)
+        while i < total:
+            fire_time = popped[i][0]
+            is_tick = popped[i][1]
+            j = i
+            while j < total and popped[j][0] == fire_time:
+                j += 1
+            group = sorted((rank, w) for _, _, rank, w in popped[i:j])
+            for rank, w in group:
+                key = keys_by_rank[rank]
+                out.append(
+                    (
+                        fire_time,
+                        is_tick,
+                        self._emit_window(key, states[key], w, fire_time),
+                    )
+                )
+            i = j
+        return out
+
+    def finalize_time_batch(
+        self, ticks
+    ) -> list[tuple[float, bool, StreamTuple]]:
+        """Fire the windows the remaining timer ticks would still reach.
+
+        Called once after the last micro-batch; anything left after this
+        is end-of-stream state for :meth:`flush`.
+        """
+        heap = self._fire_heap
+        if not heap or len(ticks) == 0:
+            return []
+        t_max = float(ticks[-1])
+        states = self._time_state
+        keys_by_rank = self._keys_by_rank
+        popped: list[tuple[float, bool, int, int]] = []
+        while heap and heap[0][0] <= t_max:
+            end, rank, w = heappop(heap)
+            st = states[keys_by_rank[rank]]
+            if w in st.pending:
+                st.pending.discard(w)
+                tk = int(np.searchsorted(ticks, end, side="left"))
+                popped.append((float(ticks[tk]), True, rank, w))
+        return self._emit_fire_groups(popped)
+
     # ------------------------------------------------------------- obs hooks
 
     @property
@@ -530,3 +777,14 @@ class WindowAggregateLogic(OperatorLogic):
     def pending_windows(self) -> int:
         """Windows marked but not yet fired (observability)."""
         return sum(len(st.pending) for st in self._time_state.values())
+
+
+def _group_codes(keys):
+    """Group a key array: per-row group codes, first-occurrence index per
+    group, and the group key values as plain Python objects."""
+    uniques, codes = np.unique(keys, return_inverse=True)
+    order = np.argsort(codes, kind="stable")
+    codes_o = codes[order]
+    bounds = np.flatnonzero(codes_o[1:] != codes_o[:-1])
+    firsts = order[np.concatenate(([0], bounds + 1))]
+    return codes, firsts, uniques.tolist()

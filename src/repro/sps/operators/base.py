@@ -62,3 +62,16 @@ class OperatorLogic:
     def work_units(self, tup: StreamTuple) -> float:
         """Per-tuple work multiplier (default: :attr:`work_factor`)."""
         return self.work_factor
+
+    # ------------------------------------------------------- batch protocol
+    #
+    # Batch mode (repro.sps.batch) probes each logic for a vectorized form
+    # via ``supports_batch``; instances answering True are driven through
+    # ``process_batch`` with whole TupleBatch inputs, all others through the
+    # automatic per-tuple scalar fallback (``process``/``on_time``/``flush``
+    # exactly as the scalar engine calls them). The base class opts out, so
+    # arbitrary UDOs are batch-safe by construction.
+
+    def supports_batch(self) -> bool:
+        """Whether this instance has a vectorized batch form."""
+        return False

@@ -34,10 +34,18 @@ from __future__ import annotations
 
 from heapq import heappop, heappush
 
+import numpy as np
+
 from repro.common.errors import ConfigurationError
+from repro.sps.columnar import sequential_sum
 from repro.sps.operators.base import OperatorLogic
 from repro.sps.tuples import StreamTuple
-from repro.sps.windows import AggregateFunction, WindowAssigner
+from repro.sps.windows import (
+    AggregateFunction,
+    WindowAssigner,
+    index_range_arrays,
+    window_end_arrays,
+)
 
 __all__ = ["EventTimeWindowAggregateLogic"]
 
@@ -217,6 +225,218 @@ class EventTimeWindowAggregateLogic(OperatorLogic):
         self._keys_by_rank.clear()
         self._fire_heap.clear()
         return outputs
+
+    # --------------------------------------------------------- batch kernel
+
+    def supports_batch(self) -> bool:
+        return True
+
+    def process_event_batch(
+        self, keys, values, event_times, origins, nows, tick_times
+    ) -> list[tuple[float, bool, StreamTuple]]:
+        """Vectorized fold + watermark advance over one micro-batch.
+
+        ``keys`` is the per-row key list (``None`` when all rows are
+        global); ``values``/``event_times``/``origins``/``nows`` float64
+        arrays with ``nows`` non-decreasing; ``tick_times`` the timer
+        ticks falling inside this batch's span (sorted).  Tuples and
+        ticks are merged into the scalar path's *opportunity sequence*
+        (ties go to tuples first — measure-zero under the continuous
+        arrival distributions): the running max event time, the
+        watermark, and the pre-opportunity fired-horizon become prefix
+        scans, late drops and per-(key, window) folds become masked
+        grouped reductions over the same ``_WindowState`` accumulators
+        the scalar path mutates, and each ready window fires at the
+        first opportunity whose watermark passes its end — with
+        ``_emit`` called at that opportunity's processing time, exactly
+        as ``_fire_ready`` would.  Returns ``(fire_time, tick_triggered,
+        tuple)`` triples in emission order.
+        """
+        n = len(values)
+        n_ticks = len(tick_times)
+        total = n + n_ticks
+        if total == 0:
+            return []
+        ooo = self.max_out_of_orderness
+        lateness = self.allowed_lateness
+        carry_max = self._max_event_time
+        carry_hor = self._fired_horizon
+        neg_inf = float("-inf")
+        # ---- merged opportunity sequence (tuples + in-span ticks)
+        if n_ticks:
+            slots = np.searchsorted(nows, tick_times, side="right")
+            tick_slots = slots + np.arange(n_ticks)
+            m_is_tick = np.zeros(total, dtype=bool)
+            m_is_tick[tick_slots] = True
+            tuple_slots = np.flatnonzero(~m_is_tick)
+            m_now = np.empty(total, dtype=np.float64)
+            m_now[tuple_slots] = nows
+            m_now[tick_slots] = tick_times
+            contrib = np.empty(total, dtype=np.float64)
+            contrib[tuple_slots] = event_times
+            # Idle-source advancement: a tick proposes now - 2*ooo, but
+            # only once some tuple has set a real max event time.
+            contrib[tick_slots] = tick_times - 2.0 * ooo
+            if carry_max == neg_inf:
+                if n:
+                    early = tick_slots[tick_slots < tuple_slots[0]]
+                else:
+                    early = tick_slots
+                contrib[early] = neg_inf
+        else:
+            m_is_tick = np.zeros(total, dtype=bool)
+            tuple_slots = np.arange(total)
+            m_now = nows
+            contrib = event_times
+        runmax = np.maximum.accumulate(
+            np.concatenate(((carry_max,), contrib))
+        )[1:]
+        wm = runmax - ooo
+        hor = np.empty(total, dtype=np.float64)
+        hor[0] = carry_hor
+        np.maximum(wm[:-1], carry_hor, out=hor[1:])
+        # ---- late filtering and per-(key, window) folds
+        if n:
+            self._fold_event_rows(
+                keys, values, event_times, origins, hor[tuple_slots]
+            )
+        # ---- fires, attributed to their exact opportunity
+        outputs = self._fire_event_batch(wm, m_now, m_is_tick, lateness)
+        self._max_event_time = float(runmax[-1])
+        final_hor = max(carry_hor, float(wm[-1]))
+        self._fired_horizon = final_hor
+        return outputs
+
+    def _fold_event_rows(
+        self, keys, values, event_times, origins, hor_tuples
+    ) -> None:
+        assigner = self.assigner
+        lateness = self.allowed_lateness
+        lo, hi = index_range_arrays(assigner, event_times)
+        valid = lo <= hi
+        end_hi = window_end_arrays(assigner, hi)
+        full_late = valid & (end_hi + lateness <= hor_tuples)
+        self.late_dropped += int(np.count_nonzero(full_late))
+        crows = np.flatnonzero(valid & ~full_late)
+        if len(crows) == 0:
+            return
+        # Key states exist for every non-late row's key (scalar creates
+        # them before the per-window loop), ranked by first occurrence.
+        if keys is None:
+            code_c = np.zeros(len(crows), dtype=np.int64)
+            states = [self._get_key_state(_GLOBAL_KEY)]
+        else:
+            keys_c = keys[crows]
+            uniques, code_c = np.unique(keys_c, return_inverse=True)
+            order_k = np.argsort(code_c, kind="stable")
+            bounds_k = np.flatnonzero(np.diff(code_c[order_k]))
+            firsts = order_k[np.append(0, bounds_k + 1)]
+            key_list = uniques.tolist()
+            states = [None] * len(key_list)
+            for gi in np.argsort(firsts, kind="stable").tolist():
+                states[gi] = self._get_key_state(key_list[gi])
+        # Expand rows into (row, window) pairs, drop fired overlaps.
+        lo_c = lo[crows]
+        span = (hi[crows] - lo_c + 1).astype(np.int64)
+        pair_total = int(span.sum())
+        rep = np.repeat(np.arange(len(crows)), span)
+        offsets = np.arange(pair_total) - np.repeat(
+            np.cumsum(span) - span, span
+        )
+        pair_w = lo_c[rep] + offsets
+        pair_end = window_end_arrays(assigner, pair_w)
+        pair_hor = hor_tuples[crows][rep]
+        keep = pair_end + lateness > pair_hor
+        if not keep.any():
+            return
+        pr = rep[keep]
+        pw = pair_w[keep]
+        p_end = pair_end[keep]
+        p_code = code_c[pr]
+        p_vals = values[crows][pr]
+        p_orgs = origins[crows][pr]
+        # Stable (key, window) grouping preserves arrival order inside
+        # each group — the order the scalar accumulators folded in.
+        order = np.lexsort((pw, p_code))
+        code_o = p_code[order]
+        w_o = pw[order]
+        bounds = np.flatnonzero(
+            (np.diff(code_o) != 0) | (np.diff(w_o) != 0)
+        )
+        starts = np.append(0, bounds + 1)
+        stops = np.append(bounds + 1, len(order))
+        vals_o = p_vals[order]
+        orgs_o = p_orgs[order]
+        end_o = p_end[order]
+        seg_min = np.minimum.reduceat(vals_o, starts)
+        seg_max = np.maximum.reduceat(vals_o, starts)
+        seg_org = np.minimum.reduceat(orgs_o, starts)
+        heap = self._fire_heap
+        for si in range(len(starts)):
+            a = int(starts[si])
+            b = int(stops[si])
+            kst = states[code_o[a]]
+            w = int(w_o[a])
+            windows = kst.windows
+            state = windows.get(w)
+            if state is None:
+                state = windows[w] = _WindowState()
+                heappush(heap, (float(end_o[a]), kst.rank, w))
+            smin = seg_min[si]
+            smax = seg_max[si]
+            if state.count:
+                if smin < state.vmin:
+                    state.vmin = smin
+                if smax > state.vmax:
+                    state.vmax = smax
+            else:
+                state.vmin = smin
+                state.vmax = smax
+            state.count += b - a
+            state.vsum = sequential_sum(state.vsum, vals_o[a:b])
+            if seg_org[si] < state.min_origin:
+                state.min_origin = seg_org[si]
+
+    def _get_key_state(self, key) -> _KeyState:
+        kst = self._state.get(key)
+        if kst is None:
+            kst = self._state[key] = _KeyState(len(self._keys_by_rank))
+            self._keys_by_rank.append(key)
+        return kst
+
+    def _fire_event_batch(
+        self, wm, m_now, m_is_tick, lateness
+    ) -> list[tuple[float, bool, StreamTuple]]:
+        heap = self._fire_heap
+        final_wm = wm[-1]
+        if not heap or heap[0][0] + lateness > final_wm:
+            return []
+        states = self._state
+        keys_by_rank = self._keys_by_rank
+        popped: list[tuple[int, int, int]] = []
+        while heap and heap[0][0] + lateness <= final_wm:
+            end, rank, w = heappop(heap)
+            if w in states[keys_by_rank[rank]].windows:
+                # First opportunity whose watermark reaches the window.
+                p = int(np.searchsorted(wm, end + lateness, side="left"))
+                popped.append((p, rank, w))
+        out: list[tuple[float, bool, StreamTuple]] = []
+        i = 0
+        total = len(popped)
+        while i < total:
+            p = popped[i][0]
+            j = i
+            while j < total and popped[j][0] == p:
+                j += 1
+            group = sorted((rank, w) for _, rank, w in popped[i:j])
+            fire_now = float(m_now[p])
+            is_tick = bool(m_is_tick[p])
+            for rank, w in group:
+                key = keys_by_rank[rank]
+                state = states[key].windows.pop(w)
+                out.append((fire_now, is_tick, self._emit(key, state, fire_now)))
+            i = j
+        return out
 
     def _emit(
         self, key: object, state: _WindowState, now: float

@@ -26,6 +26,23 @@ class FilterLogic(OperatorLogic):
             return [tup]
         return []
 
+    def supports_batch(self) -> bool:
+        return True
+
+    def process_batch(self, batch, now: float):
+        """Vectorized path: one boolean mask per micro-batch.
+
+        Counter updates mirror per-tuple :meth:`process` exactly, so
+        ``observed_selectivity`` is identical across execution modes.
+        """
+        mask = self.predicate.mask(batch.columns[self.predicate.field_index])
+        self.seen += len(batch)
+        kept = int(mask.sum())
+        self.passed += kept
+        if kept == len(batch):
+            return batch
+        return batch.compress(mask)
+
     @property
     def observed_selectivity(self) -> float:
         """Fraction of tuples passed so far (1.0 before any input)."""

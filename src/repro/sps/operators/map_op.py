@@ -5,6 +5,8 @@ from __future__ import annotations
 from collections.abc import Callable
 from typing import Any
 
+import numpy as np
+
 from repro.sps.operators.base import OperatorLogic
 from repro.sps.tuples import StreamTuple
 
@@ -16,15 +18,36 @@ class MapLogic(OperatorLogic):
 
     ``fn`` maps a values tuple to a new values tuple; provenance timestamps
     are preserved by :meth:`StreamTuple.with_values`.
+
+    ``vector_fn``, when given, is the column-wise form for batch mode: it
+    maps a tuple of NumPy column arrays to a new tuple of column arrays
+    (same row count, any arity) and must agree elementwise with ``fn``.
+    Without it, batch mode falls back to per-tuple ``fn`` calls.
     """
 
-    def __init__(self, fn: Callable[[tuple[Any, ...]], tuple[Any, ...]]):
+    def __init__(
+        self,
+        fn: Callable[[tuple[Any, ...]], tuple[Any, ...]],
+        vector_fn: Callable[[tuple], tuple] | None = None,
+    ):
         self._fn = fn
+        self._vector_fn = vector_fn
 
     def process(
         self, tup: StreamTuple, now: float, port: int = 0
     ) -> list[StreamTuple]:
         return [tup.with_values(self._fn(tup.values))]
+
+    @property
+    def has_vector_fn(self) -> bool:
+        return self._vector_fn is not None
+
+    def supports_batch(self) -> bool:
+        return self._vector_fn is not None
+
+    def process_batch(self, batch, now: float):
+        """Vectorized path: transform whole columns at once."""
+        return batch.with_columns(self._vector_fn(batch.columns))
 
 
 class FlatMapLogic(OperatorLogic):
@@ -33,14 +56,22 @@ class FlatMapLogic(OperatorLogic):
     ``fn`` maps a values tuple to an iterable of values tuples. The work
     units of a tuple scale with its fan-out, modelling that a line producing
     many words costs more than an empty one.
+
+    ``vector_fn``, when given, is the columnar form batch mode uses: it
+    maps a tuple of column arrays to ``(out_columns, counts)`` where row
+    ``i`` of the input expands into ``counts[i]`` consecutive output
+    rows, and must agree row-by-row with ``fn``. Without it, batch mode
+    falls back to per-tuple ``fn`` calls.
     """
 
     def __init__(
         self,
         fn: Callable[[tuple[Any, ...]], list[tuple[Any, ...]]],
         expected_fanout: float = 1.0,
+        vector_fn: Callable[[tuple], tuple] | None = None,
     ):
         self._fn = fn
+        self._vector_fn = vector_fn
         self._expected_fanout = max(expected_fanout, 1e-9)
         self._last_fanout = 1.0
 
@@ -53,3 +84,32 @@ class FlatMapLogic(OperatorLogic):
 
     def work_units(self, tup: StreamTuple) -> float:
         return max(self._last_fanout / self._expected_fanout, 0.25)
+
+    @property
+    def has_vector_fn(self) -> bool:
+        return self._vector_fn is not None
+
+    def supports_batch(self) -> bool:
+        return self._vector_fn is not None
+
+    def expand_batch(self, batch):
+        """Vectorized path: expand a whole batch's rows at once.
+
+        Returns ``(out_batch, work_units)``.  Work mirrors the scalar
+        accounting exactly: tuple ``i`` is charged for the *previous*
+        tuple's fan-out (``work_units`` runs before ``process``), so the
+        per-row fan-outs enter the sum shifted by one, clamped at 1 when
+        stored and at 0.25 work units when charged.
+        """
+        columns, counts = self._vector_fn(batch.columns)
+        counts = np.asarray(counts, dtype=np.int64)
+        n = len(counts)
+        fan = np.empty(n, dtype=np.float64)
+        fan[0] = self._last_fanout
+        fan[1:] = counts[:-1]
+        np.maximum(fan, 1.0, out=fan)
+        self._last_fanout = max(int(counts[-1]), 1)
+        work = float(
+            np.maximum(fan / self._expected_fanout, 0.25).sum()
+        )
+        return batch.repeat_rows(counts, columns), work

@@ -33,3 +33,25 @@ class SinkLogic(OperatorLogic):
         if self.keep_values and len(self.results) < self.max_kept:
             self.results.append(tup.values)
         return []
+
+    def supports_batch(self) -> bool:
+        return True
+
+    def absorb_batch(self, batch, arrival_times, latencies) -> None:
+        """Vectorized path: record a whole batch of results at once.
+
+        ``arrival_times``/``latencies`` are arrays computed by the batch
+        executor (arrival = the batch's completion time at this sink
+        instance, latency = arrival − origin per tuple).
+        """
+        n = len(batch)
+        self.received += n
+        self.latencies.extend(latencies.tolist())
+        self.arrival_times.extend(arrival_times.tolist())
+        if self.keep_values and len(self.results) < self.max_kept:
+            room = self.max_kept - len(self.results)
+            if batch.columns is not None:
+                rows = list(zip(*[c.tolist() for c in batch.columns]))[:room]
+            else:
+                rows = list(batch.rows[:room])
+            self.results.extend(rows)

@@ -19,13 +19,38 @@ __all__ = ["SourceLogic"]
 
 TupleGenerator = Callable[[np.random.Generator, float], StreamTuple]
 
+#: Columnar form used by batch mode: ``(rng, nows) -> (columns, sizes)``
+#: where ``columns`` is a tuple of arrays (one per value field) and
+#: ``sizes`` is a float or per-tuple array of tuple sizes in bytes.  To
+#: keep runs batch-size invariant the callable must consume the RNG
+#: per-element sequentially (one tuple's draws before the next tuple's),
+#: e.g. ``rng.integers(64, size=n)`` — never draws whose layout depends
+#: on ``len(nows)``.
+VectorTupleGenerator = Callable[[np.random.Generator, np.ndarray], tuple]
+
 
 class SourceLogic(OperatorLogic):
     """Wraps a tuple generator; one instance per source subtask."""
 
-    def __init__(self, generator: TupleGenerator) -> None:
+    def __init__(
+        self,
+        generator: TupleGenerator,
+        vector_generator: VectorTupleGenerator | None = None,
+    ) -> None:
         self._generator = generator
+        self._vector_generator = vector_generator
         self.emitted = 0
+
+    @property
+    def has_vector_generator(self) -> bool:
+        """Whether batch mode can generate whole micro-batches at once."""
+        return self._vector_generator is not None
+
+    def generate_columns(self, nows: np.ndarray) -> tuple:
+        """Columns + sizes for one micro-batch of arrivals (batch mode)."""
+        columns, sizes = self._vector_generator(self.ctx.rng, nows)
+        self.emitted += len(nows)
+        return columns, sizes
 
     def generate(self, now: float) -> StreamTuple:
         """Produce the next tuple at simulated time ``now``."""

@@ -109,6 +109,32 @@ class Predicate:
         """Evaluate the predicate against one tuple's values."""
         return self._op(tup.values[self.field_index], self.literal)
 
+    def mask(self, column) -> Any:
+        """Evaluate the predicate over a whole column (batch mode).
+
+        Takes the NumPy array holding field ``field_index`` for every row
+        of a :class:`~repro.sps.columnar.TupleBatch` and returns a boolean
+        array, row ``i`` true iff :meth:`evaluate` would pass row ``i``.
+        Numeric columns compare vectorized (the ``_NUMERIC_OPS`` lambdas
+        broadcast over arrays unchanged); string functions and object
+        columns evaluate the bound op per element.
+        """
+        if (
+            column.dtype.kind in "bif"
+            and not self.function.is_string_function
+            and isinstance(self.literal, (int, float, bool))
+        ):
+            return self._op(column, self.literal)
+        import numpy as np
+
+        op = self._op
+        literal = self.literal
+        return np.fromiter(
+            (bool(op(value, literal)) for value in column.tolist()),
+            dtype=bool,
+            count=len(column),
+        )
+
     def __call__(self, tup: StreamTuple) -> bool:
         return self.evaluate(tup)
 

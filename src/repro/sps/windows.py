@@ -24,7 +24,60 @@ __all__ = [
     "TumblingCountWindows",
     "SlidingCountWindows",
     "AggregateFunction",
+    "index_range_arrays",
+    "window_end_arrays",
 ]
+
+
+def window_end_arrays(assigner: "WindowAssigner", indices):
+    """Vectorized ``window_end`` over an int64 window-index array.
+
+    Elementwise bit-equal to ``assigner.window_end`` (same ``index *
+    step + duration`` expression).  Time-based assigners only.
+    """
+    if isinstance(assigner, TumblingTimeWindows):
+        return indices * assigner.duration + assigner.duration
+    if not isinstance(assigner, SlidingTimeWindows):
+        raise ConfigurationError(
+            f"window_end_arrays needs a time-based assigner, "
+            f"got {type(assigner).__name__}"
+        )
+    return indices * assigner.slide + assigner.duration
+
+
+def index_range_arrays(assigner: "WindowAssigner", times):
+    """Vectorized ``assign_index_range`` over a float64 timestamp array.
+
+    Returns ``(lo, hi)`` int64 arrays; row ``i`` equals
+    ``assigner.assign_index_range(times[i])`` bit-for-bit — the same
+    IEEE division, floor, and correction predicates, evaluated
+    array-wide (the correction loop runs at most a few passes).  Batch
+    mode's window kernels use this to assign a whole micro-batch at
+    once.  Time-based assigners only.
+    """
+    import numpy as np
+
+    if isinstance(assigner, TumblingTimeWindows):
+        duration = assigner.duration
+        index = np.floor(times / duration).astype(np.int64)
+        index[index * duration > times] -= 1
+        return index, index
+    if not isinstance(assigner, SlidingTimeWindows):
+        raise ConfigurationError(
+            f"index_range_arrays needs a time-based assigner, "
+            f"got {type(assigner).__name__}"
+        )
+    slide = assigner.slide
+    duration = assigner.duration
+    hi = np.floor(times / slide).astype(np.int64)
+    hi[hi * slide > times] -= 1
+    threshold = times - duration
+    lo = np.floor(threshold / slide).astype(np.int64) - 2
+    while True:
+        mask = (lo * slide <= threshold) | (lo * slide + duration <= times)
+        if not mask.any():
+            return lo, hi
+        lo[mask] += 1
 
 
 @dataclass(frozen=True, order=True)

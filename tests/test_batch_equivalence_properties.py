@@ -1,0 +1,144 @@
+"""Property-based batch ≡ scalar equivalence (hypothesis).
+
+The columnar executor's data plane runs on ideal time, so for any seed,
+stream length and batch size the simulated results must match the
+scalar engine's — and must be invariant across batch sizes. Hypothesis
+drives the batch sizes the ISSUE pins ({1, 7, 64, 1024}) across random
+seeds and stream lengths on a plan that exercises the filter, map and
+window kernels plus the per-tuple fallback.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import homogeneous_cluster
+from repro.common.rng import RngFactory
+from repro.sps import builders
+from repro.sps.engine import SimulationConfig, StreamEngine
+from repro.sps.logical import LogicalPlan
+from repro.sps.operators.base import OperatorLogic
+from repro.sps.operators.sink import SinkLogic
+from repro.sps.predicates import FilterFunction, Predicate
+from repro.sps.types import DataType, Field, Schema
+from repro.sps.windows import AggregateFunction, TumblingTimeWindows
+from tests.conftest import kv_generator
+
+SCHEMA = Schema([Field("k", DataType.INT), Field("v", DataType.DOUBLE)])
+
+BATCH_SIZES = st.sampled_from([1, 7, 64, 1024])
+
+
+class Shift(OperatorLogic):
+    """Scalar-only UDO so every plan crosses the fallback boundary."""
+
+    def process(self, tup, now, port=0):
+        return [tup.with_values((tup.values[0], tup.values[1] + 0.5))]
+
+
+def kernel_plan(with_udo):
+    plan = LogicalPlan("prop-batch")
+    plan.add_operator(
+        builders.source(
+            "src", kv_generator(), SCHEMA, event_rate=2000.0,
+            parallelism=2,
+        )
+    )
+    plan.add_operator(
+        builders.filter_op(
+            "keep",
+            Predicate(1, FilterFunction.GT, 0.2, selectivity_hint=0.8),
+            parallelism=2,
+        )
+    )
+    upstream = "keep"
+    if with_udo:
+        plan.add_operator(builders.udo("shift", Shift))
+        plan.connect("keep", "shift")
+        upstream = "shift"
+    plan.add_operator(
+        builders.window_agg(
+            "agg",
+            TumblingTimeWindows(0.25),
+            AggregateFunction.SUM,
+            value_field=1,
+            key_field=0,
+            parallelism=2,
+        )
+    )
+    plan.add_operator(builders.sink("sink", keep_values=True))
+    plan.connect("src", "keep")
+    plan.connect(upstream, "agg")
+    plan.connect("agg", "sink")
+    return plan
+
+
+def simulate(with_udo, batch_size, seed, tuples):
+    engine = StreamEngine(
+        kernel_plan(with_udo),
+        homogeneous_cluster(num_nodes=2),
+        config=SimulationConfig(
+            max_tuples_per_source=tuples,
+            max_sim_time=4.0,
+            batch_size=batch_size,
+            keep_sink_values=True,
+        ),
+        rng_factory=RngFactory(seed),
+    )
+    engine.run()
+    values = []
+    for runtime in engine._runtimes:
+        for logic in getattr(runtime.logic, "logics", None) or (
+            runtime.logic,
+        ):
+            if isinstance(logic, SinkLogic):
+                values.extend(logic.results)
+    return sorted(
+        values,
+        key=lambda row: tuple(
+            round(x, 6) if isinstance(x, float) else x for x in row
+        ),
+    )
+
+
+def assert_rows_close(actual, expected):
+    assert len(actual) == len(expected)
+    for row_a, row_e in zip(actual, expected):
+        for a, e in zip(row_a, row_e):
+            if isinstance(a, float):
+                assert math.isclose(a, e, rel_tol=1e-9, abs_tol=1e-12)
+            else:
+                assert a == e
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    batch_size=BATCH_SIZES,
+    seed=st.integers(0, 1000),
+    tuples=st.integers(20, 250),
+)
+def test_batch_matches_scalar(batch_size, seed, tuples):
+    scalar = simulate(False, None, seed, tuples)
+    batched = simulate(False, batch_size, seed, tuples)
+    assert_rows_close(batched, scalar)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    size_a=BATCH_SIZES,
+    size_b=BATCH_SIZES,
+    seed=st.integers(0, 1000),
+)
+def test_results_are_batch_size_invariant(size_a, size_b, seed):
+    a = simulate(False, size_a, seed, 150)
+    b = simulate(False, size_b, seed, 150)
+    assert a == b  # exact: same executor, same fold order
+
+
+@settings(max_examples=8, deadline=None)
+@given(batch_size=BATCH_SIZES, seed=st.integers(0, 1000))
+def test_udo_fallback_matches_scalar(batch_size, seed):
+    scalar = simulate(True, None, seed, 120)
+    batched = simulate(True, batch_size, seed, 120)
+    assert_rows_close(batched, scalar)
