@@ -1,0 +1,100 @@
+"""Elastic runtime grid: autoscaling policies under chaos scenarios.
+
+The exp4 experiment (see :mod:`repro.core.experiments.exp4`) crosses
+the autoscaling policy plugins — static baseline, reactive queue
+hysteresis, predictive cost-model sizing — with reproducible
+disturbance scenarios (load spike, straggler, node failure) on a keyed
+windowed workload, and scores each cell on SLO-violation-seconds
+against resource-seconds. The bench prints the grid and asserts the
+qualitative shape an elastic runtime must show:
+
+- every cell is determinism-clean (the race detector runs inside every
+  cell; a :class:`DeterminismError` would surface as a cell field);
+- the adaptive policies actually rescale under disturbance, the static
+  baseline never does;
+- under the straggler scenario an adaptive policy spends no *more*
+  time in SLO violation than the do-nothing baseline.
+
+This file doubles as the nightly CI lane's entry point:
+``pytest benchmarks/bench_elastic_scenarios.py --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.core.experiments.exp4 import policy_comparison
+from repro.report import render_table
+
+_POLICIES = (
+    "none",
+    "reactive:high=4,low=0.5,cooldown=0.3,max=6",
+    "predictive:util=0.6,cooldown=0.3,max=6",
+)
+_SCENARIOS = (
+    ("baseline", "none"),
+    ("spike", "spike:at=0.5,factor=3,duration=1.0"),
+    ("straggler", "straggler:at=0.5,factor=12,duration=1.2"),
+    ("failure", "failure:at=0.5,duration=0.4"),
+)
+
+
+def _grid() -> dict:
+    return policy_comparison(
+        policies=_POLICIES, scenarios=_SCENARIOS, quick=True
+    )
+
+
+def test_elastic_policy_grid(benchmark):
+    report = benchmark.pedantic(_grid, rounds=1, iterations=1)
+    cells = report["cells"]
+    rows = [
+        [
+            cell["policy"],
+            cell["scenario"],
+            f"{cell['slo_violation_s']:.3f}",
+            f"{cell['resource_hours'] * 3600.0:.2f}",
+            f"{cell['rescales']:.1f}",
+            f"{cell['p50_latency_ms']:.1f}",
+        ]
+        for cell in cells
+    ]
+    emit(
+        render_table(
+            [
+                "policy", "scenario", "SLO viol (s)",
+                "resource (s)", "rescales", "p50 (ms)",
+            ],
+            rows,
+            title=(
+                "exp4: autoscaling policies x chaos scenarios "
+                f"(SLO {report['slo_latency_s'] * 1e3:.0f} ms)"
+            ),
+        )
+    )
+
+    # Determinism-clean: the sanitizer ran inside every cell.
+    assert all(cell["determinism_error"] is None for cell in cells)
+
+    by_cell = {(c["policy"], c["scenario"]): c for c in cells}
+    # The static baseline never moves; adaptive policies do.
+    assert all(
+        by_cell[("none", name)]["rescales"] == 0
+        for name, _ in _SCENARIOS
+    )
+    adaptive_rescales = sum(
+        by_cell[(policy, name)]["rescales"]
+        for policy in ("reactive", "predictive")
+        for name, _ in _SCENARIOS
+    )
+    assert adaptive_rescales >= 1
+
+    # Adapting must not hurt: under the straggler disturbance the
+    # adaptive policies spend at most the baseline's violation time.
+    for policy in ("reactive", "predictive"):
+        assert (
+            by_cell[(policy, "straggler")]["slo_violation_s"]
+            <= by_cell[("none", "straggler")]["slo_violation_s"]
+        )
+
+    # Resource accounting is live in every cell.
+    assert all(cell["resource_hours"] > 0 for cell in cells)

@@ -219,12 +219,19 @@ class RaceDetector:
             ctx = getattr(runtime.logic, "ctx", None)
             rng = getattr(ctx, "rng", None)
             if rng is not None:
-                ledger[f"{runtime.op_id}[{runtime.index}]"] = (
-                    state_fingerprint(rng)
-                )
+                label = f"{runtime.op_id}[{runtime.index}]"
+                # Rescale generations reuse (op, index) labels; the
+                # epoch suffix keeps every stream's entry distinct.
+                epoch = getattr(runtime, "epoch", 0)
+                if epoch:
+                    label += f"@e{epoch}"
+                ledger[label] = state_fingerprint(rng)
         arrivals = getattr(engine, "_rng_arrivals", None)
         if arrivals is not None:
             ledger["engine/arrivals"] = state_fingerprint(arrivals)
+        rescale_rng = getattr(engine, "_rng_rescale", None)
+        if rescale_rng is not None:
+            ledger["engine/rescale"] = state_fingerprint(rescale_rng)
         self.rng_ledger = ledger
 
     # ------------------------------------------------------------ sampling
@@ -301,6 +308,43 @@ class RaceDetector:
         """Delegate backpressure transitions; nothing to record here."""
         if self.inner is not None:
             self.inner.on_backpressure(runtime, now, engaged)
+
+    def on_rescale(
+        self, engine, now, op_id, old_gids, new_gids, migrated_keys, pause_s
+    ) -> None:
+        """Re-home key ownership after a rescale and delegate.
+
+        Migration legitimately moves keys between subtasks — the old
+        ownership map would flag every migrated key as DET607. The swap
+        re-buckets *all* keys by hash, so ownership restarts empty; any
+        split observed *after* the swap is a real race again.
+        """
+        from repro.analysis.rules import _declared_key_field, _is_keyed_stateful
+
+        if self.inner is not None:
+            # The inner observer grows the shared arrays in place, so
+            # this detector's references stay coherent automatically.
+            self.inner.on_rescale(
+                engine, now, op_id, old_gids, new_gids, migrated_keys,
+                pause_s,
+            )
+        else:
+            grow = len(engine._runtimes) - len(self.tuples_in)
+            if grow > 0:
+                self.tuples_in.extend([0] * grow)
+                self.tuples_out.extend([0] * grow)
+                self.shuffle_bytes.extend([0.0] * grow)
+                self.stall_s.extend([0.0] * grow)
+        for gid in old_gids:
+            self._keyed.pop(gid, None)
+        op = engine.logical.operator(op_id)
+        if len(new_gids) > 1 and _is_keyed_stateful(op):
+            key_field = _declared_key_field(op)
+            for gid in new_gids:
+                self._keyed[gid] = (op_id, key_field)
+            self._owners[op_id] = {}
+        else:
+            self._owners.pop(op_id, None)
 
     # ------------------------------------------------------------- report
 

@@ -9,6 +9,8 @@ a web UI; the same operations are exposed here):
 - ``throughput``                  — sustainable-throughput search
 - ``train``                       — build a corpus and compare cost models
 - ``experiment``                  — regenerate a paper figure
+- ``exp4``                        — elastic runtime grid: autoscaling
+  policies under chaos scenarios (see :mod:`repro.elastic`)
 - ``tables``                      — render the paper's config tables
 - ``lint-plan``                   — static pre-flight analysis of PQPs
 - ``sanitize``                    — determinism sanitizer: DET-rule AST
@@ -42,6 +44,7 @@ def _cluster_from_args(args) -> object:
 
 
 def _runner_config(args) -> RunnerConfig:
+    slo_ms = getattr(args, "slo_ms", None)
     return RunnerConfig(
         repeats=args.repeats,
         dilation=args.dilation,
@@ -50,6 +53,9 @@ def _runner_config(args) -> RunnerConfig:
         seed=args.seed,
         workers=args.workers,
         batch_size=getattr(args, "batch_size", None),
+        autoscale=getattr(args, "autoscale", None),
+        scenario=getattr(args, "scenario", None),
+        slo_latency=slo_ms / 1e3 if slo_ms is not None else None,
     )
 
 
@@ -77,6 +83,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--batch-size", type=int, default=None,
         help="run on the columnar micro-batch executor with this many "
         "tuples per micro-batch (default: scalar event loop)",
+    )
+    parser.add_argument(
+        "--autoscale", default=None,
+        help="elastic autoscaling policy spec, e.g. 'reactive:high=4' "
+        "or 'predictive:util=0.6' (default: fixed parallelism)",
+    )
+    parser.add_argument(
+        "--scenario", default=None,
+        help="chaos scenario spec, e.g. 'spike:at=0.5,factor=3' or "
+        "'failure:at=1.0+spike:at=0.5' (default: none)",
+    )
+    parser.add_argument(
+        "--slo-ms", type=float, default=None,
+        help="latency SLO in milliseconds; enables the "
+        "SLO-violation-seconds metric in run extras",
     )
     parser.add_argument(
         "--storage", default=None,
@@ -175,6 +196,45 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--no-sweep", action="store_true",
         help="skip the parallel-sweep wall-clock measurement",
+    )
+    bench.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-workload wall-clock guard in seconds; a workload "
+        "exceeding it fails the bench with its name",
+    )
+
+    exp4 = commands.add_parser(
+        "exp4",
+        help="elastic runtime grid: autoscaling policies x chaos "
+        "scenarios, scored on SLO-violation-seconds vs resource-hours",
+    )
+    exp4.add_argument(
+        "--policies", nargs="+", default=None,
+        help="policy specs to compare (default: none, reactive, "
+        "predictive with tuned parameters)",
+    )
+    exp4.add_argument(
+        "--scenarios", nargs="+", default=None,
+        help="scenario cells as name=spec (e.g. spike=spike:at=0.5) "
+        "or bare names from the default grid "
+        "(baseline/spike/straggler/failure)",
+    )
+    exp4.add_argument(
+        "--quick", action="store_true",
+        help="one short repeat per cell (the CI chaos-smoke shape)",
+    )
+    exp4.add_argument(
+        "--slo-ms", type=float, default=150.0,
+        help="latency SLO in milliseconds (default 150)",
+    )
+    exp4.add_argument("--seed", type=int, default=0)
+    exp4.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size for grid cells (1 = serial)",
+    )
+    exp4.add_argument(
+        "--json-out", default=None,
+        help="also write the full JSON report to this path",
     )
 
     trace = commands.add_parser(
@@ -494,6 +554,93 @@ def _cmd_experiment(args) -> int:
     for figure in figures:
         print(render_figure(figure))
     return 0
+
+
+def _cmd_exp4(args) -> int:
+    import json as json_module
+    from pathlib import Path
+
+    from repro.core.experiments.exp4 import (
+        DEFAULT_POLICIES,
+        DEFAULT_SCENARIOS,
+        policy_comparison,
+    )
+
+    policies = (
+        tuple(args.policies) if args.policies else DEFAULT_POLICIES
+    )
+    named = dict(DEFAULT_SCENARIOS)
+    if args.scenarios:
+        scenarios = []
+        for item in args.scenarios:
+            if "=" in item:
+                name, _, spec = item.partition("=")
+                scenarios.append((name, spec))
+            elif item in named:
+                scenarios.append((item, named[item]))
+            else:
+                print(
+                    f"error: unknown scenario {item!r}; use name=spec "
+                    f"or one of: {', '.join(named)}",
+                    file=sys.stderr,
+                )
+                return 2
+    else:
+        scenarios = list(DEFAULT_SCENARIOS)
+
+    report = policy_comparison(
+        policies=policies,
+        scenarios=tuple(scenarios),
+        slo_latency=args.slo_ms / 1e3,
+        quick=args.quick,
+        seed=args.seed,
+        workers=args.workers,
+    )
+    rows = []
+    for cell in report["cells"]:
+        if cell.get("determinism_error"):
+            rows.append(
+                [cell["policy"], cell["scenario"], "DET-ERROR",
+                 "", "", ""]
+            )
+            continue
+        rows.append(
+            [
+                cell["policy"],
+                cell["scenario"],
+                f"{cell['slo_violation_s']:.3f}",
+                f"{cell['resource_hours'] * 3600.0:.2f}",
+                f"{cell['rescales']:.1f}",
+                f"{cell['p50_latency_ms']:.1f}",
+            ]
+        )
+    print(
+        render_table(
+            [
+                "policy", "scenario", "SLO viol (s)",
+                "resource (s)", "rescales", "p50 (ms)",
+            ],
+            rows,
+            title=(
+                f"exp4: elastic policies x scenarios "
+                f"(SLO {args.slo_ms:g} ms"
+                + (", quick)" if args.quick else ")")
+            ),
+        )
+    )
+    if args.json_out:
+        Path(args.json_out).write_text(
+            json_module.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.json_out}")
+    failed = [c for c in report["cells"] if c.get("determinism_error")]
+    for cell in failed:
+        print(
+            f"determinism error [{cell['policy']}/{cell['scenario']}]: "
+            f"{cell['determinism_error']}",
+            file=sys.stderr,
+        )
+    return 1 if failed else 0
 
 
 def _resolve_app(name: str) -> str:
@@ -887,6 +1034,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_train(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "exp4":
+        return _cmd_exp4(args)
     if args.command == "bench":
         from repro.core.perf import run_bench
 
@@ -896,6 +1045,7 @@ def main(argv: list[str] | None = None) -> int:
             write=args.write,
             report_path=args.report,
             with_sweep=not args.no_sweep,
+            timeout=args.timeout,
         )
     if args.command == "trace":
         return _cmd_trace(args)

@@ -5,16 +5,21 @@
 - :mod:`repro.core.experiments.exp2` — impact of heterogeneous hardware
   (Figure 4 top and bottom; observations O5-O7);
 - :mod:`repro.core.experiments.exp3` — learned cost models in PDSP-Bench
-  (Figure 5 and Figure 6; observations O8-O9).
+  (Figure 5 and Figure 6; observations O8-O9);
+- :mod:`repro.core.experiments.exp4` — elastic runtime: autoscaling
+  policies crossed with chaos scenarios, scored on SLO-violation-seconds
+  against resource-hours (DESIGN.md §12).
 
-Each function returns :class:`~repro.report.figures.FigureData` so the
-benchmark harness can both print the paper-style series and assert the
-observations' shapes.
+Figure experiments return :class:`~repro.report.figures.FigureData` so
+the benchmark harness can both print the paper-style series and assert
+the observations' shapes; exp4 returns a JSON-ready grid report the CI
+chaos lane asserts over.
 """
 
 from repro.core.experiments.exp1 import figure3_bottom, figure3_top
 from repro.core.experiments.exp2 import figure4_bottom, figure4_top
 from repro.core.experiments.exp3 import figure5, figure6
+from repro.core.experiments.exp4 import policy_comparison
 
 __all__ = [
     "figure3_top",
@@ -23,4 +28,5 @@ __all__ = [
     "figure4_bottom",
     "figure5",
     "figure6",
+    "policy_comparison",
 ]

@@ -38,7 +38,9 @@ size × throughput/latency trade-off
 from __future__ import annotations
 
 import json
+import signal
 import time
+from contextlib import contextmanager
 from heapq import heappop, heappush
 from pathlib import Path
 
@@ -63,6 +65,7 @@ from repro.sps.windows import (
 __all__ = [
     "ENGINE_WORKLOADS",
     "TOLERANCE",
+    "WorkloadTimeout",
     "hotpath_plan",
     "slide8_plan",
     "join8_plan",
@@ -223,6 +226,40 @@ def join8_plan(parallelism: int = _BENCH_PARALLELISM) -> LogicalPlan:
     return plan
 
 
+class WorkloadTimeout(RuntimeError):
+    """A benchmark workload exceeded its wall-clock budget.
+
+    Raised by :func:`_deadline`; the message names the workload so a CI
+    log shows *which* plan hung rather than just a job-level timeout.
+    """
+
+
+@contextmanager
+def _deadline(name: str, seconds: float | None):
+    """Per-workload wall-clock guard; fails with the workload's name.
+
+    Implemented with ``SIGALRM`` (main thread, POSIX); where the signal
+    is unavailable — or ``seconds`` is ``None`` — the guard is a no-op,
+    so the bench still runs everywhere the engine does.
+    """
+    if not seconds or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise WorkloadTimeout(
+            f"workload {name!r} exceeded {seconds:g}s wall-clock"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
 def _measure(
     plan, cluster, tuples: int, rounds: int, batch_size: int | None = None
 ) -> dict:
@@ -276,19 +313,26 @@ def _build_workload(name: str, cluster, tuples: int):
 
 
 def run_engine_bench(
-    quick: bool = False, workloads=ENGINE_WORKLOADS
+    quick: bool = False,
+    workloads=ENGINE_WORKLOADS,
+    timeout: float | None = None,
 ) -> dict[str, dict]:
-    """events/sec per workload; quick mode shrinks budgets for CI."""
+    """events/sec per workload; quick mode shrinks budgets for CI.
+
+    ``timeout`` bounds each workload's wall-clock; exceeding it raises
+    :class:`WorkloadTimeout` naming the offender.
+    """
     tuples = 1500 if quick else 5000
     rounds = 2 if quick else 3
     cluster = homogeneous_cluster("m510", 4)
     results: dict[str, dict] = {}
     for name in workloads:
-        base, batch_size = _parse_workload(name)
-        plan = _build_workload(base, cluster, tuples)
-        results[name] = _measure(
-            plan, cluster, tuples, rounds, batch_size=batch_size
-        )
+        with _deadline(name, timeout):
+            base, batch_size = _parse_workload(name)
+            plan = _build_workload(base, cluster, tuples)
+            results[name] = _measure(
+                plan, cluster, tuples, rounds, batch_size=batch_size
+            )
     return results
 
 
@@ -296,6 +340,7 @@ def run_batch_sweep(
     quick: bool = False,
     workloads: tuple[str, ...] = ("hotpath", "WC"),
     batch_sizes: tuple[int, ...] = (1, 16, 64, 256, 1024),
+    timeout: float | None = None,
 ) -> dict[str, list[dict]]:
     """The batch-size × throughput/latency trade-off, per workload.
 
@@ -310,42 +355,50 @@ def run_batch_sweep(
     cluster = homogeneous_cluster("m510", 4)
     sweep: dict[str, list[dict]] = {}
     for name in workloads:
-        plan = _build_workload(name, cluster, tuples)
-        rows: list[dict] = []
-        for batch_size in (None, *batch_sizes):
-            sim = SimulationConfig(
-                max_tuples_per_source=tuples,
-                max_sim_time=8.0,
-                batch_size=batch_size,
-            )
-            best = 0.0
-            latency = 0.0
-            for _ in range(rounds):
-                engine = StreamEngine(
-                    plan, cluster, config=sim,
-                    rng_factory=RngFactory(_BENCH_SEED),
+        with _deadline(f"batch-sweep:{name}", timeout):
+            plan = _build_workload(name, cluster, tuples)
+            rows: list[dict] = []
+            for batch_size in (None, *batch_sizes):
+                sim = SimulationConfig(
+                    max_tuples_per_source=tuples,
+                    max_sim_time=8.0,
+                    batch_size=batch_size,
                 )
-                start = time.perf_counter()
-                metrics = engine.run()
-                elapsed = time.perf_counter() - start
-                events = metrics.extras["events_processed"]
-                best = max(best, events / elapsed)
-                latency = metrics.latency.mean
-            rows.append(
-                {
-                    "batch_size": batch_size,
-                    "events_per_sec": round(best, 1),
-                    "latency_mean_ms": round(latency * 1000.0, 3),
-                }
-            )
-        sweep[name] = rows
+                best = 0.0
+                latency = 0.0
+                for _ in range(rounds):
+                    engine = StreamEngine(
+                        plan, cluster, config=sim,
+                        rng_factory=RngFactory(_BENCH_SEED),
+                    )
+                    start = time.perf_counter()
+                    metrics = engine.run()
+                    elapsed = time.perf_counter() - start
+                    events = metrics.extras["events_processed"]
+                    best = max(best, events / elapsed)
+                    latency = metrics.latency.mean
+                rows.append(
+                    {
+                        "batch_size": batch_size,
+                        "events_per_sec": round(best, 1),
+                        "latency_mean_ms": round(latency * 1000.0, 3),
+                    }
+                )
+            sweep[name] = rows
     return sweep
 
 
 def run_sweep_bench(
-    quick: bool = False, workers: int | None = None
+    quick: bool = False,
+    workers: int | None = None,
+    timeout: float | None = None,
 ) -> dict:
-    """Wall-clock of a small app sweep, serial vs. fanned out."""
+    """Wall-clock of a small app sweep, serial vs. fanned out.
+
+    ``timeout`` bounds each of the two sweeps (serial, fanned-out)
+    separately, like the per-workload guard in
+    :func:`run_engine_bench`.
+    """
     workers = workers or default_workers()
     apps = ("WC",) if quick else ("WC", "SG")
     categories = (1, 2, 4)
@@ -369,8 +422,10 @@ def run_sweep_bench(
                 runner.measure_app(abbrev, parallelism)
         return time.perf_counter() - start
 
-    serial_s = sweep(1)
-    parallel_s = sweep(workers)
+    with _deadline("sweep-serial", timeout):
+        serial_s = sweep(1)
+    with _deadline("sweep-parallel", timeout):
+        parallel_s = sweep(workers)
     return {
         "cells": len(apps) * len(categories),
         "workers": workers,
@@ -434,24 +489,34 @@ def run_bench(
     write: bool = False,
     report_path: str | Path = DEFAULT_REPORT,
     with_sweep: bool = True,
+    timeout: float | None = None,
 ) -> int:
-    """Measure, print, and optionally check or record. Returns exit code."""
+    """Measure, print, and optionally check or record. Returns exit code.
+
+    ``timeout`` (seconds) arms a per-workload wall-clock guard; a
+    workload exceeding it fails the bench, naming the workload.
+    """
     mode = "quick" if quick else "full"
-    results = run_engine_bench(quick=quick)
-    print(f"engine benchmark ({mode}, seed {_BENCH_SEED}):")
-    for name, result in results.items():
-        print(
-            f"  {name:8s} {result['events_per_sec']:>12,.0f} ev/s"
-            f"  ({result['events']} events)"
-        )
-    sweep = None
-    if with_sweep:
-        sweep = run_sweep_bench(quick=quick)
-        print(
-            f"sweep: {sweep['cells']} cells, serial {sweep['serial_s']}s, "
-            f"{sweep['workers']} workers {sweep['parallel_s']}s "
-            f"({sweep['speedup']}x)"
-        )
+    try:
+        results = run_engine_bench(quick=quick, timeout=timeout)
+        print(f"engine benchmark ({mode}, seed {_BENCH_SEED}):")
+        for name, result in results.items():
+            print(
+                f"  {name:8s} {result['events_per_sec']:>12,.0f} ev/s"
+                f"  ({result['events']} events)"
+            )
+        sweep = None
+        if with_sweep:
+            sweep = run_sweep_bench(quick=quick, timeout=timeout)
+            print(
+                f"sweep: {sweep['cells']} cells, "
+                f"serial {sweep['serial_s']}s, "
+                f"{sweep['workers']} workers {sweep['parallel_s']}s "
+                f"({sweep['speedup']}x)"
+            )
+    except WorkloadTimeout as exc:
+        print(f"PERF CHECK FAILED: {exc}")
+        return 1
     path = Path(report_path)
     report = {}
     report_error = None

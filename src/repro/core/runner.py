@@ -78,6 +78,16 @@ class RunnerConfig:
     obs_sample_interval: float = 0.25
     sanitize: bool = False
     batch_size: int | None = None
+    #: elastic runtime (DESIGN.md §12): autoscale policy spec string
+    #: (``"reactive:high=16"``), scenario spec string
+    #: (``"spike:at=0.5+failure:at=1.0"``), explicit rescale events, the
+    #: control cadence, and the latency SLO the violation metric uses.
+    #: Specs stay strings so a frozen config crosses process pools.
+    autoscale: str | None = None
+    autoscale_interval: float = 0.5
+    scenario: str | None = None
+    rescales: tuple = ()
+    slo_latency: float | None = None
 
     def __post_init__(self) -> None:
         if self.repeats < 1:
@@ -140,6 +150,11 @@ class BenchmarkRunner:
             max_sim_time=self.config.max_sim_time,
             warmup_fraction=self.config.warmup_fraction,
             batch_size=self.config.batch_size,
+            autoscale=self.config.autoscale,
+            autoscale_interval=self.config.autoscale_interval,
+            scenario=self.config.scenario,
+            rescales=tuple(self.config.rescales),
+            slo_latency=self.config.slo_latency,
         )
 
         observe = self.config.observe

@@ -1,0 +1,43 @@
+"""Elastic runtime: autoscaling policies and chaos scenario specs.
+
+The engine (:mod:`repro.sps.engine`) owns the mechanics of live
+rescaling — drain barriers, keyed-state migration, channel rewiring.
+This package owns the *decisions*: pluggable autoscaling policies that
+map per-operator load snapshots to target parallelism degrees, and
+declarative scenario specs (failures, load spikes, stragglers, network
+degradation) compiled onto the same event mechanism. Both are plain
+picklable values selected by spec string, so frozen configs can carry
+them across process-pool forks (DESIGN.md §12).
+"""
+
+from repro.elastic.policy import (
+    AutoscalePolicy,
+    NoAutoscale,
+    OpSnapshot,
+    PredictiveCostPolicy,
+    ReactiveQueuePolicy,
+    make_policy,
+)
+from repro.elastic.scenarios import (
+    LoadSpike,
+    NetworkDegradation,
+    NodeFailure,
+    Scenario,
+    Straggler,
+    make_scenario,
+)
+
+__all__ = [
+    "AutoscalePolicy",
+    "NoAutoscale",
+    "OpSnapshot",
+    "PredictiveCostPolicy",
+    "ReactiveQueuePolicy",
+    "make_policy",
+    "LoadSpike",
+    "NetworkDegradation",
+    "NodeFailure",
+    "Scenario",
+    "Straggler",
+    "make_scenario",
+]

@@ -1,0 +1,211 @@
+"""Declarative chaos scenarios, compiled onto the engine's event heap.
+
+A :class:`Scenario` is a named, immutable bundle of injections. The
+engine compiles each injection into heap events at run start, so an
+identical ``(plan, seed, scenario)`` triple replays the exact same
+perturbation sequence — chaos runs are reproducible bit-for-bit, which
+is what lets CI assert on them (the ``chaos-smoke`` job).
+
+Injection semantics:
+
+- :class:`NodeFailure` — every subtask placed on the node freezes for
+  ``duration`` (the existing ``STALL`` mechanism, generalized from
+  ``benchmarks/bench_failure_injection.py``); queued tuples wait and
+  drain on recovery, so the latency distribution shows the outage and
+  the catch-up.
+- :class:`LoadSpike` — all sources emit ``factor``× faster for the
+  window, then their exact original gaps are restored.
+- :class:`Straggler` — one subtask's service time inflates by
+  ``factor`` (a slow disk, a noisy neighbour); the restore event
+  carries the exact pre-inflation value so the recovery is float-exact.
+  If the operator rescales while straggling, the replacement subtasks
+  are built from the clean cost model — rescaling *repairs* the
+  straggler, as it does in production.
+- :class:`NetworkDegradation` — every cross-node channel's latency and
+  bandwidth degrade by the given factors, then restore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+__all__ = [
+    "NodeFailure",
+    "LoadSpike",
+    "Straggler",
+    "NetworkDegradation",
+    "Scenario",
+    "make_scenario",
+]
+
+
+def _check_window(at: float, duration: float) -> None:
+    if at < 0 or duration <= 0:
+        raise ConfigurationError(
+            "injection needs at >= 0 and duration > 0"
+        )
+
+
+@dataclass(frozen=True)
+class NodeFailure:
+    """One node's subtasks freeze at ``at`` for ``duration`` seconds.
+
+    ``node`` is a cluster node id; ``None`` picks the node hosting the
+    plan's first non-source, non-sink subtask (deterministic, and
+    guaranteed to hit processing work).
+    """
+
+    at: float
+    duration: float
+    node: int | None = None
+
+    def __post_init__(self) -> None:
+        _check_window(self.at, self.duration)
+
+
+@dataclass(frozen=True)
+class LoadSpike:
+    """All sources emit ``factor``× faster during the window."""
+
+    at: float
+    duration: float
+    factor: float = 3.0
+
+    def __post_init__(self) -> None:
+        _check_window(self.at, self.duration)
+        if self.factor <= 1.0:
+            raise ConfigurationError("spike factor must be > 1")
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """One subtask's service time inflates by ``factor``.
+
+    ``op`` is the operator id; ``None`` picks the non-source, non-sink
+    operator with the highest cost-model service time (the plan's
+    bottleneck). ``subtask`` indexes into the operator's live subtasks
+    modulo its parallelism.
+    """
+
+    at: float
+    duration: float
+    factor: float = 4.0
+    op: str | None = None
+    subtask: int = 0
+
+    def __post_init__(self) -> None:
+        _check_window(self.at, self.duration)
+        if self.factor <= 1.0:
+            raise ConfigurationError("straggler factor must be > 1")
+        if self.subtask < 0:
+            raise ConfigurationError("subtask index must be >= 0")
+
+
+@dataclass(frozen=True)
+class NetworkDegradation:
+    """Cross-node channels slow down: latency ×``latency_factor``,
+
+    bandwidth ×``bandwidth_factor``, for the window."""
+
+    at: float
+    duration: float
+    latency_factor: float = 10.0
+    bandwidth_factor: float = 0.1
+
+    def __post_init__(self) -> None:
+        _check_window(self.at, self.duration)
+        if self.latency_factor < 1.0 or not 0.0 < self.bandwidth_factor <= 1.0:
+            raise ConfigurationError(
+                "need latency_factor >= 1 and bandwidth_factor in (0, 1]"
+            )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, reproducible bundle of injections."""
+
+    name: str = "none"
+    injections: tuple = ()
+
+
+_INJECTION_NAMES = {
+    "failure": NodeFailure,
+    "spike": LoadSpike,
+    "straggler": Straggler,
+    "netdeg": NetworkDegradation,
+}
+
+#: Default timing when a scenario is named without parameters: the
+#: perturbation lands mid-run for the quick configurations CI uses.
+_DEFAULTS: dict[str, dict[str, float]] = {
+    "failure": {"at": 1.5, "duration": 0.8},
+    "spike": {"at": 1.5, "duration": 1.5},
+    "straggler": {"at": 1.5, "duration": 2.0},
+    "netdeg": {"at": 1.5, "duration": 1.5},
+}
+
+_INT_PARAMS = {"node", "subtask"}
+_STR_PARAMS = {"op"}
+
+
+def _parse_injection(part: str):
+    name, _, rest = part.partition(":")
+    name = name.strip().lower()
+    cls = _INJECTION_NAMES.get(name)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown injection {name!r} "
+            f"(use one of {sorted(_INJECTION_NAMES)})"
+        )
+    kwargs: dict[str, object] = dict(_DEFAULTS[name])
+    if rest.strip():
+        for pair in rest.split(","):
+            key, sep, value = pair.partition("=")
+            if not sep:
+                raise ConfigurationError(
+                    f"bad injection parameter {pair!r} (want key=value)"
+                )
+            key = key.strip()
+            value = value.strip()
+            if key in _STR_PARAMS:
+                kwargs[key] = value
+                continue
+            try:
+                parsed = float(value)
+            except ValueError:
+                raise ConfigurationError(
+                    f"injection parameter {key!r} needs a number, "
+                    f"got {value!r}"
+                ) from None
+            kwargs[key] = int(parsed) if key in _INT_PARAMS else parsed
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"injection {name!r} rejected parameters "
+            f"{sorted(kwargs)}: {exc}"
+        ) from None
+
+
+def make_scenario(spec) -> Scenario:
+    """Build a :class:`Scenario` from a spec string.
+
+    ``"none"`` yields an empty scenario; otherwise the spec is
+    ``+``-separated injections, each ``name:key=value,...`` —
+    e.g. ``"failure:at=1,duration=0.5+spike:at=2,factor=4"``. A ready
+    :class:`Scenario` passes through; a single injection instance is
+    wrapped.
+    """
+    if isinstance(spec, Scenario):
+        return spec
+    if isinstance(spec, tuple(_INJECTION_NAMES.values())):
+        return Scenario(name=type(spec).__name__, injections=(spec,))
+    text = str(spec).strip()
+    if not text or text.lower() == "none":
+        return Scenario()
+    injections = tuple(
+        _parse_injection(part) for part in text.split("+") if part.strip()
+    )
+    return Scenario(name=text, injections=injections)

@@ -54,6 +54,7 @@ class EngineObserver:
         "on_flush",
         "on_stall",
         "on_backpressure",
+        "on_rescale",
     )
 
     def __init__(
@@ -79,6 +80,7 @@ class EngineObserver:
         self._ops: dict[str, list[int]] = {}
         self._is_join: list[bool] = []
         self._op_spans: list[int] = []
+        self._closed_spans: set[int] = set()
         self._run_span = 0
         self._lag_max: dict[str, float] = {}
         self._end_time = 0.0
@@ -99,6 +101,7 @@ class EngineObserver:
         self._ops = {}
         self._is_join = [False] * n
         self._op_spans = [0] * n
+        self._closed_spans = set()
         for runtime in runtimes:
             self._ops.setdefault(runtime.op_id, []).append(runtime.gid)
             kind = engine.logical.operator(runtime.op_id).kind
@@ -127,7 +130,8 @@ class EngineObserver:
         tracer = self.tracer
         if tracer is not None:
             for runtime in self._runtimes:
-                tracer.end(self._op_spans[runtime.gid], now)
+                if runtime.gid not in self._closed_spans:
+                    tracer.end(self._op_spans[runtime.gid], now)
             tracer.end(self._run_span, now)
 
     # ------------------------------------------------------------ sampling
@@ -260,6 +264,72 @@ class EngineObserver:
                 parent_id=self._op_spans[runtime.gid],
                 pid=runtime.node_id,
                 tid=runtime.gid,
+            )
+
+    def on_rescale(
+        self,
+        engine,
+        now: float,
+        op_id: str,
+        old_gids: list[int],
+        new_gids: list[int],
+        migrated_keys: int,
+        pause_s: float,
+    ) -> None:
+        """A rescale swapped ``op_id``'s subtask generation.
+
+        Grows the per-gid arrays **in place** (``extend``, never
+        reassignment): a wrapping :class:`RaceDetector` shares the same
+        list objects, so both views stay coherent. Retired gids keep
+        their counters — the summary's totals span the whole run.
+        """
+        from repro.sps.logical_kinds import OperatorKind
+
+        runtimes = engine._runtimes
+        grow = len(runtimes) - len(self.tuples_in)
+        if grow > 0:
+            self.tuples_in.extend([0] * grow)
+            self.tuples_out.extend([0] * grow)
+            self.shuffle_bytes.extend([0.0] * grow)
+            self.stall_s.extend([0.0] * grow)
+            self._op_spans.extend([0] * grow)
+            is_join = (
+                engine.logical.operator(op_id).kind
+                is OperatorKind.WINDOW_JOIN
+            )
+            self._is_join.extend([is_join] * grow)
+        gids = self._ops.setdefault(op_id, [])
+        for gid in new_gids:
+            if gid not in gids:
+                gids.append(gid)
+        registry = self.registry
+        registry.inc("rescales", op_id)
+        registry.inc("migrated_keys", op_id, migrated_keys)
+        registry.set_gauge("parallelism", op_id, len(new_gids))
+        tracer = self.tracer
+        if tracer is not None:
+            for gid in old_gids:
+                if gid not in self._closed_spans:
+                    tracer.end(self._op_spans[gid], now)
+                    self._closed_spans.add(gid)
+            for gid in new_gids:
+                runtime = runtimes[gid]
+                self._op_spans[gid] = tracer.begin(
+                    f"{runtime.op_id}[{runtime.index}]@e{runtime.epoch}",
+                    "operator",
+                    now,
+                    parent_id=self._run_span,
+                    pid=runtime.node_id,
+                    tid=gid,
+                )
+            tracer.complete(
+                f"rescale {op_id} "
+                f"{len(old_gids)}->{len(new_gids)}",
+                "rescale",
+                now,
+                pause_s,
+                parent_id=self._run_span,
+                keys=migrated_keys,
             )
 
     def on_backpressure(self, runtime, now: float, engaged: bool) -> None:

@@ -19,6 +19,18 @@ Event kinds:
 - ``DONE``    — service completes: run the operator logic, route outputs.
 - ``TIMER``   — recurring callback for window operators.
 - ``STALL``   — an injected transient fault pauses a subtask.
+- ``RESCALE`` — change one operator's parallelism mid-run: drain its
+  subtasks to a barrier, migrate keyed state, rewire channels.
+- ``CONTROL`` — the autoscaler's periodic tick: snapshot per-operator
+  load, ask the policy for targets, emit ``RESCALE`` events.
+- ``SCENARIO``— a chaos-scenario action fires (load spike on/off,
+  straggler on/off, network degradation on/off).
+
+The last three are *control-plane* events: like ``TIMER`` they carry no
+work accounting, so a pending control tick never keeps a finished run
+alive. The elastic machinery (DESIGN.md §12) only activates when the
+config asks for it; the default path stays bit-identical to engines
+built before it existed.
 
 Termination: when all sources are exhausted and no work events remain, the
 engine flushes stateful operators in rounds (remaining windows fire), then
@@ -78,14 +90,40 @@ from repro.sps.logical import LogicalPlan, OperatorKind
 from repro.sps.metrics import LatencyStats, RunMetrics
 from repro.sps.operators.base import OperatorContext, OperatorLogic
 from repro.sps.operators.sink import SinkLogic
-from repro.sps.partitioning import HashPartitioner
-from repro.sps.physical import PhysicalPlan
+from repro.sps.partitioning import (
+    ForwardPartitioner,
+    HashPartitioner,
+    _stable_hash,
+)
+from repro.sps.physical import ChannelGroup, PhysicalPlan
 from repro.sps.placement import PlacementStrategy, RoundRobinPlacement
 from repro.sps.tuples import StreamTuple
 
-__all__ = ["SimulationConfig", "StallInjection", "StreamEngine"]
+__all__ = [
+    "RescaleEvent",
+    "SimulationConfig",
+    "StallInjection",
+    "StreamEngine",
+]
 
-_ARRIVAL, _DELIVER, _BEGIN, _DONE, _TIMER, _STALL = range(6)
+(
+    _ARRIVAL,
+    _DELIVER,
+    _BEGIN,
+    _DONE,
+    _TIMER,
+    _STALL,
+    _RESCALE,
+    _CONTROL,
+    _SCENARIO,
+) = range(9)
+
+# Migration pause model: a fixed coordination handshake plus per-key
+# state transfer and per-tuple queue re-delivery costs, with mild
+# lognormal noise drawn from the dedicated ("engine", "rescale") stream.
+_MIGRATION_BASE_S = 1e-3
+_MIGRATION_PER_KEY_S = 2e-6
+_MIGRATION_PER_TUPLE_S = 1e-6
 
 # Arrival-process kinds, resolved once at build time.
 _ARR_POISSON, _ARR_CONSTANT, _ARR_BURSTY, _ARR_PROFILE = range(4)
@@ -118,6 +156,25 @@ class StallInjection:
             raise ConfigurationError(
                 "stall needs at_time >= 0 and duration > 0"
             )
+
+
+@dataclass(frozen=True)
+class RescaleEvent:
+    """A planned reconfiguration: ``op_id`` runs at ``parallelism``
+
+    from ``at_time`` on. The engine drains the operator's subtasks to a
+    barrier, migrates keyed state onto fresh instances and rewires the
+    channels — in-flight tuples are re-routed, nothing is replayed."""
+
+    at_time: float
+    op_id: str
+    parallelism: int
+
+    def __post_init__(self) -> None:
+        if self.at_time < 0:
+            raise ConfigurationError("rescale needs at_time >= 0")
+        if self.parallelism < 1:
+            raise ConfigurationError("rescale parallelism must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -154,6 +211,18 @@ class SimulationConfig:
     backpressure_queue_limit: int | None = None
     stalls: tuple[StallInjection, ...] = ()
     batch_size: int | None = None
+    #: planned mid-run reconfigurations (DESIGN.md §12)
+    rescales: tuple[RescaleEvent, ...] = ()
+    #: autoscaling policy spec ("none", "reactive:...", "predictive:...")
+    #: or an AutoscalePolicy instance; None disables the control loop
+    autoscale: object | None = None
+    #: cadence of the autoscaler's control tick, simulated seconds
+    autoscale_interval: float = 0.5
+    #: chaos scenario spec string or repro.elastic.Scenario; None = calm
+    scenario: object | None = None
+    #: end-to-end latency SLO in simulated seconds; when set, metrics
+    #: report SLO-violation-seconds in extras["slo_violation_s"]
+    slo_latency: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_tuples_per_source < 1:
@@ -180,6 +249,16 @@ class SimulationConfig:
                     "batch mode does not support backpressure_queue_limit; "
                     "unset batch_size to use the scalar engine"
                 )
+            if self.rescales or self.autoscale or self.scenario:
+                raise ConfigurationError(
+                    "batch mode does not support the elastic runtime "
+                    "(rescales/autoscale/scenario); unset batch_size to "
+                    "use the scalar engine"
+                )
+        if self.autoscale_interval <= 0:
+            raise ConfigurationError("autoscale_interval must be positive")
+        if self.slo_latency is not None and self.slo_latency <= 0:
+            raise ConfigurationError("slo_latency must be positive")
 
 
 @dataclass(slots=True)
@@ -209,6 +288,10 @@ class _SubtaskRuntime:
     profile_divisor: float = 1.0
     #: precomputed lognormal location parameter (-sigma^2/2)
     noise_mu: float = 0.0
+    #: slot contention multiplier from placement, carried on the runtime
+    #: so rescale generations (whose gids the placement never saw) can
+    #: inherit it from their donor subtask
+    slot_load: float = 1.0
     #: precompiled routing, one entry per outgoing channel group:
     #: (select, fixed_indices, rekey, consumer_gids, num_channels,
     #:  latencies, bandwidths, port, shuffle_cost) — fixed_indices
@@ -224,6 +307,14 @@ class _SubtaskRuntime:
     emitted: int = 0
     wait_time: float = 0.0
     served: int = 0
+    #: rescale lifecycle (DESIGN.md §12): ``draining`` while the subtask
+    #: runs toward the drain barrier, ``retired`` once replaced — a
+    #: retired runtime is a forwarding tombstone for in-flight tuples
+    draining: bool = False
+    retired: bool = False
+    #: which reconfiguration generation built this runtime (0 = initial);
+    #: disambiguates RNG streams and race-ledger labels across rescales
+    epoch: int = 0
 
 
 class StreamEngine:
@@ -273,6 +364,36 @@ class StreamEngine:
         self._rngs = rng_factory or RngFactory(seed=0)
         self._runtimes: list[_SubtaskRuntime] = []
         self._sinks: list[SinkLogic] = []
+        # Elastic-runtime state. The live-gid map and channel dict are
+        # maintained even on the default path (they start as copies of
+        # the physical plan's and are only mutated by rescales), so the
+        # hot path never branches on whether elasticity is on.
+        self._op_gids: dict[str, list[int]] = {}
+        self._out_channels: dict[int, list[ChannelGroup]] = {}
+        self._op_epoch: dict[str, int] = {}
+        self._op_forwarders: dict[str, dict[int, object]] = {}
+        self._rescale_refusals: dict[str, str | None] = {}
+        self._pending_rescale: dict[str, list] = {}
+        self._rescale_count = 0
+        self._migrated_keys_total = 0
+        self._rescale_log: list[dict] = []
+        scenario_spec = self.config.scenario
+        if scenario_spec:
+            from repro.elastic.scenarios import make_scenario
+
+            self._scenario = make_scenario(scenario_spec)
+        else:
+            self._scenario = None
+        self._elastic = bool(
+            self.config.rescales
+            or self.config.autoscale
+            or (self._scenario is not None and self._scenario.injections)
+        )
+        if self._elastic and self.physical.chains:
+            raise ConfigurationError(
+                "the elastic runtime does not support operator chaining; "
+                "disable chaining to use rescales/autoscale/scenarios"
+            )
         self._build_runtimes()
 
     # ----------------------------------------------------------- build-time
@@ -322,6 +443,7 @@ class StreamEngine:
                     else None
                 ),
                 noise_mu=-0.5 * sigma * sigma,
+                slot_load=load,
             )
             if runtime.is_source:
                 self._build_arrival_state(runtime, op)
@@ -333,6 +455,14 @@ class StreamEngine:
             raise SimulationError(
                 "plan has no SinkLogic sink; use builders.sink()"
             )
+        self._op_gids = {
+            op_id: list(gids)
+            for op_id, gids in self.physical.op_subtasks.items()
+        }
+        self._out_channels = {
+            gid: list(groups)
+            for gid, groups in self.physical.out_channels.items()
+        }
         self._build_route_tables()
 
     def _build_arrival_state(self, runtime: _SubtaskRuntime, op) -> None:
@@ -374,55 +504,68 @@ class StreamEngine:
         called per delivery instead.
         """
         network = self.cluster.network
-        affine = type(network).transfer_delay is Network.transfer_delay
-        base_latency = network.spec.base_latency_s
-        inf = float("inf")
+        self._net_affine = (
+            type(network).transfer_delay is Network.transfer_delay
+        )
+        self._net_base_latency = network.spec.base_latency_s
         for runtime in self._runtimes:
-            src_node = runtime.node_id
-            table = []
-            for group in self.physical.out_channels[runtime.gid]:
-                partitioner = group.partitioner
-                rekey = (
-                    partitioner.extract_key
-                    if isinstance(partitioner, HashPartitioner)
-                    and partitioner.key_field is not None
-                    else None
-                )
-                consumers = list(group.consumer_gids)
-                if affine:
-                    latencies = []
-                    bandwidths = []
-                    for gid in consumers:
-                        dst_node = self._runtimes[gid].node_id
-                        if dst_node == src_node:
-                            latencies.append(0.0)
-                            bandwidths.append(inf)
-                        else:
-                            latencies.append(base_latency)
-                            bandwidths.append(
-                                network.link_bandwidth(src_node, dst_node)
-                            )
-                else:
-                    latencies = None
-                    bandwidths = None
-                table.append(
+            self._compile_route_table(runtime)
+
+    def _compile_route_table(self, runtime: _SubtaskRuntime) -> None:
+        """(Re)compile one runtime's routing table from its channel
+
+        groups. Called at build time for every runtime and again by
+        :meth:`_perform_rescale` for producers whose consumer set
+        changed."""
+        network = self.cluster.network
+        affine = self._net_affine
+        base_latency = self._net_base_latency
+        inf = float("inf")
+        src_node = runtime.node_id
+        table = []
+        for group in self._out_channels[runtime.gid]:
+            partitioner = group.partitioner
+            rekey = (
+                partitioner.extract_key
+                if isinstance(partitioner, HashPartitioner)
+                and partitioner.key_field is not None
+                else None
+            )
+            consumers = list(group.consumer_gids)
+            if affine:
+                latencies = []
+                bandwidths = []
+                for gid in consumers:
+                    dst_node = self._runtimes[gid].node_id
+                    if dst_node == src_node:
+                        latencies.append(0.0)
+                        bandwidths.append(inf)
+                    else:
+                        latencies.append(base_latency)
+                        bandwidths.append(
+                            network.link_bandwidth(src_node, dst_node)
+                        )
+            else:
+                latencies = None
+                bandwidths = None
+            table.append(
+                (
+                    partitioner.select,
+                    partitioner.constant_indices(len(consumers)),
+                    rekey,
+                    consumers,
+                    len(consumers),
+                    latencies,
+                    bandwidths,
+                    group.port,
                     (
-                        partitioner.select,
-                        partitioner.constant_indices(len(consumers)),
-                        rekey,
-                        consumers,
-                        len(consumers),
-                        latencies,
-                        bandwidths,
-                        group.port,
-                        (
-                            runtime.shuffle_cost_per_output
-                            if group.is_shuffle
-                            else 0.0
-                        ),
-                    )
+                        runtime.shuffle_cost_per_output
+                        if group.is_shuffle
+                        else 0.0
+                    ),
                 )
-            runtime.route_table = table
+            )
+        runtime.route_table = table
 
     # ------------------------------------------------------------- run-time
 
@@ -467,6 +610,9 @@ class StreamEngine:
             for gid in self.physical.op_subtasks[stall.op_id]:
                 self._push(stall.at_time, _STALL, gid, stall.duration, 0)
 
+        if self._elastic:
+            self._start_elastic()
+
         max_ops = len(self.logical.operators) + 2
         max_events = self.config.max_events
         heap = self._heap
@@ -497,6 +643,15 @@ class StreamEngine:
                 if not self._finished:
                     self._handle_timer(gid)
                 continue
+            if kind >= _RESCALE:
+                # Control-plane events: no work accounting, like TIMER.
+                if kind == _RESCALE:
+                    self._handle_rescale(payload)
+                elif kind == _CONTROL:
+                    self._handle_control()
+                else:
+                    self._handle_scenario(payload)
+                continue
             self._work -= 1
             if kind == _DELIVER:
                 enqueue(runtimes[gid], payload, port)
@@ -504,9 +659,12 @@ class StreamEngine:
                 handle_done(gid, payload, port)
             elif kind == _BEGIN:
                 runtime = runtimes[gid]
-                runtime.busy = False
-                if len(runtime.queue) > runtime.queue_head:
-                    self._begin_service_now(runtime)
+                if runtime.draining or runtime.retired:
+                    self._drain_step(runtime)
+                else:
+                    runtime.busy = False
+                    if len(runtime.queue) > runtime.queue_head:
+                        self._begin_service_now(runtime)
             elif kind == _ARRIVAL:
                 self._handle_arrival(gid)
             else:
@@ -528,7 +686,7 @@ class StreamEngine:
         self, time: float, kind: int, gid: int, payload, port: int
     ) -> None:
         self._seq += 1
-        if kind != _TIMER:
+        if kind != _TIMER and kind < _RESCALE:
             self._work += 1
         heappush(self._heap, (time, self._seq, kind, gid, payload, port))
 
@@ -588,6 +746,12 @@ class StreamEngine:
     def _enqueue(
         self, runtime: _SubtaskRuntime, tup: StreamTuple, port: int
     ) -> None:
+        if runtime.retired:
+            # Forwarding tombstone: a tuple was in flight toward a
+            # subtask that a rescale replaced. Re-partition it across
+            # the operator's live subtasks (chaining correctly across
+            # multiple rescales, since the live set is looked up fresh).
+            runtime = self._runtimes[self._forward_gid(runtime, tup, port)]
         obs = self._obs
         if obs is not None:
             obs.tuples_in[runtime.gid] += 1
@@ -643,6 +807,9 @@ class StreamEngine:
 
     def _begin_service(self, gid: int) -> None:
         runtime = self._runtimes[gid]
+        if runtime.draining or runtime.retired:
+            self._drain_step(runtime)
+            return
         runtime.busy = False
         if len(runtime.queue) > runtime.queue_head:
             self._begin_service_now(runtime)
@@ -695,6 +862,15 @@ class StreamEngine:
             self._obs.on_done(runtime, self._now, tup, outputs)
         overhead = self._route(runtime, outputs)
         runtime.busy_time += overhead
+        if runtime.draining:
+            # The in-flight tuple this drain was waiting on is done;
+            # once its routing overhead is paid, step the barrier. The
+            # subtask stays busy so no further service starts.
+            if overhead > 0:
+                self._push(self._now + overhead, _BEGIN, gid, None, 0)
+            else:
+                self._drain_step(runtime)
+            return
         if overhead > 0:
             self._push(self._now + overhead, _BEGIN, gid, None, 0)
         else:
@@ -704,6 +880,12 @@ class StreamEngine:
 
     def _handle_stall(self, gid: int, duration: float) -> None:
         runtime = self._runtimes[gid]
+        if runtime.retired:
+            # The targeted subtask was replaced by a rescale; its
+            # successors were built fresh, so the fault evaporates.
+            # (Retired runtimes are permanently busy — retrying would
+            # spin forever.)
+            return
         if runtime.busy:
             # Pause begins once the in-flight tuple completes.
             self._push(self._now + 1e-4, _STALL, gid, duration, 0)
@@ -715,6 +897,10 @@ class StreamEngine:
 
     def _handle_timer(self, gid: int) -> None:
         runtime = self._runtimes[gid]
+        if runtime.retired:
+            # Replacement subtasks re-armed their own timers at the
+            # swap; let this one lapse without rescheduling.
+            return
         logic = runtime.logic
         outputs = logic.on_time(self._now)
         # Window logics fire through an end-ordered heap, so an idle
@@ -730,6 +916,622 @@ class StreamEngine:
         horizon = self.config.max_sim_time + 10.0 * interval
         if next_time <= horizon:
             self._push(next_time, _TIMER, gid, None, 0)
+
+    # ------------------------------------------------------ elastic runtime
+
+    def _start_elastic(self) -> None:
+        """Arm the elastic machinery for this run.
+
+        The dedicated ``("engine", "rescale")`` stream exists so
+        migration-pause noise never touches the arrival or operator
+        streams: a run with rescales draws exactly the same arrival and
+        service sequence (modulo queueing order) as one without.
+        """
+        from repro.elastic.policy import OpSnapshot, make_policy
+
+        self._snapshot_cls = OpSnapshot
+        self._rng_rescale = self._rngs.fresh("engine", "rescale")
+        for event in self.config.rescales:
+            reason = self._rescale_refusal(event.op_id)
+            if reason is not None:
+                raise SimulationError(
+                    f"cannot rescale {event.op_id!r}: {reason}"
+                )
+            if event.at_time <= self.config.max_sim_time:
+                self._push(
+                    event.at_time,
+                    _RESCALE,
+                    0,
+                    (event.op_id, event.parallelism),
+                    0,
+                )
+        if self.config.autoscale:
+            self._policy = make_policy(self.config.autoscale)
+            self._autoscale_ops = [
+                op_id
+                for op_id in self.logical.topological_order()
+                if self._rescale_refusal(op_id) is None
+            ]
+            self._control_prev: dict[str, tuple[float, int]] = {}
+            interval = self.config.autoscale_interval
+            if interval <= self.config.max_sim_time:
+                self._push(interval, _CONTROL, 0, None, 0)
+        if self._scenario is not None:
+            self._schedule_scenario()
+
+    def _schedule_scenario(self) -> None:
+        """Compile the scenario's injections onto the event heap."""
+        from repro.elastic.scenarios import (
+            LoadSpike,
+            NetworkDegradation,
+            NodeFailure,
+            Straggler,
+        )
+
+        horizon = self.config.max_sim_time
+        for injection in self._scenario.injections:
+            if injection.at > horizon:
+                continue
+            if isinstance(injection, NodeFailure):
+                node = injection.node
+                if node is None:
+                    node = self._default_failure_node()
+                hit = [
+                    runtime.gid
+                    for runtime in self._runtimes
+                    if runtime.node_id == node
+                ]
+                if not hit:
+                    raise SimulationError(
+                        f"node failure targets node {node}, "
+                        "which hosts no subtasks"
+                    )
+                for gid in hit:
+                    self._push(
+                        injection.at, _STALL, gid, injection.duration, 0
+                    )
+            elif isinstance(injection, LoadSpike):
+                self._push(
+                    injection.at,
+                    _SCENARIO,
+                    0,
+                    ("spike", injection.factor, injection.duration),
+                    0,
+                )
+            elif isinstance(injection, Straggler):
+                op_id = injection.op or self._default_straggler_op()
+                if op_id not in self._op_gids:
+                    raise SimulationError(
+                        f"straggler targets unknown operator {op_id!r}"
+                    )
+                self._push(
+                    injection.at,
+                    _SCENARIO,
+                    0,
+                    (
+                        "straggle",
+                        op_id,
+                        injection.subtask,
+                        injection.factor,
+                        injection.duration,
+                    ),
+                    0,
+                )
+            elif isinstance(injection, NetworkDegradation):
+                self._push(
+                    injection.at,
+                    _SCENARIO,
+                    0,
+                    (
+                        "degrade",
+                        injection.latency_factor,
+                        injection.bandwidth_factor,
+                        injection.duration,
+                    ),
+                    0,
+                )
+            else:
+                raise SimulationError(
+                    f"unknown injection type {type(injection).__name__}"
+                )
+
+    def _default_failure_node(self) -> int:
+        """The node hosting the first processing subtask (deterministic)."""
+        for runtime in self._runtimes:
+            if not runtime.is_source and not runtime.is_sink:
+                return runtime.node_id
+        return self._runtimes[0].node_id
+
+    def _default_straggler_op(self) -> str:
+        """The plan's bottleneck: highest cost-model service time."""
+        best_op = None
+        best = -1.0
+        for op_id in self.logical.topological_order():
+            gids = self._op_gids.get(op_id)
+            if not gids:
+                continue
+            runtime = self._runtimes[gids[0]]
+            if runtime.is_source or runtime.is_sink:
+                continue
+            if runtime.base_service > best:
+                best = runtime.base_service
+                best_op = op_id
+        if best_op is None:
+            raise SimulationError(
+                "plan has no processing operator to straggle"
+            )
+        return best_op
+
+    def _handle_scenario(self, action) -> None:
+        kind = action[0]
+        if kind == "spike":
+            _, factor, duration = action
+            saved = []
+            for runtime in self._runtimes:
+                if runtime.is_source:
+                    saved.append(
+                        (
+                            runtime.gid,
+                            runtime.mean_gap,
+                            runtime.burst_fast_gap,
+                            runtime.burst_slow_gap,
+                        )
+                    )
+                    runtime.mean_gap /= factor
+                    runtime.burst_fast_gap /= factor
+                    runtime.burst_slow_gap /= factor
+            self._push(
+                self._now + duration, _SCENARIO, 0, ("spike_end", saved), 0
+            )
+        elif kind == "spike_end":
+            # Restore the exact pre-spike gaps (saved, not re-derived).
+            for gid, mean_gap, fast_gap, slow_gap in action[1]:
+                runtime = self._runtimes[gid]
+                runtime.mean_gap = mean_gap
+                runtime.burst_fast_gap = fast_gap
+                runtime.burst_slow_gap = slow_gap
+        elif kind == "straggle":
+            _, op_id, index, factor, duration = action
+            gids = self._op_gids[op_id]
+            runtime = self._runtimes[gids[index % len(gids)]]
+            original = runtime.base_service
+            runtime.base_service = original * factor
+            self._push(
+                self._now + duration,
+                _SCENARIO,
+                0,
+                ("unstraggle", runtime.gid, original),
+                0,
+            )
+        elif kind == "unstraggle":
+            # Float-exact recovery: the saved value, not a division. A
+            # runtime retired in between was already replaced by clean
+            # cost-model instances — rescaling repaired the straggler.
+            _, gid, original = action
+            runtime = self._runtimes[gid]
+            if not runtime.retired:
+                runtime.base_service = original
+        elif kind == "degrade":
+            _, latency_factor, bandwidth_factor, duration = action
+            saved = []
+            for runtime in self._runtimes:
+                if runtime.retired:
+                    continue
+                for entry in runtime.route_table:
+                    latencies = entry[5]
+                    if latencies is None:
+                        continue  # custom network model: not cacheable
+                    bandwidths = entry[6]
+                    saved.append(
+                        (
+                            latencies,
+                            tuple(latencies),
+                            bandwidths,
+                            tuple(bandwidths),
+                        )
+                    )
+                    for i, latency in enumerate(latencies):
+                        if latency > 0.0:  # same-node channels stay free
+                            latencies[i] = latency * latency_factor
+                    for i, bandwidth in enumerate(bandwidths):
+                        bandwidths[i] = bandwidth * bandwidth_factor
+            self._push(
+                self._now + duration,
+                _SCENARIO,
+                0,
+                ("restore_net", saved),
+                0,
+            )
+        elif kind == "restore_net":
+            # Lists mutate in place, so tables recompiled by a rescale
+            # mid-degradation simply drop out (they were rebuilt clean).
+            for latencies, lat0, bandwidths, bw0 in action[1]:
+                latencies[:] = lat0
+                bandwidths[:] = bw0
+        else:
+            raise SimulationError(f"unknown scenario action {kind!r}")
+
+    def _rescale_refusal(self, op_id: str) -> str | None:
+        """Why ``op_id`` cannot rescale, or None when it can (cached —
+
+        the answer depends only on the plan and the logic classes)."""
+        if op_id in self._rescale_refusals:
+            return self._rescale_refusals[op_id]
+        reason = self._compute_rescale_refusal(op_id)
+        self._rescale_refusals[op_id] = reason
+        return reason
+
+    def _compute_rescale_refusal(self, op_id: str) -> str | None:
+        from repro.analysis.rules import _is_keyed_stateful
+
+        if op_id not in self.logical.operators:
+            return "unknown operator"
+        if op_id not in self._op_gids:
+            return "operator is fused into a chain"
+        op = self.logical.operator(op_id)
+        if op.kind is OperatorKind.SOURCE:
+            return "sources own the arrival process"
+        if op.kind is OperatorKind.SINK:
+            return "sinks accumulate the run's result samples"
+        for edge in self.logical.in_edges(op_id):
+            if isinstance(edge.partitioner, ForwardPartitioner):
+                return f"forward input from {edge.src!r} pins parallelism"
+            if edge.partitioner.is_broadcast:
+                return (
+                    f"broadcast input from {edge.src!r}: replicated "
+                    "deliveries cannot be re-routed"
+                )
+        for edge in self.logical.out_edges(op_id):
+            if isinstance(edge.partitioner, ForwardPartitioner):
+                return f"forward output to {edge.dst!r} pins parallelism"
+        sample = self._runtimes[self._op_gids[op_id][0]].logic
+        if not getattr(sample, "rescale_supported", False):
+            return (
+                f"{type(sample).__name__} does not support state "
+                "migration (rescale_supported is False)"
+            )
+        stateful = op.cost.stateful or op.kind is OperatorKind.WINDOW_AGG
+        if stateful:
+            if not _is_keyed_stateful(op):
+                return (
+                    "stateful but not keyed: state cannot be "
+                    "re-partitioned"
+                )
+            for edge in self.logical.in_edges(op_id):
+                if not isinstance(edge.partitioner, HashPartitioner):
+                    return (
+                        "keyed state needs hash-partitioned input, got "
+                        f"{edge.partitioner.name!r} from {edge.src!r}"
+                    )
+        return None
+
+    def _handle_rescale(self, payload) -> None:
+        """Initiate the drain barrier toward a new parallelism.
+
+        Busy subtasks finish their in-flight tuple and are then locked;
+        idle subtasks lock immediately (``busy = True`` keeps tuples
+        delivered before the swap queued behind the barrier). The swap
+        itself (:meth:`_perform_rescale`) runs when the last busy
+        subtask completes — synchronously here when all are idle.
+        """
+        op_id, new_parallelism = payload
+        reason = self._rescale_refusal(op_id)
+        if reason is not None:
+            raise SimulationError(f"cannot rescale {op_id!r}: {reason}")
+        if op_id in self._pending_rescale:
+            return  # already draining toward an earlier target
+        live = self._op_gids[op_id]
+        if new_parallelism < 1 or new_parallelism == len(live):
+            return
+        pending = 0
+        for gid in live:
+            runtime = self._runtimes[gid]
+            runtime.draining = True
+            if runtime.busy:
+                pending += 1
+            else:
+                runtime.busy = True
+        if pending == 0:
+            self._perform_rescale(op_id, new_parallelism)
+        else:
+            self._pending_rescale[op_id] = [new_parallelism, pending]
+
+    def _drain_step(self, runtime: _SubtaskRuntime) -> None:
+        """One draining subtask reached quiescence; swap at the last."""
+        if runtime.retired:
+            return  # stray BEGIN scheduled before the swap
+        runtime.busy = True  # hold the server through the swap
+        entry = self._pending_rescale.get(runtime.op_id)
+        if entry is None:
+            return
+        entry[1] -= 1
+        if entry[1] == 0:
+            del self._pending_rescale[runtime.op_id]
+            self._perform_rescale(runtime.op_id, entry[0])
+
+    def _perform_rescale(self, op_id: str, new_parallelism: int) -> None:
+        """Swap an operator's drained generation for a fresh one.
+
+        Runs synchronously at the drain barrier: every old subtask is
+        quiescent (locked busy), so the only events still referencing
+        them are in-flight ``DELIVER``s — which the retired runtimes
+        forward — and stale timers/stalls, which are dropped.
+
+        Invariants (pinned by tests/test_elastic_properties.py):
+
+        - keyed state moves exactly once, in old-subtask-major key-rank
+          order, re-bucketed by the same stable hash the partitioners
+          route with — so post-swap deliveries land on the subtask that
+          now owns their key;
+        - queued tuples are re-delivered FIFO with their original
+          enqueue timestamps (waiting time is preserved, not reset);
+        - new subtasks stay busy for a migration pause whose noise comes
+          from the dedicated rescale stream, then drain their queues.
+        """
+        now = self._now
+        old_gids = self._op_gids[op_id]
+        old_runtimes = [self._runtimes[gid] for gid in old_gids]
+        epoch = self._op_epoch.get(op_id, 0) + 1
+        self._op_epoch[op_id] = epoch
+        cost = self.physical.effective_cost(op_id)
+        coord = cost.coordination_factor(new_parallelism)
+        cv = cost.cost_noise
+        sigma = math.sqrt(math.log(1.0 + cv * cv)) if cv > 0 else 0.0
+
+        new_runtimes: list[_SubtaskRuntime] = []
+        new_gids: list[int] = []
+        for index in range(new_parallelism):
+            gid = len(self._runtimes)
+            rng = self._rngs.fresh("engine", op_id, str(index), f"e{epoch}")
+            logic = self.physical.effective_factory(op_id)()
+            logic.setup(
+                OperatorContext(
+                    op_id=op_id,
+                    subtask_index=index,
+                    parallelism=new_parallelism,
+                    rng=rng,
+                )
+            )
+            # Nodes are reused cyclically from the drained generation:
+            # the cluster stays fixed, only the degree changes.
+            donor = old_runtimes[index % len(old_runtimes)]
+            node = self.cluster.node(donor.node_id)
+            load = donor.slot_load
+            runtime = _SubtaskRuntime(
+                gid=gid,
+                op_id=op_id,
+                index=index,
+                logic=logic,
+                node_id=donor.node_id,
+                base_service=(
+                    cost.base_cpu_s * coord * load / node.speed_factor
+                ),
+                noise_sigma=sigma,
+                shuffle_cost_per_output=0.0,
+                is_source=False,
+                is_sink=False,
+                static_work=(
+                    logic.work_factor
+                    if type(logic).work_units is OperatorLogic.work_units
+                    else None
+                ),
+                noise_mu=-0.5 * sigma * sigma,
+                slot_load=load,
+                epoch=epoch,
+            )
+            self._runtimes.append(runtime)
+            new_runtimes.append(runtime)
+            new_gids.append(gid)
+
+        # Outgoing channels: same logical edges, fresh partitioner
+        # clones, consumers looked up from the current live sets.
+        for runtime in new_runtimes:
+            groups = []
+            shuffle_cost = 0.0
+            for edge in self.logical.out_edges(op_id):
+                group = ChannelGroup(
+                    edge=edge,
+                    producer_gid=runtime.gid,
+                    partitioner=edge.partitioner.clone(),
+                    consumer_gids=list(self._op_gids[edge.dst]),
+                    port=edge.port,
+                    is_shuffle=True,  # forward out-edges refuse rescale
+                )
+                groups.append(group)
+                shuffle_cost += SERDE_COST_S + COORD_LOG_COST_S * math.log2(
+                    max(group.num_channels, 2)
+                )
+            self._out_channels[runtime.gid] = groups
+            runtime.shuffle_cost_per_output = shuffle_cost
+            self._compile_route_table(runtime)
+
+        # In-flight forwarding state: one partitioner clone per input
+        # port, consulted by retired tombstones and queue re-delivery.
+        forwarders = {
+            edge.port: edge.partitioner.clone()
+            for edge in self.logical.in_edges(op_id)
+        }
+        self._op_forwarders[op_id] = forwarders
+
+        # Keyed-state migration, old-subtask-major, hash re-bucketed.
+        exported: list = []
+        for runtime in old_runtimes:
+            items = runtime.logic.export_keyed_state()
+            if items:
+                exported.extend(items)
+        migrated_keys = len(exported)
+        if exported:
+            buckets: list[list] = [[] for _ in range(new_parallelism)]
+            for key, payload in exported:
+                buckets[_stable_hash(key) % new_parallelism].append(
+                    (key, payload)
+                )
+            for index, bucket in enumerate(buckets):
+                if bucket:
+                    new_runtimes[index].logic.import_keyed_state(bucket)
+
+        # Queue re-delivery: FIFO per old subtask, original timestamps.
+        moved_tuples = 0
+        for runtime in old_runtimes:
+            queue = runtime.queue
+            for tup, port, enqueued_at in queue[runtime.queue_head :]:
+                part = forwarders.get(port)
+                index = (
+                    part.select(tup, new_parallelism)[0]
+                    if part is not None
+                    else 0
+                )
+                new_runtimes[index].queue.append((tup, port, enqueued_at))
+                moved_tuples += 1
+            runtime.queue = []
+            runtime.queue_head = 0
+            runtime.retired = True
+            runtime.draining = False
+            runtime.busy = True
+
+        self._op_gids[op_id] = new_gids
+
+        # Rewire every live producer feeding this operator: mutate the
+        # channel groups in place (preserving partitioner instances and
+        # their round-robin/hash-cache state) and recompile.
+        for producer in self._runtimes:
+            if producer.retired or producer.op_id == op_id:
+                continue
+            changed = False
+            for group in self._out_channels[producer.gid]:
+                if group.edge.dst == op_id:
+                    group.consumer_gids = list(new_gids)
+                    changed = True
+            if changed:
+                shuffle_cost = 0.0
+                for group in self._out_channels[producer.gid]:
+                    if group.is_shuffle:
+                        shuffle_cost += (
+                            SERDE_COST_S
+                            + COORD_LOG_COST_S
+                            * math.log2(max(group.num_channels, 2))
+                        )
+                producer.shuffle_cost_per_output = shuffle_cost
+                self._compile_route_table(producer)
+
+        if self._bp_limit is not None:
+            for gid in old_gids:
+                self._congested.discard(gid)
+            for runtime in new_runtimes:
+                if len(runtime.queue) >= self._bp_limit:
+                    self._congested.add(runtime.gid)
+
+        # Migration pause: fixed handshake + per-key and per-tuple
+        # transfer costs, noised from the dedicated rescale stream. New
+        # subtasks activate via BEGIN (a work event, so the run cannot
+        # end with migrated tuples stranded) and re-arm their timers.
+        pause = (
+            _MIGRATION_BASE_S
+            + _MIGRATION_PER_KEY_S * migrated_keys
+            + _MIGRATION_PER_TUPLE_S * moved_tuples
+        )
+        pause *= self._rng_rescale.lognormal(-0.02, 0.2)
+        for runtime in new_runtimes:
+            runtime.busy = True
+            self._push(now + pause, _BEGIN, runtime.gid, None, 0)
+            interval = getattr(runtime.logic, "timer_interval", None)
+            if interval:
+                self._push(
+                    now + pause + interval, _TIMER, runtime.gid, None, 0
+                )
+
+        if self.config.autoscale:
+            self._control_prev.pop(op_id, None)
+        self._rescale_count += 1
+        self._migrated_keys_total += migrated_keys
+        self._rescale_log.append(
+            {
+                "t": now,
+                "op": op_id,
+                "from": len(old_gids),
+                "to": new_parallelism,
+                "keys": migrated_keys,
+                "tuples": moved_tuples,
+                "pause_s": pause,
+            }
+        )
+        if self._obs is not None:
+            self._obs.on_rescale(
+                self, now, op_id, old_gids, new_gids, migrated_keys, pause
+            )
+
+    def _forward_gid(
+        self, runtime: _SubtaskRuntime, tup: StreamTuple, port: int
+    ) -> int:
+        """Where a tuple in flight toward a retired subtask goes now."""
+        live = self._op_gids[runtime.op_id]
+        part = self._op_forwarders[runtime.op_id].get(port)
+        if part is None:
+            return live[0]
+        return live[part.select(tup, len(live))[0]]
+
+    def _handle_control(self) -> None:
+        """One autoscaler tick: snapshot, decide, emit rescales."""
+        now = self._now
+        interval = self.config.autoscale_interval
+        make_snapshot = self._snapshot_cls
+        snapshots = []
+        for op_id in self._autoscale_ops:
+            if op_id in self._pending_rescale:
+                continue  # mid-drain: skip until the swap lands
+            gids = self._op_gids[op_id]
+            depth = 0
+            busy = 0.0
+            served = 0
+            for gid in gids:
+                runtime = self._runtimes[gid]
+                depth += len(runtime.queue) - runtime.queue_head
+                busy += runtime.busy_time
+                served += runtime.served
+            prev_busy, prev_served = self._control_prev.get(op_id, (0.0, 0))
+            self._control_prev[op_id] = (busy, served)
+            parallelism = len(gids)
+            snapshots.append(
+                make_snapshot(
+                    op_id=op_id,
+                    parallelism=parallelism,
+                    queue_depth=depth,
+                    utilization=(
+                        (busy - prev_busy) / (interval * parallelism)
+                    ),
+                    service_rate=(served - prev_served) / interval,
+                    base_service_s=self._runtimes[gids[0]].base_service,
+                )
+            )
+        targets = self._policy.decide(now, snapshots)
+        for op_id in sorted(targets):
+            target = int(targets[op_id])
+            if (
+                target >= 1
+                and op_id not in self._pending_rescale
+                and target != len(self._op_gids[op_id])
+                and self._rescale_refusal(op_id) is None
+            ):
+                self._push(now, _RESCALE, 0, (op_id, target), 0)
+        next_tick = now + interval
+        if next_tick <= self.config.max_sim_time:
+            self._push(next_tick, _CONTROL, 0, None, 0)
+
+    def _resource_seconds(self, span: float) -> float:
+        """∫ total subtask count dt — the resource-cost numerator."""
+        current = {
+            op_id: len(gids)
+            for op_id, gids in self.physical.op_subtasks.items()
+        }
+        total = 0.0
+        prev_t = 0.0
+        for event in self._rescale_log:
+            t = min(event["t"], span)
+            total += sum(current.values()) * (t - prev_t)
+            current[event["op"]] = event["to"]
+            prev_t = t
+        total += sum(current.values()) * (span - prev_t)
+        return total
 
     # -------------------------------------------------------------- routing
 
@@ -918,10 +1720,12 @@ class StreamEngine:
         emitted = False
         for op_id in self.logical.topological_order():
             # Fused chain tails have no subtasks of their own; their
-            # flush runs inside the chain head's ChainedLogic.
-            if op_id not in self.physical.op_subtasks:
+            # flush runs inside the chain head's ChainedLogic. The live
+            # gid map excludes retired runtimes, whose state migrated
+            # to their replacements at the rescale.
+            if op_id not in self._op_gids:
                 continue
-            for gid in self.physical.op_subtasks[op_id]:
+            for gid in self._op_gids[op_id]:
                 runtime = self._runtimes[gid]
                 outputs = runtime.logic.flush(self._now)
                 if outputs:
@@ -968,6 +1772,20 @@ class StreamEngine:
                 latencies = latencies[:steady]
         skip = int(arrival_times.size * self.config.warmup_fraction)
         latency = LatencyStats.from_samples(latencies[skip:])
+        slo = self.config.slo_latency
+        slo_violations = 0
+        slo_violation_s = 0.0
+        if slo is not None and arrival_times.size > skip:
+            lat_steady = latencies[skip:]
+            arr_steady = arrival_times[skip:]
+            violating = lat_steady > slo
+            slo_violations = int(np.count_nonzero(violating))
+            if arr_steady.size > 1:
+                # Each inter-arrival gap is charged to the sample that
+                # closes it: time spent past the SLO, not a raw count.
+                slo_violation_s = float(
+                    np.diff(arr_steady)[violating[1:]].sum()
+                )
         span = max(self._now, 1e-9)
         if self.config.batch_size is not None:
             # Batch mode: a whole micro-batch lands at its completion
@@ -1003,6 +1821,20 @@ class StreamEngine:
             for op_id, served in served_sums.items()
             if served > 0
         }
+        extras: dict = {
+            "events_processed": self._events_processed,
+            "throttled_arrivals": self._throttled_arrivals,
+        }
+        if slo is not None:
+            extras["slo_violations"] = slo_violations
+            extras["slo_violation_s"] = slo_violation_s
+        if self._elastic:
+            extras["elastic"] = {
+                "rescales": self._rescale_count,
+                "migrated_keys": self._migrated_keys_total,
+                "resource_seconds": self._resource_seconds(span),
+                "log": list(self._rescale_log),
+            }
         return RunMetrics(
             latency=latency,
             throughput=throughput,
@@ -1015,8 +1847,5 @@ class StreamEngine:
             },
             operator_queue_peak=queue_peaks,
             operator_avg_wait=avg_wait,
-            extras={
-                "events_processed": self._events_processed,
-                "throttled_arrivals": self._throttled_arrivals,
-            },
+            extras=extras,
         )

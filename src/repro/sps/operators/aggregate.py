@@ -165,6 +165,9 @@ class WindowAggregateLogic(OperatorLogic):
     to the per-window reference fold; see the module docstring.
     """
 
+    #: slice accumulators migrate wholesale per key (export/import below)
+    rescale_supported = True
+
     def __init__(
         self,
         assigner: WindowAssigner,
@@ -405,6 +408,57 @@ class WindowAggregateLogic(OperatorLogic):
                     outputs.append(self._emit_tumbling_count(key, st, now))
             self._count_state.clear()
         return outputs
+
+    # ------------------------------------------------------------ migration
+
+    def export_keyed_state(self):
+        """Move every key's live accumulators out for a rescale.
+
+        Slices make the handoff cheap: each key's payload is its slice
+        deque, pending-window set and watermark — moved by reference,
+        never rescanned. Keys leave in rank (first-seen) order, and this
+        instance is left empty.
+        """
+        items: list[tuple[object, tuple]] = []
+        if self._time_based:
+            for key in self._keys_by_rank:
+                st = self._time_state[key]
+                items.append(
+                    (key, ("time", st.slices, sorted(st.pending), st.next_mark))
+                )
+            self._time_state = {}
+            self._keys_by_rank = []
+            self._fire_heap = []
+        else:
+            for key, st in self._count_state.items():
+                items.append(
+                    (key, ("count", st, self._count_since_fire.get(key, 0)))
+                )
+            self._count_state = {}
+            self._count_since_fire = {}
+        return items
+
+    def import_keyed_state(self, items) -> None:
+        """Adopt migrated keys, pinning their ranks in arrival order."""
+        for key, payload in items:
+            if payload[0] == "time":
+                _, slices, pending, next_mark = payload
+                st = _KeyTimeState(len(self._keys_by_rank))
+                self._keys_by_rank.append(key)
+                st.slices = slices
+                st.pending = set(pending)
+                st.next_mark = next_mark
+                self._time_state[key] = st
+                window_end = self.assigner.window_end
+                for w in pending:
+                    heappush(
+                        self._fire_heap, (window_end(w), st.rank, w)
+                    )
+            else:
+                _, st, since_fire = payload
+                self._count_state[key] = st
+                if since_fire:
+                    self._count_since_fire[key] = since_fire
 
     # -------------------------------------------------------------- emission
 

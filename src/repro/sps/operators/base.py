@@ -41,6 +41,14 @@ class OperatorLogic:
     #: data-dependent costs instead.
     work_factor: float = 1.0
 
+    #: Whether the engine may change this operator's parallelism mid-run.
+    #: False by default: a logic must opt in, either because it holds no
+    #: cross-tuple state or because it implements the keyed-state
+    #: migration pair below. Opting in with hidden instance state would
+    #: silently drop that state at a rescale, so the conservative default
+    #: protects arbitrary user logics.
+    rescale_supported: bool = False
+
     def setup(self, ctx: OperatorContext) -> None:
         """Bind the logic to its subtask. Default: store the context."""
         self.ctx = ctx
@@ -62,6 +70,38 @@ class OperatorLogic:
     def work_units(self, tup: StreamTuple) -> float:
         """Per-tuple work multiplier (default: :attr:`work_factor`)."""
         return self.work_factor
+
+    # --------------------------------------------------- rescale protocol
+    #
+    # Live rescaling (DESIGN.md §12) drains an operator's subtasks to a
+    # barrier, exports every old instance's keyed state, re-partitions the
+    # keys by the same stable hash the HashPartitioner routes with, and
+    # imports each bucket into a fresh instance — moving state, replaying
+    # nothing. Stateless logics keep the default no-op pair and simply set
+    # ``rescale_supported = True``.
+
+    def export_keyed_state(self):
+        """Hand off per-key state for migration, clearing it locally.
+
+        Returns ``[(key, payload), ...]`` in this instance's
+        deterministic key order (first-seen rank), or ``None`` when the
+        logic is stateless. Payloads are moved, never copied — after
+        export this instance must hold no keyed state.
+        """
+        return None
+
+    def import_keyed_state(self, items) -> None:
+        """Adopt migrated ``(key, payload)`` pairs into a fresh instance.
+
+        Called at most once, before the instance serves any tuple, with
+        the keys hash-assigned to this subtask in old-subtask-major
+        order (which pins the new first-seen ranks deterministically).
+        """
+        if items:
+            raise NotImplementedError(
+                f"{type(self).__name__} does not implement keyed-state "
+                "import; it must not set rescale_supported"
+            )
 
     # ------------------------------------------------------- batch protocol
     #

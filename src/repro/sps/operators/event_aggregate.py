@@ -82,6 +82,11 @@ class EventTimeWindowAggregateLogic(OperatorLogic):
 
     watermark."""
 
+    #: per-key window maps migrate wholesale; the instance-global
+    #: watermark rides along in every payload and imports as a max, so
+    #: replacement instances never regress the fired horizon
+    rescale_supported = True
+
     def __init__(
         self,
         assigner: WindowAssigner,
@@ -225,6 +230,41 @@ class EventTimeWindowAggregateLogic(OperatorLogic):
         self._keys_by_rank.clear()
         self._fire_heap.clear()
         return outputs
+
+    # ------------------------------------------------------------ migration
+
+    def export_keyed_state(self):
+        """Move every key's window accumulators out for a rescale.
+
+        The watermark pair (max event time, fired horizon) is global to
+        the instance, not keyed; it is attached to every payload and
+        folded with ``max`` on import, the only merge that never
+        un-fires a window a predecessor already emitted.
+        """
+        items: list[tuple[object, tuple]] = []
+        max_et = self._max_event_time
+        horizon = self._fired_horizon
+        for key in self._keys_by_rank:
+            kst = self._state[key]
+            items.append((key, (kst.windows, max_et, horizon)))
+        self._state = {}
+        self._keys_by_rank = []
+        self._fire_heap = []
+        return items
+
+    def import_keyed_state(self, items) -> None:
+        window_end = self.assigner.window_end
+        for key, (windows, max_et, horizon) in items:
+            kst = _KeyState(len(self._keys_by_rank))
+            self._keys_by_rank.append(key)
+            kst.windows = windows
+            self._state[key] = kst
+            for w in sorted(windows):
+                heappush(self._fire_heap, (window_end(w), kst.rank, w))
+            if max_et > self._max_event_time:
+                self._max_event_time = max_et
+            if horizon > self._fired_horizon:
+                self._fired_horizon = horizon
 
     # --------------------------------------------------------- batch kernel
 

@@ -12,6 +12,10 @@ __all__ = ["FilterLogic"]
 class FilterLogic(OperatorLogic):
     """Evaluates a :class:`Predicate` on every tuple."""
 
+    #: per-tuple decisions carry no cross-tuple state; the seen/passed
+    #: counters are statistics, summed across instances by the observer
+    rescale_supported = True
+
     def __init__(self, predicate: Predicate) -> None:
         self.predicate = predicate
         self.seen = 0

@@ -57,6 +57,11 @@ class WindowJoinLogic(OperatorLogic):
     exchanges deliver co-partitioned inputs.
     """
 
+    #: joins buffer both sides per (key, slice); migrating that state
+    #: would also have to split in-flight probe order across two input
+    #: ports, which the drain barrier does not order — not supported
+    rescale_supported = False
+
     def __init__(
         self,
         assigner: WindowAssigner,

@@ -25,6 +25,8 @@ class MapLogic(OperatorLogic):
     Without it, batch mode falls back to per-tuple ``fn`` calls.
     """
 
+    rescale_supported = True  # pure per-tuple transformation
+
     def __init__(
         self,
         fn: Callable[[tuple[Any, ...]], tuple[Any, ...]],
@@ -63,6 +65,8 @@ class FlatMapLogic(OperatorLogic):
     rows, and must agree row-by-row with ``fn``. Without it, batch mode
     falls back to per-tuple ``fn`` calls.
     """
+
+    rescale_supported = True  # pure per-tuple expansion
 
     def __init__(
         self,

@@ -28,6 +28,10 @@ class FunctionUDO(OperatorLogic):
     applications express data-dependent compute intensity.
     """
 
+    #: the state dict is opaque to the engine — it cannot be split by
+    #: key, so migrating it across a parallelism change is unsound
+    rescale_supported = False
+
     def __init__(
         self,
         fn: UDOFunction,

@@ -1,9 +1,34 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Also registers hypothesis profiles: the ``ci`` profile (selected with
+``HYPOTHESIS_PROFILE=ci``, as the CI workflow does) derandomizes every
+property test, prints the reproduction blob on failure and drops the
+per-example deadline — so a CI failure is deterministic, diagnosable
+from the log alone, and never a flake from a slow shared runner.
+"""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+try:  # pragma: no cover - exercised only when hypothesis is present
+    from hypothesis import settings as _hyp_settings
+
+    _hyp_settings.register_profile(
+        "ci",
+        derandomize=True,
+        print_blob=True,
+        deadline=None,
+    )
+    _hyp_settings.register_profile("dev", print_blob=True)
+    _hyp_settings.load_profile(
+        os.environ.get("HYPOTHESIS_PROFILE", "dev")
+    )
+except ImportError:  # pragma: no cover
+    pass
 
 from repro.cluster import homogeneous_cluster
 from repro.common.rng import RngFactory
