@@ -123,13 +123,22 @@ class PlanAnalyzer:
     (RES403). Both are optional — without them the analyzer covers the
     plan-local families only. ``batch`` additionally runs the advisory
     BAT7xx batch-friendliness family, for plans destined for the
-    columnar micro-batch executor.
+    columnar micro-batch executor; ``checkpoint_interval`` (seconds)
+    likewise enables the FT7xx checkpoint-readiness family, for plans
+    destined to run with aligned-barrier fault tolerance.
     """
 
-    def __init__(self, cluster=None, placement=None, batch=False) -> None:
+    def __init__(
+        self,
+        cluster=None,
+        placement=None,
+        batch=False,
+        checkpoint_interval=None,
+    ) -> None:
         self.cluster = cluster
         self.placement = placement
         self.batch = batch
+        self.checkpoint_interval = checkpoint_interval
 
     def analyze(self, plan: LogicalPlan) -> AnalysisReport:
         """Collect every diagnostic for ``plan`` (never raises)."""
@@ -141,6 +150,7 @@ class PlanAnalyzer:
             schemas=_propagate_schemas(plan, order),
             order=order,
             has_cycle=has_cycle,
+            checkpoint_interval=self.checkpoint_interval,
         )
         report = AnalysisReport(plan_name=plan.name)
         report.extend(run_all_rules(ctx, include_batch=self.batch))
@@ -148,11 +158,18 @@ class PlanAnalyzer:
 
 
 def analyze_plan(
-    plan: LogicalPlan, cluster=None, placement=None, batch=False
+    plan: LogicalPlan,
+    cluster=None,
+    placement=None,
+    batch=False,
+    checkpoint_interval=None,
 ) -> AnalysisReport:
     """One-shot convenience wrapper around :class:`PlanAnalyzer`."""
     return PlanAnalyzer(
-        cluster=cluster, placement=placement, batch=batch
+        cluster=cluster,
+        placement=placement,
+        batch=batch,
+        checkpoint_interval=checkpoint_interval,
     ).analyze(plan)
 
 

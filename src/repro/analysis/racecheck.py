@@ -222,9 +222,14 @@ class RaceDetector:
                 label = f"{runtime.op_id}[{runtime.index}]"
                 # Rescale generations reuse (op, index) labels; the
                 # epoch suffix keeps every stream's entry distinct.
+                # Recovery incarnations (checkpoint restore or FT-off
+                # failure restart) get an @r suffix the same way.
                 epoch = getattr(runtime, "epoch", 0)
                 if epoch:
                     label += f"@e{epoch}"
+                incarnation = getattr(runtime, "ft_incarnation", 0)
+                if incarnation:
+                    label += f"@r{incarnation}"
                 ledger[label] = state_fingerprint(rng)
         arrivals = getattr(engine, "_rng_arrivals", None)
         if arrivals is not None:
@@ -232,6 +237,9 @@ class RaceDetector:
         rescale_rng = getattr(engine, "_rng_rescale", None)
         if rescale_rng is not None:
             ledger["engine/rescale"] = state_fingerprint(rescale_rng)
+        ft_rng = getattr(engine, "_rng_ft", None)
+        if ft_rng is not None:
+            ledger["engine/ft"] = state_fingerprint(ft_rng)
         self.rng_ledger = ledger
 
     # ------------------------------------------------------------ sampling
@@ -345,6 +353,17 @@ class RaceDetector:
             self._owners[op_id] = {}
         else:
             self._owners.pop(op_id, None)
+
+    def on_checkpoint(self, engine, record) -> None:
+        """Delegate checkpoint completion; nothing to record here."""
+        if self.inner is not None:
+            self.inner.on_checkpoint(engine, record)
+
+    def on_recovery(self, engine, node_id, pause_s, replayed, ckpt_id) -> None:
+        """Delegate recovery; key ownership survives (hash routing and
+        subtask indices are unchanged by a restart)."""
+        if self.inner is not None:
+            self.inner.on_recovery(engine, node_id, pause_s, replayed, ckpt_id)
 
     # ------------------------------------------------------------- report
 

@@ -17,6 +17,7 @@ resource  ``RES401``-``RES403``  — cluster/slot feasibility
 cost      ``COST501``-``COST506`` — cost, selectivity and state sanity
 determinism  ``DET601``-``DET609`` — reproducibility hazards
 batch     ``BAT701``-``BAT703`` — columnar micro-batch friendliness
+ft        ``FT701``-``FT703``  — checkpoint/recovery readiness
 ========  ==========================================================
 
 The determinism family is different in kind: DET601-DET606 are *code*
@@ -34,6 +35,17 @@ than :data:`ALL_RULES` and runs only on request
 A scalar-mode plan full of UDOs is perfectly healthy; the same plan
 under ``batch_size=N`` would spend most of its time on the per-tuple
 fallback, which BAT701 warns about.
+
+The ft family is likewise opt-in (:data:`FT_RULES`): its findings only
+matter when aligned-barrier checkpointing is enabled, so it runs when
+the context carries a ``checkpoint_interval`` (``repro lint-plan
+--checkpoint-ms`` or ``analyze_plan(..., checkpoint_ms=...)``). It
+checks the recovery contract a checkpointed deployment relies on:
+sources must be rewindable to a logged offset (FT701), stateful
+operators must expose snapshotable state (FT702), and the interval must
+exceed the barrier's estimated round-trip through the DAG — a tighter
+cadence than barriers can complete means every checkpoint is skipped
+while its predecessor is still aligning (FT703).
 
 Rules never raise on malformed plans: they *report*. The analyzer runs
 every rule and aggregates, so a plan with five problems produces five
@@ -64,6 +76,7 @@ __all__ = [
     "run_all_rules",
     "ALL_RULES",
     "BATCH_RULES",
+    "FT_RULES",
 ]
 
 
@@ -381,6 +394,30 @@ RULE_CATALOG: dict[str, RuleSpec] = {
             "columnar input, so they fall back too — columnarity is "
             "decided at the source",
         ),
+        _spec(
+            "FT701", "ft", Severity.WARNING,
+            "source is not replayable under checkpointing",
+            "the source declares replayable=False, so a real "
+            "deployment could not rewind it to a checkpointed offset; "
+            "tuples emitted after the last checkpoint would be lost on "
+            "recovery and exactly-once delivery cannot hold",
+        ),
+        _spec(
+            "FT702", "ft", Severity.INFO,
+            "operator state is invisible to checkpoints",
+            "this UDO implements neither snapshot_state nor "
+            "export_keyed_state; if it accumulates state, a checkpoint "
+            "records nothing for it and recovery restarts it empty",
+        ),
+        _spec(
+            "FT703", "ft", Severity.WARNING,
+            "checkpoint interval shorter than barrier round-trip",
+            "barriers flow through the DAG with the data, so a "
+            "checkpoint takes at least the pipeline's end-to-end "
+            "latency to align; an interval below that estimate means "
+            "most triggers are skipped while the previous checkpoint "
+            "is still in flight",
+        ),
     )
 }
 
@@ -397,6 +434,9 @@ class AnalysisContext:
     #: partial topological order (all ops when acyclic)
     order: list[str] = dataclass_field(default_factory=list)
     has_cycle: bool = False
+    #: aligned-barrier checkpoint interval in seconds; non-None enables
+    #: the FT7xx readiness family
+    checkpoint_interval: float | None = None
 
     # ------------------------------------------------------------- helpers
 
@@ -1152,6 +1192,103 @@ def check_batch_friendliness(ctx: AnalysisContext) -> Iterator[Diagnostic]:
 BATCH_RULES = (check_batch_friendliness,)
 
 
+# ================================================================ ft rules
+
+#: Nominal one-hop network latency used by the FT703 round-trip
+#: estimate when no cluster is given (the homogeneous clusters' same-
+#: rack latency is of this order).
+_FT_NOMINAL_HOP_LATENCY_S = 1e-3
+
+
+def _longest_path_service(ctx: AnalysisContext) -> tuple[int, float]:
+    """(hops, summed per-hop cost) of the longest source->sink path.
+
+    Per-hop cost is one nominal network latency plus the downstream
+    operator's ``base_cpu_s`` — the minimum time a barrier spends per
+    stage when every queue is empty. Real alignment behind a backlog
+    takes longer, so FT703 is a *lower-bound* check: failing it means
+    the cadence cannot work even on an idle pipeline.
+    """
+    hops: dict[str, int] = {}
+    cost: dict[str, float] = {}
+    for op_id in ctx.order:
+        op = ctx.plan.operators[op_id]
+        step = _FT_NOMINAL_HOP_LATENCY_S
+        if op.cost is not None:
+            step += op.cost.base_cpu_s
+        best_h, best_c = 0, 0.0
+        for edge in ctx.plan.in_edges(op_id):
+            if edge.src in hops and hops[edge.src] + 1 > best_h:
+                best_h = hops[edge.src] + 1
+                best_c = cost[edge.src] + step
+        hops[op_id] = best_h
+        cost[op_id] = best_c
+    if not hops:
+        return 0, 0.0
+    deepest = max(hops, key=lambda op_id: (hops[op_id], cost[op_id]))
+    return hops[deepest], cost[deepest]
+
+
+def check_ft_readiness(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    """FT701-FT703: can this plan honour its checkpointing contract?
+
+    Opt-in via ``ctx.checkpoint_interval`` — only in :data:`FT_RULES`.
+    """
+    interval = ctx.checkpoint_interval
+    if interval is None:
+        return
+    from repro.sps.operators.base import OperatorLogic
+
+    for op in ctx.plan.operators.values():
+        if op.kind is OperatorKind.SOURCE:
+            if not op.metadata.get("replayable", True):
+                yield ctx.diag(
+                    "FT701",
+                    f"source {op.op_id!r} declares replayable=False; "
+                    "recovery cannot rewind it to a checkpointed "
+                    "offset",
+                    op_id=op.op_id,
+                    hint="feed the source from a durable log, or "
+                    "accept data loss and run with "
+                    "delivery=at_least_once",
+                )
+        elif op.kind is OperatorKind.UDO:
+            try:
+                logic = op.logic_factory()
+            except Exception:  # noqa: BLE001
+                continue
+            cls = type(logic)
+            if (
+                cls.snapshot_state is OperatorLogic.snapshot_state
+                and cls.export_keyed_state
+                is OperatorLogic.export_keyed_state
+            ):
+                yield ctx.diag(
+                    "FT702",
+                    f"UDO {op.op_id!r} overrides neither "
+                    "snapshot_state nor export_keyed_state; "
+                    "checkpoints record nothing for it",
+                    op_id=op.op_id,
+                    hint="implement snapshot_state/restore_state (or "
+                    "the keyed-state migration pair) on its logic",
+                )
+    hops, rtt = _longest_path_service(ctx)
+    if hops and interval < rtt:
+        yield ctx.diag(
+            "FT703",
+            f"checkpoint interval {interval * 1e3:g} ms is below the "
+            f"estimated barrier round-trip {rtt * 1e3:.2f} ms over "
+            f"the plan's {hops}-hop critical path",
+            hint="raise --checkpoint-ms above the pipeline's "
+            "end-to-end latency",
+        )
+
+
+#: Checkpoint/recovery readiness rules, run only when the analysis
+#: context carries a checkpoint interval.
+FT_RULES = (check_ft_readiness,)
+
+
 #: All rules, in reporting order.
 ALL_RULES = (
     check_dag_structure,
@@ -1176,5 +1313,7 @@ def run_all_rules(
     columnar micro-batch executor.
     """
     rules = ALL_RULES + BATCH_RULES if include_batch else ALL_RULES
+    if ctx.checkpoint_interval is not None:
+        rules = rules + FT_RULES
     for rule in rules:
         yield from rule(ctx)

@@ -11,6 +11,8 @@ a web UI; the same operations are exposed here):
 - ``experiment``                  — regenerate a paper figure
 - ``exp4``                        — elastic runtime grid: autoscaling
   policies under chaos scenarios (see :mod:`repro.elastic`)
+- ``exp5``                        — fault-tolerance grid: checkpoint
+  intervals x node failures x delivery modes (see :mod:`repro.ft`)
 - ``tables``                      — render the paper's config tables
 - ``lint-plan``                   — static pre-flight analysis of PQPs
 - ``sanitize``                    — determinism sanitizer: DET-rule AST
@@ -56,6 +58,8 @@ def _runner_config(args) -> RunnerConfig:
         autoscale=getattr(args, "autoscale", None),
         scenario=getattr(args, "scenario", None),
         slo_latency=slo_ms / 1e3 if slo_ms is not None else None,
+        checkpoint_ms=getattr(args, "checkpoint_ms", None),
+        delivery=getattr(args, "delivery", "exactly_once"),
     )
 
 
@@ -98,6 +102,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--slo-ms", type=float, default=None,
         help="latency SLO in milliseconds; enables the "
         "SLO-violation-seconds metric in run extras",
+    )
+    parser.add_argument(
+        "--checkpoint-ms", type=float, default=None,
+        help="aligned-barrier checkpoint interval in milliseconds; "
+        "enables the fault-tolerance subsystem (default: off)",
+    )
+    parser.add_argument(
+        "--delivery", default="exactly_once",
+        choices=("exactly_once", "at_least_once"),
+        help="delivery guarantee applied on failure recovery "
+        "(default exactly_once)",
     )
     parser.add_argument(
         "--storage", default=None,
@@ -237,6 +252,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the full JSON report to this path",
     )
 
+    exp5 = commands.add_parser(
+        "exp5",
+        help="fault-tolerance grid: checkpoint intervals x node "
+        "failures x delivery modes, scored on recovery time, replay "
+        "volume and result correctness vs a failure-free oracle",
+    )
+    exp5.add_argument(
+        "--intervals-ms", nargs="+", type=float, default=None,
+        help="checkpoint intervals in milliseconds "
+        "(default: 50 100 200)",
+    )
+    exp5.add_argument(
+        "--scenarios", nargs="+", default=None,
+        help="failure cells as name=spec "
+        "(e.g. early=failure:at=0.3,duration=0.1) or bare names from "
+        "the default grid (early-failure/late-failure)",
+    )
+    exp5.add_argument(
+        "--deliveries", nargs="+", default=None,
+        choices=("exactly_once", "at_least_once"),
+        help="delivery guarantees to compare (default: both)",
+    )
+    exp5.add_argument(
+        "--quick", action="store_true",
+        help="one interval, one failure per delivery mode "
+        "(the CI recovery-smoke shape)",
+    )
+    exp5.add_argument("--seed", type=int, default=0)
+    exp5.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size for grid cells (1 = serial)",
+    )
+    exp5.add_argument(
+        "--json-out", default=None,
+        help="also write the full JSON report to this path",
+    )
+
     trace = commands.add_parser(
         "trace",
         help="profile one run: write trace.json (Chrome trace_event) "
@@ -323,6 +375,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="additionally run the advisory BAT7xx batch-friendliness "
         "rules (for plans destined for the columnar micro-batch "
         "executor)",
+    )
+    lint.add_argument(
+        "--checkpoint-ms", type=float, default=None,
+        help="additionally run the FT7xx checkpoint-readiness rules "
+        "against this checkpoint interval in milliseconds (for plans "
+        "destined to run with fault tolerance)",
     )
     lint.add_argument(
         "--cluster", default="m510",
@@ -643,6 +701,105 @@ def _cmd_exp4(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_exp5(args) -> int:
+    import json as json_module
+    from pathlib import Path
+
+    from repro.core.experiments.exp5 import (
+        DEFAULT_DELIVERIES,
+        DEFAULT_INTERVALS_MS,
+        DEFAULT_SCENARIOS,
+        recovery_grid,
+    )
+
+    intervals = (
+        tuple(args.intervals_ms)
+        if args.intervals_ms
+        else DEFAULT_INTERVALS_MS
+    )
+    named = dict(DEFAULT_SCENARIOS)
+    if args.scenarios:
+        scenarios = []
+        for item in args.scenarios:
+            if "=" in item:
+                name, _, spec = item.partition("=")
+                scenarios.append((name, spec))
+            elif item in named:
+                scenarios.append((item, named[item]))
+            else:
+                print(
+                    f"error: unknown scenario {item!r}; use name=spec "
+                    f"or one of: {', '.join(named)}",
+                    file=sys.stderr,
+                )
+                return 2
+    else:
+        scenarios = list(DEFAULT_SCENARIOS)
+    deliveries = (
+        tuple(args.deliveries) if args.deliveries else DEFAULT_DELIVERIES
+    )
+
+    report = recovery_grid(
+        intervals_ms=intervals,
+        scenarios=tuple(scenarios),
+        deliveries=deliveries,
+        quick=args.quick,
+        seed=args.seed,
+        workers=args.workers,
+    )
+    rows = []
+    for cell in report["cells"]:
+        rows.append(
+            [
+                f"{cell['interval_ms']:g}",
+                cell["scenario"],
+                cell["delivery"],
+                f"{cell['checkpoints']}",
+                f"{cell['recovery_time_s'] * 1e3:.1f}",
+                f"{cell['replayed_events']}",
+                f"{cell['duplicate_results']}",
+                f"{cell['missing_vs_oracle']}/{cell['extra_vs_oracle']}",
+            ]
+        )
+    print(
+        render_table(
+            [
+                "ckpt (ms)", "scenario", "delivery", "ckpts",
+                "recovery (ms)", "replayed", "dups", "miss/extra",
+            ],
+            rows,
+            title=(
+                f"exp5: checkpoint recovery grid "
+                f"({report['oracle_results']} oracle results"
+                + (", quick)" if args.quick else ")")
+            ),
+        )
+    )
+    if args.json_out:
+        Path(args.json_out).write_text(
+            json_module.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.json_out}")
+    bad = [
+        c
+        for c in report["cells"]
+        if c["determinism_errors"]
+        or c["missing_vs_oracle"]
+        or (c["delivery"] == "exactly_once" and c["extra_vs_oracle"])
+    ]
+    for cell in bad:
+        print(
+            f"correctness violation "
+            f"[{cell['interval_ms']:g}ms/{cell['scenario']}/"
+            f"{cell['delivery']}]: "
+            f"missing={cell['missing_vs_oracle']} "
+            f"extra={cell['extra_vs_oracle']} "
+            f"determinism_errors={cell['determinism_errors']}",
+            file=sys.stderr,
+        )
+    return 1 if bad else 0
+
+
 def _resolve_app(name: str) -> str:
     """Resolve an app given by abbreviation or (normalised) full name.
 
@@ -880,8 +1037,21 @@ def _cmd_lint_plan(args) -> int:
         return 0
 
     cluster = _cluster_from_args(args)
+    checkpoint_interval = (
+        args.checkpoint_ms / 1000.0
+        if args.checkpoint_ms is not None
+        else None
+    )
     reports = [
-        (name, analyze_plan(plan, cluster=cluster, batch=args.batch))
+        (
+            name,
+            analyze_plan(
+                plan,
+                cluster=cluster,
+                batch=args.batch,
+                checkpoint_interval=checkpoint_interval,
+            ),
+        )
         for name, plan in _lint_targets(args)
     ]
     failed = False
@@ -1036,6 +1206,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_experiment(args)
     if args.command == "exp4":
         return _cmd_exp4(args)
+    if args.command == "exp5":
+        return _cmd_exp5(args)
     if args.command == "bench":
         from repro.core.perf import run_bench
 

@@ -84,7 +84,10 @@ TOLERANCE = 0.30
 
 #: Workloads of the engine benchmark, in report order.  The ``-b<N>``
 #: suffixed entries run the same plan under the columnar micro-batch
-#: executor with that batch size (the ≥1M ev/s tentpole targets).
+#: executor with that batch size (the ≥1M ev/s tentpole targets); the
+#: ``-ckpt`` suffix runs the plan with aligned-barrier checkpointing on
+#: (interval ``_CKPT_INTERVAL``), so the gate also covers the
+#: fault-tolerance control plane's simulator overhead.
 ENGINE_WORKLOADS = (
     "hotpath",
     "slide8",
@@ -94,11 +97,17 @@ ENGINE_WORKLOADS = (
     "AD",
     "hotpath-b256",
     "WC-b256",
+    "hotpath-ckpt",
 )
 
 _BENCH_SEED = 17
 _BENCH_PARALLELISM = 4
 _BENCH_DILATION = 25.0
+
+#: Checkpoint cadence of the ``-ckpt`` workloads: short enough that a
+#: quick run completes several checkpoints, long enough that barriers
+#: finish aligning between triggers on the trivial-cost hotpath plan.
+_CKPT_INTERVAL = 0.05
 
 _KV_SCHEMA = Schema(
     [Field("k", DataType.INT), Field("v", DataType.DOUBLE)]
@@ -261,13 +270,19 @@ def _deadline(name: str, seconds: float | None):
 
 
 def _measure(
-    plan, cluster, tuples: int, rounds: int, batch_size: int | None = None
+    plan,
+    cluster,
+    tuples: int,
+    rounds: int,
+    batch_size: int | None = None,
+    checkpoint_interval: float | None = None,
 ) -> dict:
     """Best-of-``rounds`` events/sec of one plan on fixed seeds."""
     sim = SimulationConfig(
         max_tuples_per_source=tuples,
         max_sim_time=8.0,
         batch_size=batch_size,
+        checkpoint_interval=checkpoint_interval,
     )
     best = 0.0
     events = 0
@@ -284,12 +299,21 @@ def _measure(
     return {"events_per_sec": round(best, 1), "events": int(events)}
 
 
-def _parse_workload(name: str) -> tuple[str, int | None]:
-    """Split ``"WC-b256"`` into ``("WC", 256)``; plain names pass through."""
+def _parse_workload(name: str) -> tuple[str, int | None, float | None]:
+    """Split a workload name into (base, batch_size, checkpoint_interval).
+
+    ``"WC-b256"`` becomes ``("WC", 256, None)``, ``"hotpath-ckpt"``
+    becomes ``("hotpath", None, _CKPT_INTERVAL)``; plain names pass
+    through unchanged.
+    """
+    checkpoint = None
+    if name.endswith("-ckpt"):
+        name = name[: -len("-ckpt")]
+        checkpoint = _CKPT_INTERVAL
     base, sep, suffix = name.rpartition("-b")
     if sep and suffix.isdigit():
-        return base, int(suffix)
-    return name, None
+        return base, int(suffix), checkpoint
+    return name, None, checkpoint
 
 
 def _build_workload(name: str, cluster, tuples: int):
@@ -328,10 +352,15 @@ def run_engine_bench(
     results: dict[str, dict] = {}
     for name in workloads:
         with _deadline(name, timeout):
-            base, batch_size = _parse_workload(name)
+            base, batch_size, checkpoint = _parse_workload(name)
             plan = _build_workload(base, cluster, tuples)
             results[name] = _measure(
-                plan, cluster, tuples, rounds, batch_size=batch_size
+                plan,
+                cluster,
+                tuples,
+                rounds,
+                batch_size=batch_size,
+                checkpoint_interval=checkpoint,
             )
     return results
 

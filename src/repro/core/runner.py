@@ -24,6 +24,7 @@ from repro.cluster.cluster import Cluster
 from repro.common.errors import ConfigurationError
 from repro.common.rng import RngFactory
 from repro.core.parallel import ParallelRunner
+from repro.ft.store import validate_delivery
 from repro.sps.engine import SimulationConfig, StreamEngine
 from repro.sps.logical import LogicalPlan
 from repro.sps.metrics import RunMetrics, aggregate_runs
@@ -88,10 +89,21 @@ class RunnerConfig:
     scenario: str | None = None
     rescales: tuple = ()
     slo_latency: float | None = None
+    #: fault tolerance (DESIGN.md §13): aligned-barrier checkpoint
+    #: interval in milliseconds (``None`` keeps checkpointing off and
+    #: the engine bit-identical to pre-FT runs) and the delivery
+    #: guarantee applied on recovery (``"exactly_once"`` dedupes
+    #: replayed results at the sink, ``"at_least_once"`` lets the
+    #: duplicates through and accounts them).
+    checkpoint_ms: float | None = None
+    delivery: str = "exactly_once"
 
     def __post_init__(self) -> None:
         if self.repeats < 1:
             raise ConfigurationError("repeats must be >= 1")
+        if self.checkpoint_ms is not None and self.checkpoint_ms <= 0:
+            raise ConfigurationError("checkpoint_ms must be positive")
+        validate_delivery(self.delivery)
         if self.batch_size is not None and self.batch_size < 1:
             raise ConfigurationError("batch_size must be >= 1")
         if self.dilation <= 0:
@@ -155,6 +167,12 @@ class BenchmarkRunner:
             scenario=self.config.scenario,
             rescales=tuple(self.config.rescales),
             slo_latency=self.config.slo_latency,
+            checkpoint_interval=(
+                None
+                if self.config.checkpoint_ms is None
+                else self.config.checkpoint_ms / 1000.0
+            ),
+            delivery=self.config.delivery,
         )
 
         observe = self.config.observe

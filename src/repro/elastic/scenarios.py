@@ -8,11 +8,14 @@ is what lets CI assert on them (the ``chaos-smoke`` job).
 
 Injection semantics:
 
-- :class:`NodeFailure` — every subtask placed on the node freezes for
-  ``duration`` (the existing ``STALL`` mechanism, generalized from
-  ``benchmarks/bench_failure_injection.py``); queued tuples wait and
-  drain on recovery, so the latency distribution shows the outage and
-  the catch-up.
+- :class:`NodeFailure` — the node's non-sink subtasks *fail* at
+  ``at``: their in-memory state and queued tuples are lost and fresh
+  instances come up after ``duration``. With checkpointing off the
+  engine accounts the damage (``extras["elastic"]["state_loss"]``);
+  with ``checkpoint_interval`` set the fault-tolerance subsystem
+  (DESIGN.md §13) performs a global restart instead — every
+  processing subtask restores the last completed checkpoint and the
+  sources replay their durable logs.
 - :class:`LoadSpike` — all sources emit ``factor``× faster for the
   window, then their exact original gaps are restored.
 - :class:`Straggler` — one subtask's service time inflates by
@@ -50,7 +53,15 @@ def _check_window(at: float, duration: float) -> None:
 
 @dataclass(frozen=True)
 class NodeFailure:
-    """One node's subtasks freeze at ``at`` for ``duration`` seconds.
+    """One node's subtasks fail at ``at``; replacements are up after
+    ``duration`` seconds.
+
+    The node's processing subtasks lose their in-memory state and
+    queues; sinks (transactional external systems) survive. Its
+    sources stop generating for the outage. What happens next depends
+    on the run's fault-tolerance configuration — explicit loss
+    accounting when checkpointing is off, a global restart from the
+    last completed checkpoint plus source replay when it is on.
 
     ``node`` is a cluster node id; ``None`` picks the node hosting the
     plan's first non-source, non-sink subtask (deterministic, and

@@ -1,0 +1,28 @@
+"""Fault tolerance: aligned-barrier checkpointing and recovery.
+
+``repro.ft`` gives the simulated engine the robustness axis real SPEs
+are benchmarked on (ESPBench's result correctness under failures,
+SProBench's throughput under disruption): Flink-style aligned barrier
+checkpoints, an in-simulation :class:`StateStore`, source offset replay
+and ``(origin, seq)`` result deduplication under a configurable
+delivery guarantee. See DESIGN.md §13 for the protocol and
+``SimulationConfig.checkpoint_interval`` / ``delivery`` for the knobs.
+"""
+
+from repro.ft.store import (
+    DELIVERY_MODES,
+    STATE_BYTES_PER_ITEM,
+    CheckpointRecord,
+    StateStore,
+    estimate_items,
+    validate_delivery,
+)
+
+__all__ = [
+    "CheckpointRecord",
+    "StateStore",
+    "DELIVERY_MODES",
+    "STATE_BYTES_PER_ITEM",
+    "estimate_items",
+    "validate_delivery",
+]

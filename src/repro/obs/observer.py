@@ -55,6 +55,8 @@ class EngineObserver:
         "on_stall",
         "on_backpressure",
         "on_rescale",
+        "on_checkpoint",
+        "on_recovery",
     )
 
     def __init__(
@@ -84,6 +86,14 @@ class EngineObserver:
         self._run_span = 0
         self._lag_max: dict[str, float] = {}
         self._end_time = 0.0
+        # Fault-tolerance counters (DESIGN.md §13); stay zero unless
+        # the engine runs with checkpointing on.
+        self.checkpoints = 0
+        self.checkpoint_duration_s = 0.0
+        self.checkpoint_state_bytes = 0.0
+        self.recoveries = 0
+        self.recovery_time_s = 0.0
+        self.replayed_events = 0
 
     # ---------------------------------------------------------- lifecycle
 
@@ -332,6 +342,45 @@ class EngineObserver:
                 keys=migrated_keys,
             )
 
+    def on_checkpoint(self, engine, record) -> None:
+        """An aligned checkpoint completed (DESIGN.md §13)."""
+        self.checkpoints += 1
+        self.checkpoint_duration_s += record.duration_s
+        self.checkpoint_state_bytes = record.state_bytes
+        registry = self.registry
+        registry.inc("checkpoints", "engine")
+        registry.observe("checkpoint_duration_s", "engine", record.duration_s)
+        if self.tracer is not None:
+            self.tracer.complete(
+                f"checkpoint #{record.ckpt_id}",
+                "ft",
+                record.triggered_at,
+                record.duration_s,
+                parent_id=self._run_span,
+                state_items=record.state_items,
+                state_bytes=record.state_bytes,
+            )
+
+    def on_recovery(
+        self, engine, node_id: int, pause_s: float, replayed: int, ckpt_id
+    ) -> None:
+        """A node failure triggered checkpoint recovery."""
+        self.recoveries += 1
+        self.recovery_time_s += pause_s
+        self.replayed_events += replayed
+        registry = self.registry
+        registry.inc("recoveries", "engine")
+        registry.observe("recovery_time_s", "engine", pause_s)
+        if self.tracer is not None:
+            self.tracer.complete(
+                f"recovery node={node_id} ckpt={ckpt_id}",
+                "ft",
+                engine._now,
+                pause_s,
+                parent_id=self._run_span,
+                replayed=replayed,
+            )
+
     def on_backpressure(self, runtime, now: float, engaged: bool) -> None:
         """A subtask engaged (True) or released (False) flow control."""
         name = "backpressure.engage" if engaged else "backpressure.release"
@@ -410,13 +459,27 @@ class EngineObserver:
             totals["busy_s"] += entry["busy_s"]
             totals["shuffle_bytes"] += entry["shuffle_bytes"]
             totals["stall_s"] += entry["stall_s"]
-        return {
+        out: dict[str, Any] = {
             "sample_interval": self.sample_interval,
             "duration_s": self._end_time,
             "samples": len(registry.series),
             "ops": ops,
             "totals": totals,
         }
+        if self.checkpoints or self.recoveries:
+            out["ft"] = {
+                "checkpoints": self.checkpoints,
+                "checkpoint_duration_mean_s": (
+                    self.checkpoint_duration_s / self.checkpoints
+                    if self.checkpoints
+                    else 0.0
+                ),
+                "state_bytes": self.checkpoint_state_bytes,
+                "recoveries": self.recoveries,
+                "recovery_time_s": self.recovery_time_s,
+                "replayed_events": self.replayed_events,
+            }
+        return out
 
 
 #: Window-operator counters surfaced per op when any subtask's logic

@@ -46,6 +46,7 @@ def source(
     parallelism: int = 1,
     arrival: str = "poisson",
     vector_generator=None,
+    replayable: bool = True,
 ) -> LogicalOperator:
     """A parallel source emitting ``event_rate`` tuples/s in total.
 
@@ -53,6 +54,12 @@ def source(
     mode uses to build whole micro-batches (``(rng, nows) -> (columns,
     sizes)``, see :data:`~repro.sps.operators.source.VectorTupleGenerator`);
     without it batch mode calls ``generator`` once per tuple.
+
+    ``replayable`` declares whether the feed can be re-read from an
+    offset after a failure (a durable log such as Kafka). The engine's
+    simulated source log replays either way; the flag feeds the FT7xx
+    lint rules, which warn when checkpointing is enabled over a feed
+    that a real deployment could not rewind.
     """
     if event_rate <= 0:
         raise ConfigurationError("event_rate must be positive")
@@ -65,7 +72,11 @@ def source(
         parallelism=parallelism,
         selectivity=1.0,
         output_schema=schema,
-        metadata={"event_rate": float(event_rate), "arrival": arrival},
+        metadata={
+            "event_rate": float(event_rate),
+            "arrival": arrival,
+            "replayable": bool(replayable),
+        },
     )
 
 

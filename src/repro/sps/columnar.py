@@ -344,6 +344,7 @@ class TupleBatch:
             tup.event_time = event_time[i]
             tup.origin_time = origin_time[i]
             tup.size_bytes = size_bytes[i]
+            tup.prov = None
             out.append(tup)
         return out
 

@@ -23,14 +23,20 @@ Event kinds:
   subtasks to a barrier, migrate keyed state, rewire channels.
 - ``CONTROL`` — the autoscaler's periodic tick: snapshot per-operator
   load, ask the policy for targets, emit ``RESCALE`` events.
+- ``REPLAY`` — post-recovery redelivery of one logged source tuple
+  (fault tolerance, DESIGN.md §13).
 - ``SCENARIO``— a chaos-scenario action fires (load spike on/off,
-  straggler on/off, network degradation on/off).
+  straggler on/off, network degradation on/off, node failure).
+- ``FT``      — checkpoint control: a barrier trigger fires at the
+  sources, or a recovery pause completes.
 
-The last three are *control-plane* events: like ``TIMER`` they carry no
-work accounting, so a pending control tick never keeps a finished run
-alive. The elastic machinery (DESIGN.md §12) only activates when the
-config asks for it; the default path stays bit-identical to engines
-built before it existed.
+``RESCALE``/``CONTROL``/``SCENARIO``/``FT`` are *control-plane* events:
+like ``TIMER`` they carry no work accounting, so a pending control tick
+never keeps a finished run alive. ``REPLAY`` redelivers real tuples and
+counts as work. The elastic machinery (DESIGN.md §12) and the
+checkpointing machinery (§13) only activate when the config asks for
+them; the default path stays bit-identical to engines built before they
+existed.
 
 Termination: when all sources are exhausted and no work events remain, the
 engine flushes stateful operators in rounds (remaining windows fire), then
@@ -77,7 +83,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush
 
 import numpy as np
 
@@ -85,6 +91,7 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.network import Network
 from repro.common.errors import ConfigurationError, SimulationError
 from repro.common.rng import RngFactory
+from repro.ft.store import StateStore, estimate_items, validate_delivery
 from repro.sps.costs import COORD_LOG_COST_S, SERDE_COST_S
 from repro.sps.logical import LogicalPlan, OperatorKind
 from repro.sps.metrics import LatencyStats, RunMetrics
@@ -113,10 +120,22 @@ __all__ = [
     _DONE,
     _TIMER,
     _STALL,
+    _REPLAY,
     _RESCALE,
     _CONTROL,
     _SCENARIO,
-) = range(9)
+    _FT,
+) = range(11)
+
+# Recovery pause model (DESIGN.md §13): restoring from a checkpoint pays
+# a coordination handshake plus per-item state rehydration, with mild
+# lognormal noise drawn from the dedicated ("engine", "ft") stream.
+_RECOVERY_BASE_S = 2e-3
+_RECOVERY_PER_ITEM_S = 2e-6
+#: pacing of post-recovery source replay relative to the source's mean
+#: inter-arrival gap (replay is faster than live generation, as a real
+#: source re-reads its durable log without waiting on the clock)
+_REPLAY_GAP_FRACTION = 0.25
 
 # Migration pause model: a fixed coordination handshake plus per-key
 # state transfer and per-tuple queue re-delivery costs, with mild
@@ -134,6 +153,20 @@ _ARRIVAL_KINDS = {
     "bursty": _ARR_BURSTY,
     "profile": _ARR_PROFILE,
 }
+
+
+class _Barrier:
+    """A checkpoint barrier riding the data channels (DESIGN.md §13).
+
+    Barriers are enqueued like tuples but consumed at zero service
+    cost; a subtask snapshots when it has dequeued the barrier of the
+    same checkpoint from every input channel (alignment).
+    """
+
+    __slots__ = ("ckpt_id",)
+
+    def __init__(self, ckpt_id: int) -> None:
+        self.ckpt_id = ckpt_id
 
 
 @dataclass(frozen=True)
@@ -201,6 +234,19 @@ class SimulationConfig:
     and batch-size invariant on the data plane; timing becomes
     batch-granular.  Requires numpy, and is incompatible with stall
     injection and backpressure (both are per-event feedback loops).
+
+    ``checkpoint_interval`` turns on aligned-barrier checkpointing
+    (DESIGN.md §13): barriers injected at the sources every interval
+    flow through the DAG with input-channel alignment, stateful
+    subtasks snapshot into an in-simulation state store, and a chaos
+    node failure triggers actual recovery — restart from the last
+    completed checkpoint and replay source offsets. ``delivery``
+    selects the guarantee: ``"exactly_once"`` dedupes replayed results
+    at the sinks by ``(producer, seq)`` provenance; ``"at_least_once"``
+    delivers duplicates and accounts them. Checkpointing is scalar-
+    engine only and incompatible with batch mode, rescaling,
+    autoscaling and backpressure (each would need its own barrier
+    interaction; rejected at config time).
     """
 
     max_tuples_per_source: int = 4000
@@ -223,6 +269,12 @@ class SimulationConfig:
     #: end-to-end latency SLO in simulated seconds; when set, metrics
     #: report SLO-violation-seconds in extras["slo_violation_s"]
     slo_latency: float | None = None
+    #: aligned-barrier checkpoint cadence in simulated seconds
+    #: (DESIGN.md §13); None disables fault tolerance entirely
+    checkpoint_interval: float | None = None
+    #: delivery guarantee under recovery: "exactly_once" (sink dedupe by
+    #: provenance) or "at_least_once" (duplicates delivered + accounted)
+    delivery: str = "exactly_once"
 
     def __post_init__(self) -> None:
         if self.max_tuples_per_source < 1:
@@ -259,6 +311,27 @@ class SimulationConfig:
             raise ConfigurationError("autoscale_interval must be positive")
         if self.slo_latency is not None and self.slo_latency <= 0:
             raise ConfigurationError("slo_latency must be positive")
+        validate_delivery(self.delivery)
+        if self.checkpoint_interval is not None:
+            if self.checkpoint_interval <= 0:
+                raise ConfigurationError(
+                    "checkpoint_interval must be positive"
+                )
+            if self.batch_size is not None:
+                raise ConfigurationError(
+                    "checkpointing does not support batch mode; barriers "
+                    "are per-tuple queue items (unset batch_size)"
+                )
+            if self.rescales or self.autoscale:
+                raise ConfigurationError(
+                    "checkpointing does not support rescaling/autoscaling; "
+                    "a rescale would invalidate snapshot ownership"
+                )
+            if self.backpressure_queue_limit is not None:
+                raise ConfigurationError(
+                    "checkpointing does not support backpressure; barrier "
+                    "alignment and source throttling would deadlock"
+                )
 
 
 @dataclass(slots=True)
@@ -315,6 +388,22 @@ class _SubtaskRuntime:
     #: which reconfiguration generation built this runtime (0 = initial);
     #: disambiguates RNG streams and race-ledger labels across rescales
     epoch: int = 0
+    #: chaos node failure without FT: sources drop generated tuples
+    #: (counted as lost) until the clock passes this mark
+    fail_until: float = 0.0
+    #: fault-tolerance lifecycle (DESIGN.md §13). ``ft_incarnation``
+    #: counts restarts of this subtask (labels recovery RNG streams and
+    #: race-ledger entries); sources keep a durable log of generated
+    #: tuples (``ft_log``) with ``ft_head`` the next offset to deliver;
+    #: ``ft_emit_seq`` numbers sink-bound emissions for provenance;
+    #: ``ft_ckpt``/``ft_aligned``/``ft_buffer`` track barrier alignment.
+    ft_incarnation: int = 0
+    ft_log: list | None = None
+    ft_head: int = 0
+    ft_emit_seq: int = 0
+    ft_ckpt: int | None = None
+    ft_aligned: set | None = None
+    ft_buffer: list | None = None
 
 
 class StreamEngine:
@@ -393,6 +482,13 @@ class StreamEngine:
             raise ConfigurationError(
                 "the elastic runtime does not support operator chaining; "
                 "disable chaining to use rescales/autoscale/scenarios"
+            )
+        self._ft = self.config.checkpoint_interval is not None
+        if self._ft and self.physical.chains:
+            raise ConfigurationError(
+                "checkpointing does not support operator chaining; "
+                "barrier alignment needs per-subtask queues (disable "
+                "chaining to use checkpoint_interval)"
             )
         self._build_runtimes()
 
@@ -592,6 +688,15 @@ class StreamEngine:
         # generator once per tuple, so skip the attribute walk each time.
         self._lognormal = self._rng_arrivals.lognormal
         self._exponential = self._rng_arrivals.exponential
+        # Routed-path indirection: the default path binds the plain
+        # implementations here, so checkpointing can swap in its FT
+        # variants without a branch inside the hot path. FT-off runs
+        # make byte-identical calls through these bindings.
+        self._route_live = self._route
+        self._serve_next = self._begin_service_now
+        self._state_loss: dict | None = None
+        if self._ft:
+            self._ft_init()
 
         for runtime in self._runtimes:
             if runtime.is_source:
@@ -617,7 +722,7 @@ class StreamEngine:
         max_events = self.config.max_events
         heap = self._heap
         runtimes = self._runtimes
-        enqueue = self._enqueue
+        enqueue = self._ft_enqueue if self._ft else self._enqueue
         handle_done = self._handle_done
         obs = self._obs
         if obs is not None:
@@ -649,8 +754,10 @@ class StreamEngine:
                     self._handle_rescale(payload)
                 elif kind == _CONTROL:
                     self._handle_control()
-                else:
+                elif kind == _SCENARIO:
                     self._handle_scenario(payload)
+                else:
+                    self._handle_ft(payload)
                 continue
             self._work -= 1
             if kind == _DELIVER:
@@ -664,12 +771,20 @@ class StreamEngine:
                 else:
                     runtime.busy = False
                     if len(runtime.queue) > runtime.queue_head:
-                        self._begin_service_now(runtime)
+                        self._serve_next(runtime)
             elif kind == _ARRIVAL:
                 self._handle_arrival(gid)
-            else:
+            elif kind == _STALL:
                 self._handle_stall(gid, payload)
+            else:
+                self._handle_replay(gid)
             if self._work == 0:
+                if self._ft and self._ft_recovering:
+                    # A recovery pause drained the last in-flight work;
+                    # the scheduled ("restored", ...) control event
+                    # will re-arm the source replay, so neither flush
+                    # nor terminate yet.
+                    continue
                 if self._flush_rounds < max_ops and self._flush_all():
                     self._flush_rounds += 1
                 else:
@@ -738,9 +853,25 @@ class StreamEngine:
             return
         tup = runtime.logic.generate(self._now)
         runtime.emitted += 1
+        if self._now < runtime.fail_until:
+            # Failed source (chaos, FT off): the tuple is generated for
+            # RNG parity but never delivered — an explicit data loss.
+            self._state_loss["lost_source_tuples"] += 1
+            self._schedule_next_arrival(runtime, self._now)
+            return
         if self._now > self._last_source_time:
             self._last_source_time = self._now
-        self._enqueue(runtime, tup, 0)
+        if self._ft:
+            # Durable source log (DESIGN.md §13): every generated tuple
+            # is appended; delivery advances ft_head, and recovery
+            # rewinds ft_head to the checkpoint offset and replays.
+            log = runtime.ft_log
+            log.append(tup)
+            if not self._ft_recovering and runtime.ft_head == len(log) - 1:
+                runtime.ft_head = len(log)
+                self._ft_enqueue(runtime, (tup, -1), 0)
+        else:
+            self._enqueue(runtime, tup, 0)
         self._schedule_next_arrival(runtime, self._now)
 
     def _enqueue(
@@ -803,7 +934,7 @@ class StreamEngine:
                 obs.on_backpressure(runtime, self._now, True)
             self._congested.add(runtime.gid)
         if not runtime.busy:
-            self._begin_service_now(runtime)
+            self._serve_next(runtime)
 
     def _begin_service(self, gid: int) -> None:
         runtime = self._runtimes[gid]
@@ -812,7 +943,7 @@ class StreamEngine:
             return
         runtime.busy = False
         if len(runtime.queue) > runtime.queue_head:
-            self._begin_service_now(runtime)
+            self._serve_next(runtime)
 
     def _begin_service_now(self, runtime: _SubtaskRuntime) -> None:
         queue = runtime.queue
@@ -860,7 +991,7 @@ class StreamEngine:
             outputs = runtime.logic.process(tup, self._now, port)
         if self._obs is not None:
             self._obs.on_done(runtime, self._now, tup, outputs)
-        overhead = self._route(runtime, outputs)
+        overhead = self._route_live(runtime, outputs)
         runtime.busy_time += overhead
         if runtime.draining:
             # The in-flight tuple this drain was waiting on is done;
@@ -876,7 +1007,7 @@ class StreamEngine:
         else:
             runtime.busy = False
             if len(runtime.queue) > runtime.queue_head:
-                self._begin_service_now(runtime)
+                self._serve_next(runtime)
 
     def _handle_stall(self, gid: int, duration: float) -> None:
         runtime = self._runtimes[gid]
@@ -909,7 +1040,7 @@ class StreamEngine:
         if outputs:
             if self._obs is not None:
                 self._obs.on_window_fire(runtime, self._now, len(outputs))
-            overhead = self._route(runtime, outputs)
+            overhead = self._route_live(runtime, outputs)
             runtime.busy_time += overhead
         interval = logic.timer_interval
         next_time = self._now + interval
@@ -986,10 +1117,13 @@ class StreamEngine:
                         f"node failure targets node {node}, "
                         "which hosts no subtasks"
                     )
-                for gid in hit:
-                    self._push(
-                        injection.at, _STALL, gid, injection.duration, 0
-                    )
+                self._push(
+                    injection.at,
+                    _SCENARIO,
+                    0,
+                    ("fail", node, injection.duration),
+                    0,
+                )
             elif isinstance(injection, LoadSpike):
                 self._push(
                     injection.at,
@@ -1148,8 +1282,79 @@ class StreamEngine:
             for latencies, lat0, bandwidths, bw0 in action[1]:
                 latencies[:] = lat0
                 bandwidths[:] = bw0
+        elif kind == "fail":
+            _, node, duration = action
+            if self._ft:
+                self._ft_failure(node, duration)
+            else:
+                self._fail_node_now(node, duration)
         else:
             raise SimulationError(f"unknown scenario action {kind!r}")
+
+    def _fail_node_now(self, node_id: int, duration: float) -> None:
+        """Chaos node failure with checkpointing OFF: state is lost.
+
+        Every processing subtask on the node loses its operator state
+        and its queued input (both counted in
+        ``extras["elastic"]["state_loss"]``) and restarts as a fresh
+        logic instance after ``duration`` of downtime; failed sources
+        generate-and-drop for the downtime so the loss is explicit.
+        Sinks model transactional external systems and do not fail —
+        matching the FT path, so the two are comparable. A tuple
+        in service at the instant of failure completes into the fresh
+        logic (the simulator has no mid-service abort).
+        """
+        if self._state_loss is None:
+            self._state_loss = {
+                "failed_subtasks": 0,
+                "lost_keys": 0,
+                "lost_tuples": 0,
+                "lost_source_tuples": 0,
+            }
+        loss = self._state_loss
+        for runtime in self._runtimes:
+            if runtime.retired or runtime.node_id != node_id:
+                continue
+            if runtime.is_sink:
+                continue
+            loss["failed_subtasks"] += 1
+            if runtime.is_source:
+                mark = self._now + duration
+                if mark > runtime.fail_until:
+                    runtime.fail_until = mark
+                continue
+            loss["lost_keys"] += estimate_items(
+                runtime.logic.snapshot_state()
+            )
+            loss["lost_tuples"] += len(runtime.queue) - runtime.queue_head
+            runtime.ft_incarnation += 1
+            logic = self.physical.effective_factory(runtime.op_id)()
+            rng = self._rngs.fresh(
+                "engine",
+                runtime.op_id,
+                str(runtime.index),
+                f"r{runtime.ft_incarnation}",
+            )
+            logic.setup(
+                OperatorContext(
+                    op_id=runtime.op_id,
+                    subtask_index=runtime.index,
+                    parallelism=len(self._op_gids[runtime.op_id]),
+                    rng=rng,
+                )
+            )
+            runtime.logic = logic
+            runtime.static_work = (
+                logic.work_factor
+                if type(logic).work_units is OperatorLogic.work_units
+                else None
+            )
+            runtime.queue = []
+            runtime.queue_head = 0
+            # Downtime enforcement reuses the stall machinery: it waits
+            # for any in-flight tuple, fires on_stall, and wakes the
+            # subtask with a BEGIN after the outage.
+            self._handle_stall(runtime.gid, duration)
 
     def _rescale_refusal(self, op_id: str) -> str | None:
         """Why ``op_id`` cannot rescale, or None when it can (cached —
@@ -1533,6 +1738,539 @@ class StreamEngine:
         total += sum(current.values()) * (span - prev_t)
         return total
 
+    # ------------------------------------------------ fault tolerance (§13)
+
+    def _ft_init(self) -> None:
+        """Arm checkpointing for this run.
+
+        The dedicated ``("engine", "ft")`` stream keeps recovery noise
+        off the arrival/service streams, and every FT data structure is
+        built here so checkpoint-off runs carry none of it.
+        """
+        self._rng_ft = self._rngs.fresh("engine", "ft")
+        self._ft_store = StateStore()
+        self._ft_interval = self.config.checkpoint_interval
+        self._ft_exactly_once = self.config.delivery == "exactly_once"
+        #: (producer_gid, emit_seq) provenance ids admitted at the sinks
+        self._ft_seen: set[tuple[int, int]] = set()
+        #: per-channel FIFO clock: (src_gid, dst_gid, port) -> last
+        #: scheduled delivery time; clamps keep barriers ordered w.r.t.
+        #: the data around them
+        self._ft_chan_clock: dict[tuple[int, int, int], float] = {}
+        self._ft_recovering = False
+        self._ft_restore_token = 0
+        self._ft_pending = 0
+        self._ft_recoveries = 0
+        self._ft_recovery_time = 0.0
+        self._ft_replayed = 0
+        self._ft_dupes_dropped = 0
+        self._ft_dup_results = 0
+        # Expected barrier count per consumer = its live input channels,
+        # derived from the same compiled route tables the data uses.
+        expected = [0] * len(self._runtimes)
+        for runtime in self._runtimes:
+            for entry in runtime.route_table:
+                fixed = entry[1]
+                consumers = entry[3]
+                indices = fixed if fixed is not None else range(entry[4])
+                for idx in indices:
+                    expected[consumers[idx]] += 1
+        self._ft_expected = expected
+        self._ft_num_acks = sum(
+            1
+            for runtime in self._runtimes
+            if runtime.is_source or expected[runtime.gid] > 0
+        )
+        for runtime in self._runtimes:
+            if runtime.is_source:
+                runtime.ft_log = []
+        self._route_live = self._ft_route
+        self._serve_next = self._ft_begin_service_now
+        if self._ft_interval <= self.config.max_sim_time:
+            self._push(self._ft_interval, _FT, 0, ("trigger",), 0)
+
+    def _handle_ft(self, action) -> None:
+        if action[0] == "trigger":
+            nxt = self._now + self._ft_interval
+            if nxt <= self.config.max_sim_time:
+                self._push(nxt, _FT, 0, ("trigger",), 0)
+            store = self._ft_store
+            if self._ft_recovering or store.active is not None:
+                # The previous checkpoint is still aligning (or a
+                # recovery is in flight): count the skip, don't overlap.
+                store.skip()
+                return
+            if self._ft_num_acks == 0:
+                return
+            record = store.begin(self._now)
+            self._ft_pending = self._ft_num_acks
+            for runtime in self._runtimes:
+                if runtime.is_source:
+                    # The barrier rides the source's own queue, behind
+                    # any generated-but-unrouted tuples: the replay
+                    # offset is recorded when the source dequeues it,
+                    # so the snapshot cut and the offset agree even
+                    # when the source has a service backlog.
+                    self._ft_enqueue(
+                        runtime, (_Barrier(record.ckpt_id), -1), 0
+                    )
+        else:  # ("restored", token)
+            self._ft_restored(action[1])
+
+    def _ft_enqueue(self, runtime: _SubtaskRuntime, payload, port: int) -> None:
+        """FT delivery path: queue entries are (item, port, at, src).
+
+        ``payload`` is ``(item, producer_gid)``; ``producer_gid`` is -1
+        for a source's own generated tuples. Barriers join the queue
+        like data; post-barrier data on an already-aligned channel is
+        diverted to the alignment buffer; sink deliveries pass the
+        provenance ledger first.
+        """
+        tup, src = payload
+        now = self._now
+        if tup.__class__ is _Barrier:
+            runtime.queue.append((tup, port, now, src))
+            if not runtime.busy:
+                self._ft_begin_service_now(runtime)
+            return
+        if runtime.is_sink:
+            prov = tup.prov
+            if prov is not None:
+                seen = self._ft_seen
+                if prov in seen:
+                    if self._ft_exactly_once:
+                        self._ft_dupes_dropped += 1
+                        return
+                    self._ft_dup_results += 1
+                else:
+                    seen.add(prov)
+        obs = self._obs
+        if obs is not None:
+            obs.tuples_in[runtime.gid] += 1
+        if runtime.ft_ckpt is not None and (src, port) in runtime.ft_aligned:
+            runtime.ft_buffer.append((tup, port, now, src))
+            return
+        queue = runtime.queue
+        queue.append((tup, port, now, src))
+        depth = len(queue) - runtime.queue_head
+        if depth > runtime.queue_peak:
+            runtime.queue_peak = depth
+        if not runtime.busy:
+            self._ft_begin_service_now(runtime)
+
+    def _ft_begin_service_now(self, runtime: _SubtaskRuntime) -> None:
+        """FT head-of-queue step: barriers and aligned-channel data are
+        consumed at zero cost; the first servable tuple starts service
+        exactly as ``_begin_service_now`` would."""
+        queue = runtime.queue
+        now = self._now
+        while True:
+            head = runtime.queue_head
+            if head >= len(queue):
+                return
+            tup, port, enqueued_at, src = queue[head]
+            if tup.__class__ is _Barrier:
+                runtime.queue_head = head + 1
+                self._ft_barrier_dequeued(runtime, tup, src, port)
+                continue
+            if (
+                runtime.ft_ckpt is not None
+                and (src, port) in runtime.ft_aligned
+            ):
+                runtime.queue_head = head + 1
+                runtime.ft_buffer.append((tup, port, enqueued_at, src))
+                continue
+            break
+        wait = now - enqueued_at
+        runtime.wait_time += wait
+        runtime.served += 1
+        head += 1
+        runtime.queue_head = head
+        if head > 256 and head * 2 >= len(queue):
+            del queue[:head]
+            runtime.queue_head = 0
+        runtime.busy = True
+        work = runtime.static_work
+        if work is None:
+            work = runtime.logic.work_units(tup)
+        service = runtime.base_service * work
+        sigma = runtime.noise_sigma
+        if sigma > 0:
+            service *= self._lognormal(runtime.noise_mu, sigma)
+        runtime.busy_time += service
+        if self._obs is not None:
+            self._obs.on_serve(runtime, now, service, wait)
+        self._seq += 1
+        self._work += 1
+        heappush(
+            self._heap,
+            (now + service, self._seq, _DONE, runtime.gid, tup, port),
+        )
+
+    def _ft_barrier_dequeued(
+        self, runtime: _SubtaskRuntime, barrier: _Barrier, src: int, port: int
+    ) -> None:
+        if runtime.ft_ckpt is None:
+            runtime.ft_ckpt = barrier.ckpt_id
+            runtime.ft_aligned = set()
+            runtime.ft_buffer = []
+        runtime.ft_aligned.add((src, port))
+        if len(runtime.ft_aligned) < self._ft_expected[runtime.gid]:
+            return
+        # Aligned on every input channel: snapshot, forward, acknowledge
+        # (unless a failure aborted this checkpoint mid-alignment).
+        store = self._ft_store
+        record = store.active
+        if record is not None and record.ckpt_id == runtime.ft_ckpt:
+            if runtime.is_source:
+                # Everything still queued behind the barrier was
+                # generated (or replayed) after it, so the replay
+                # offset is the log cursor minus that backlog.
+                record.source_offsets[runtime.gid] = runtime.ft_head - (
+                    len(runtime.queue) - runtime.queue_head
+                )
+                record.emit_seqs[runtime.gid] = runtime.ft_emit_seq
+                self._ft_forward_barrier(runtime, record.ckpt_id)
+            elif not runtime.is_sink:
+                store.add_snapshot(
+                    runtime.gid, runtime.logic.snapshot_state()
+                )
+                record.emit_seqs[runtime.gid] = runtime.ft_emit_seq
+                self._ft_forward_barrier(runtime, record.ckpt_id)
+            self._ft_pending -= 1
+            if self._ft_pending == 0:
+                completed = store.complete(self._now)
+                if self._obs is not None:
+                    self._obs.on_checkpoint(self, completed)
+        # Release input buffered during alignment, ahead of the rest.
+        buffer = runtime.ft_buffer
+        if buffer:
+            queue = runtime.queue
+            head = runtime.queue_head
+            queue[head:head] = buffer
+        runtime.ft_ckpt = None
+        runtime.ft_aligned = None
+        runtime.ft_buffer = None
+
+    def _ft_forward_barrier(
+        self, runtime: _SubtaskRuntime, ckpt_id: int
+    ) -> None:
+        """Send ``ckpt_id``'s barrier down every outgoing channel."""
+        now = self._now
+        heap = self._heap
+        seq = self._seq
+        clock = self._ft_chan_clock
+        runtimes = self._runtimes
+        src_gid = runtime.gid
+        pushed = 0
+        for entry in runtime.route_table:
+            fixed = entry[1]
+            consumers = entry[3]
+            latencies = entry[5]
+            port = entry[7]
+            indices = fixed if fixed is not None else range(entry[4])
+            network = self.cluster.network if latencies is None else None
+            for idx in indices:
+                cgid = consumers[idx]
+                if latencies is not None:
+                    delay = latencies[idx]
+                else:
+                    delay = network.transfer_delay(
+                        runtime.node_id, runtimes[cgid].node_id, 0.0
+                    )
+                at = now + delay
+                key = (src_gid, cgid, port)
+                prev = clock.get(key)
+                if prev is not None and at < prev:
+                    at = prev
+                clock[key] = at
+                seq += 1
+                pushed += 1
+                heappush(
+                    heap,
+                    (at, seq, _DELIVER, cgid, (_Barrier(ckpt_id), src_gid), port),
+                )
+        self._seq = seq
+        self._work += pushed
+
+    def _handle_replay(self, gid: int) -> None:
+        """Redeliver the next logged source tuple after a recovery."""
+        runtime = self._runtimes[gid]
+        log = runtime.ft_log
+        head = runtime.ft_head
+        if log is None or head >= len(log):
+            return
+        tup = log[head]
+        runtime.ft_head = head + 1
+        self._ft_enqueue(runtime, (tup, -1), 0)
+        if runtime.ft_head < len(log):
+            gap = runtime.mean_gap * _REPLAY_GAP_FRACTION
+            self._push(self._now + gap, _REPLAY, gid, None, 0)
+
+    def _ft_failure(self, node_id: int, duration: float) -> None:
+        """Chaos node failure with checkpointing ON: actual recovery.
+
+        Global-restart model (Flink's default failover for connected
+        regions): every processing subtask restarts from the last
+        completed checkpoint, sources rewind their durable-log offsets
+        to it and replay, and sinks — transactional external systems —
+        keep running, with the delivery guarantee deciding what their
+        ledger does with replayed results.
+        """
+        store = self._ft_store
+        if store.active is not None:
+            store.abort()
+            self._ft_pending = 0
+        record = store.latest()
+        now = self._now
+        runtimes = self._runtimes
+        heap = self._heap
+        # Purge in-flight work. Sink-bound events survive (their
+        # deliveries and services complete; dedupe absorbs replays), as
+        # do arrivals (sources keep generating into their logs), timers
+        # and control events.
+        kept = []
+        for ev in heap:
+            kind = ev[2]
+            if (
+                kind != _ARRIVAL
+                and kind != _TIMER
+                and kind <= _REPLAY
+                and not runtimes[ev[3]].is_sink
+            ):
+                continue
+            if (
+                kind == _DELIVER
+                and runtimes[ev[3]].is_sink
+                and ev[4][0].__class__ is _Barrier
+            ):
+                # An in-flight barrier of the aborted checkpoint; were
+                # it delivered it would re-arm alignment on an epoch
+                # that can never pair again.
+                continue
+            kept.append(ev)
+        heap[:] = kept
+        heapify(heap)
+        work = 0
+        for ev in heap:
+            kind = ev[2]
+            if kind != _TIMER and kind < _RESCALE:
+                work += 1
+        self._work = work
+        restored_items = 0
+        replayed = 0
+        for runtime in runtimes:
+            if runtime.is_sink:
+                # The sink survives, but a checkpoint it was aligning
+                # is aborted: release the diverted buffer ahead of the
+                # queue (those results already passed the provenance
+                # ledger, so replay would drop them as duplicates) and
+                # purge queued barriers of the dead epoch, or the next
+                # checkpoint's barriers pair against stale state and
+                # no checkpoint ever completes again.
+                queue = runtime.queue
+                head = runtime.queue_head
+                if runtime.ft_buffer:
+                    queue[head:head] = runtime.ft_buffer
+                tail = [
+                    entry
+                    for entry in queue[head:]
+                    if entry[0].__class__ is not _Barrier
+                ]
+                if len(tail) != len(queue) - head:
+                    queue[head:] = tail
+                runtime.ft_ckpt = None
+                runtime.ft_aligned = None
+                runtime.ft_buffer = None
+                if not runtime.busy and len(queue) > runtime.queue_head:
+                    self._ft_begin_service_now(runtime)
+                continue
+            runtime.busy = True  # paused until the recovery completes
+            runtime.ft_ckpt = None
+            runtime.ft_aligned = None
+            runtime.ft_buffer = None
+            if runtime.is_source:
+                offset = 0
+                emit = 0
+                if record is not None:
+                    offset = record.source_offsets.get(runtime.gid, 0)
+                    emit = record.emit_seqs.get(runtime.gid, 0)
+                replayed += runtime.ft_head - offset
+                runtime.ft_head = offset
+                runtime.ft_emit_seq = emit
+                runtime.queue = []
+                runtime.queue_head = 0
+                continue
+            runtime.ft_incarnation += 1
+            snapshot = None
+            if record is not None:
+                snapshot = record.snapshots.get(runtime.gid)
+            logic = self.physical.effective_factory(runtime.op_id)()
+            rng = self._rngs.fresh(
+                "engine",
+                runtime.op_id,
+                str(runtime.index),
+                f"r{runtime.ft_incarnation}",
+            )
+            logic.setup(
+                OperatorContext(
+                    op_id=runtime.op_id,
+                    subtask_index=runtime.index,
+                    parallelism=len(self._op_gids[runtime.op_id]),
+                    rng=rng,
+                )
+            )
+            logic.restore_state(snapshot)
+            runtime.logic = logic
+            runtime.static_work = (
+                logic.work_factor
+                if type(logic).work_units is OperatorLogic.work_units
+                else None
+            )
+            runtime.queue = []
+            runtime.queue_head = 0
+            runtime.ft_emit_seq = (
+                record.emit_seqs.get(runtime.gid, 0)
+                if record is not None
+                else 0
+            )
+            restored_items += estimate_items(snapshot)
+        pause = (
+            duration
+            + _RECOVERY_BASE_S
+            + _RECOVERY_PER_ITEM_S * restored_items
+        )
+        pause *= float(self._rng_ft.lognormal(-0.02, 0.2))
+        self._ft_recoveries += 1
+        self._ft_recovery_time += pause
+        self._ft_replayed += replayed
+        self._ft_restore_token += 1
+        self._ft_recovering = True
+        self._push(
+            now + pause, _FT, 0, ("restored", self._ft_restore_token), 0
+        )
+        if self._obs is not None:
+            self._obs.on_recovery(
+                self,
+                node_id,
+                pause,
+                replayed,
+                record.ckpt_id if record is not None else None,
+            )
+
+    def _ft_restored(self, token: int) -> None:
+        """The recovery pause is over: un-pause and start the replay."""
+        if token != self._ft_restore_token:
+            return  # a later failure superseded this recovery
+        self._ft_recovering = False
+        for runtime in self._runtimes:
+            if runtime.is_sink:
+                continue
+            runtime.busy = False
+            if runtime.is_source:
+                log = runtime.ft_log
+                if log and runtime.ft_head < len(log):
+                    self._push(self._now, _REPLAY, runtime.gid, None, 0)
+            elif len(runtime.queue) > runtime.queue_head:
+                self._ft_begin_service_now(runtime)
+        if self._work == 0:
+            # The purge may have consumed the last work event without
+            # the main loop seeing work hit zero; run the end-of-stream
+            # flush rounds it would have run.
+            max_ops = len(self.logical.operators) + 2
+            while (
+                self._work == 0
+                and self._flush_rounds < max_ops
+                and self._flush_all()
+            ):
+                self._flush_rounds += 1
+
+    def _ft_route(
+        self, runtime: _SubtaskRuntime, outputs: list[StreamTuple]
+    ) -> float:
+        """FT variant of :meth:`_route`.
+
+        Identical delay/overhead accounting, plus: deliveries are
+        clamped to per-channel FIFO clocks (so barriers stay ordered
+        with the data around them), payloads are wrapped with the
+        producer gid for alignment, and sink-bound results are stamped
+        with ``(producer, emit_seq)`` provenance for the delivery
+        guarantee's ledger.
+        """
+        if not outputs:
+            return 0.0
+        table = runtime.route_table
+        if not table:
+            return 0.0
+        now = self._now
+        heap = self._heap
+        seq = self._seq
+        obs = self._obs
+        clock = self._ft_chan_clock
+        runtimes = self._runtimes
+        src_gid = runtime.gid
+        pushed = 0
+        offset = 0.0
+        for (
+            select,
+            fixed,
+            rekey,
+            consumers,
+            num_channels,
+            latencies,
+            bandwidths,
+            port,
+            shuffle_cost,
+        ) in table:
+            routed = []
+            group_overhead = 0.0
+            for tup in outputs:
+                out = tup.with_key(rekey(tup)) if rekey is not None else tup
+                indices = (
+                    fixed if fixed is not None else select(out, num_channels)
+                )
+                if shuffle_cost:
+                    group_overhead += shuffle_cost * len(indices)
+                routed.append((out, indices))
+            if shuffle_cost:
+                offset += group_overhead
+                if obs is not None:
+                    nbytes = 0.0
+                    for out, indices in routed:
+                        nbytes += out.size_bytes * len(indices)
+                    obs.shuffle_bytes[src_gid] += nbytes
+            network = self.cluster.network if latencies is None else None
+            for out, indices in routed:
+                size = out.size_bytes
+                for idx in indices:
+                    cgid = consumers[idx]
+                    if latencies is not None:
+                        delay = latencies[idx] + size / bandwidths[idx]
+                    else:
+                        delay = network.transfer_delay(
+                            runtime.node_id, runtimes[cgid].node_id, size
+                        )
+                    at = now + delay + offset
+                    key = (src_gid, cgid, port)
+                    prev = clock.get(key)
+                    if prev is not None and at < prev:
+                        at = prev
+                    clock[key] = at
+                    if runtimes[cgid].is_sink:
+                        runtime.ft_emit_seq += 1
+                        out_d = out.with_prov((src_gid, runtime.ft_emit_seq))
+                    else:
+                        out_d = out
+                    seq += 1
+                    pushed += 1
+                    heappush(
+                        heap,
+                        (at, seq, _DELIVER, cgid, (out_d, src_gid), port),
+                    )
+        self._seq = seq
+        self._work += pushed
+        return offset
+
     # -------------------------------------------------------------- routing
 
     def _route(
@@ -1732,7 +2470,7 @@ class StreamEngine:
                     emitted = True
                     if self._obs is not None:
                         self._obs.on_flush(runtime, self._now, len(outputs))
-                    self._route(runtime, outputs)
+                    self._route_live(runtime, outputs)
         return emitted
 
     # -------------------------------------------------------------- metrics
@@ -1834,6 +2572,45 @@ class StreamEngine:
                 "migrated_keys": self._migrated_keys_total,
                 "resource_seconds": self._resource_seconds(span),
                 "log": list(self._rescale_log),
+            }
+            if self._state_loss is not None:
+                # FT-off node failure: the state the run measurably lost.
+                extras["elastic"]["state_loss"] = dict(self._state_loss)
+        if self._ft:
+            store = self._ft_store
+            latest = store.latest()
+            stamped = 0
+            for runtime in self._runtimes:
+                stamped += runtime.ft_emit_seq
+            # Stamped-but-never-admitted results: a modeled lower bound
+            # on losses; 0 after a successful exactly-once recovery.
+            lost = stamped - len(self._ft_seen)
+            if lost < 0:
+                lost = 0
+            extras["ft"] = {
+                "delivery": self.config.delivery,
+                "checkpoint_interval": self.config.checkpoint_interval,
+                "checkpoints_completed": len(store.completed),
+                "checkpoints_skipped": store.skipped,
+                "checkpoint_duration_mean_s": store.duration_mean_s(),
+                "state_items": latest.state_items if latest else 0,
+                "state_bytes": latest.state_bytes if latest else 0.0,
+                "recoveries": self._ft_recoveries,
+                "recovery_time_s": self._ft_recovery_time,
+                "replayed_events": self._ft_replayed,
+                "duplicates_dropped": self._ft_dupes_dropped,
+                "duplicate_results": self._ft_dup_results,
+                "lost_results": lost,
+                "log": [
+                    {
+                        "ckpt_id": record.ckpt_id,
+                        "triggered_at": record.triggered_at,
+                        "duration_s": record.duration_s,
+                        "state_items": record.state_items,
+                        "state_bytes": record.state_bytes,
+                    }
+                    for record in store.completed
+                ],
             }
         return RunMetrics(
             latency=latency,

@@ -9,6 +9,7 @@ engine drives the instance through :meth:`process` for each delivered tuple,
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 
 import numpy as np
@@ -102,6 +103,30 @@ class OperatorLogic:
                 f"{type(self).__name__} does not implement keyed-state "
                 "import; it must not set rescale_supported"
             )
+
+    # ---------------------------------------------------- checkpoint protocol
+    #
+    # Aligned-barrier checkpointing (DESIGN.md §13) snapshots a subtask's
+    # state when a barrier has arrived on all of its input channels and
+    # restores it after a failure. The defaults piggyback on the rescale
+    # migration pair: ``export_keyed_state`` is *destructive*, so the
+    # snapshot round-trips the state back in, and ``restore_state`` deep
+    # copies so one checkpoint can seed several recoveries. Logics with
+    # non-keyed state (join buffers, UDO dicts) override both.
+
+    def snapshot_state(self):
+        """Non-destructive deep copy of this instance's state (or None)."""
+        exported = self.export_keyed_state()
+        if exported is None:
+            return None
+        snapshot = copy.deepcopy(exported)
+        self.import_keyed_state(exported)
+        return snapshot
+
+    def restore_state(self, snapshot) -> None:
+        """Adopt a checkpoint snapshot into a fresh instance."""
+        if snapshot:
+            self.import_keyed_state(copy.deepcopy(snapshot))
 
     # ------------------------------------------------------- batch protocol
     #

@@ -23,6 +23,7 @@ raising ones.
 
 from __future__ import annotations
 
+import copy
 from collections import deque
 
 from repro.common.errors import ConfigurationError
@@ -229,6 +230,33 @@ class WindowJoinLogic(OperatorLogic):
     def work_units(self, tup: StreamTuple) -> float:
         # Probing and emitting matches dominates join cost.
         return 1.0 + 0.5 * self._last_matches
+
+    # Join state is buffered per (slice, side, key), not exported by the
+    # keyed-migration pair (rescale_supported stays False), so checkpoints
+    # copy the slice deque and cursors wholesale.
+    def snapshot_state(self):
+        """Deep copy of live slices, expiry cursors and match counters."""
+        if not self._slices and self._cut is None:
+            return None
+        return copy.deepcopy(
+            (
+                list(self._slices),
+                self._cut,
+                self._next_expire,
+                self.matches_emitted,
+                self._last_matches,
+            )
+        )
+
+    def restore_state(self, snapshot) -> None:
+        if snapshot is None:
+            return
+        slices, cut, next_expire, emitted, last = copy.deepcopy(snapshot)
+        self._slices = deque(slices)
+        self._cut = cut
+        self._next_expire = next_expire
+        self.matches_emitted = emitted
+        self._last_matches = last
 
     @property
     def buffered_windows(self) -> int:

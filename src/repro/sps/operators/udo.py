@@ -9,6 +9,7 @@ stateful function; the application suite (:mod:`repro.apps`) also subclasses
 
 from __future__ import annotations
 
+import copy
 from collections.abc import Callable
 from typing import Any
 
@@ -61,6 +62,18 @@ class FunctionUDO(OperatorLogic):
         if self._work_profile is None:
             return self.work_factor
         return self._work_profile(tup)
+
+    # The state dict is opaque to keyed migration but perfectly
+    # checkpointable: snapshots copy the whole dict.
+    def snapshot_state(self):
+        """Deep copy of the opaque state dict (None when empty)."""
+        if not self.state:
+            return None
+        return copy.deepcopy(self.state)
+
+    def restore_state(self, snapshot) -> None:
+        if snapshot:
+            self.state = copy.deepcopy(snapshot)
 
     def dsan_targets(self) -> tuple[Callable | None, ...]:
         """Callables the determinism sanitizer should scan.

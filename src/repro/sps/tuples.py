@@ -5,6 +5,11 @@ aggregate them for real — plus the timestamps the metrics layer needs:
 ``event_time`` (logical time of the event) and ``origin_time`` (simulation
 time at which the *earliest contributing source tuple* was produced, which is
 what the paper's end-to-end latency definition measures against).
+
+``prov`` is the fault-tolerance provenance stamp: a ``(producer_gid,
+emit_seq)`` pair assigned to sink-bound results when checkpointing is on
+(DESIGN.md §13), which the engine's sink ledger dedupes against under
+``delivery="exactly_once"``. It stays ``None`` on every other path.
 """
 
 from __future__ import annotations
@@ -17,7 +22,14 @@ __all__ = ["StreamTuple"]
 class StreamTuple:
     """One data tuple flowing through the dataflow graph."""
 
-    __slots__ = ("values", "key", "event_time", "origin_time", "size_bytes")
+    __slots__ = (
+        "values",
+        "key",
+        "event_time",
+        "origin_time",
+        "size_bytes",
+        "prov",
+    )
 
     def __init__(
         self,
@@ -32,6 +44,7 @@ class StreamTuple:
         self.event_time = event_time
         self.origin_time = event_time if origin_time is None else origin_time
         self.size_bytes = size_bytes
+        self.prov = None
 
     def with_values(
         self, values: tuple[Any, ...], size_bytes: float | None = None
@@ -50,6 +63,7 @@ class StreamTuple:
         clone.size_bytes = (
             self.size_bytes if size_bytes is None else size_bytes
         )
+        clone.prov = self.prov
         return clone
 
     def with_key(self, key: Any) -> "StreamTuple":
@@ -60,6 +74,18 @@ class StreamTuple:
         clone.event_time = self.event_time
         clone.origin_time = self.origin_time
         clone.size_bytes = self.size_bytes
+        clone.prov = self.prov
+        return clone
+
+    def with_prov(self, prov: tuple[int, int]) -> "StreamTuple":
+        """Copy stamped with a ``(producer_gid, emit_seq)`` provenance id."""
+        clone = StreamTuple.__new__(StreamTuple)
+        clone.values = self.values
+        clone.key = self.key
+        clone.event_time = self.event_time
+        clone.origin_time = self.origin_time
+        clone.size_bytes = self.size_bytes
+        clone.prov = prov
         return clone
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -144,11 +144,11 @@ class TestDiagnosticPrimitives:
         assert data["clean"] is True
         assert data["diagnostics"] == []
 
-    def test_catalogue_covers_all_eight_families(self):
+    def test_catalogue_covers_all_nine_families(self):
         families = {spec.family for spec in RULE_CATALOG.values()}
         assert families == {
             "dag", "schema", "keying", "window", "resource", "cost",
-            "determinism", "batch",
+            "determinism", "batch", "ft",
         }
 
     def test_every_diagnostic_code_is_catalogued(self):

@@ -101,3 +101,75 @@ def test_parallel_fanout_matches_serial():
     assert json.dumps(serial, sort_keys=True) == json.dumps(
         parallel, sort_keys=True
     )
+
+
+#: The contract of ``extras["ft"]`` for checkpointed runs: exactly
+#: these keys, in any order. Downstream consumers (exp5, the CI
+#: recovery-smoke assertions, bench_ft_overhead) index into this dict,
+#: so renaming or dropping a key is a breaking change this test pins.
+FT_EXTRAS_KEYS = {
+    "delivery",
+    "checkpoint_interval",
+    "checkpoints_completed",
+    "checkpoints_skipped",
+    "checkpoint_duration_mean_s",
+    "state_items",
+    "state_bytes",
+    "recoveries",
+    "recovery_time_s",
+    "replayed_events",
+    "duplicates_dropped",
+    "duplicate_results",
+    "lost_results",
+    "log",
+}
+
+FT_LOG_ENTRY_KEYS = {
+    "ckpt_id",
+    "triggered_at",
+    "duration_s",
+    "state_items",
+    "state_bytes",
+}
+
+
+def test_checkpointed_run_pins_ft_extras_schema():
+    """A checkpointed golden-config run carries the pinned ft extras."""
+    cluster = homogeneous_cluster("m510", 4)
+    runner = BenchmarkRunner(
+        cluster,
+        RunnerConfig(**{**GOLDEN_CONFIG, "repeats": 1}, checkpoint_ms=250.0),
+    )
+    query = runner.prepare_app("WC", GOLDEN_PARALLELISM)
+    first = runner.run_plan(query.plan)[0].to_dict()
+    second = runner.run_plan(query.plan)[0].to_dict()
+    ft = first["extras"]["ft"]
+    assert set(ft) == FT_EXTRAS_KEYS
+    assert ft["delivery"] == "exactly_once"
+    assert ft["checkpoints_completed"] >= 1
+    assert ft["recoveries"] == 0
+    for entry in ft["log"]:
+        assert set(entry) == FT_LOG_ENTRY_KEYS
+    assert json.dumps(first, sort_keys=True) == json.dumps(
+        second, sort_keys=True
+    )
+
+
+def test_checkpointing_off_keeps_golden_values():
+    """``checkpoint_ms=None`` must leave the golden runs bit-identical
+    (the FT code paths are attribute-indirected away when off)."""
+    cluster = homogeneous_cluster("m510", 4)
+    baseline = BenchmarkRunner(cluster, RunnerConfig(**GOLDEN_CONFIG))
+    explicit = BenchmarkRunner(
+        cluster,
+        RunnerConfig(
+            **GOLDEN_CONFIG, checkpoint_ms=None, delivery="exactly_once"
+        ),
+    )
+    query_a = baseline.prepare_app("WC", GOLDEN_PARALLELISM)
+    query_b = explicit.prepare_app("WC", GOLDEN_PARALLELISM)
+    runs_a = [r.to_dict() for r in baseline.run_plan(query_a.plan)]
+    runs_b = [r.to_dict() for r in explicit.run_plan(query_b.plan)]
+    assert json.dumps(runs_a, sort_keys=True) == json.dumps(
+        runs_b, sort_keys=True
+    )
