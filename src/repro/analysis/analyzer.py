@@ -125,7 +125,9 @@ class PlanAnalyzer:
     BAT7xx batch-friendliness family, for plans destined for the
     columnar micro-batch executor; ``checkpoint_interval`` (seconds)
     likewise enables the FT7xx checkpoint-readiness family, for plans
-    destined to run with aligned-barrier fault tolerance.
+    destined to run with aligned-barrier fault tolerance; ``shards``
+    enables the SHD7xx shardability family, for plans destined for the
+    multi-process sharded kernel (DESIGN.md §14).
     """
 
     def __init__(
@@ -134,11 +136,13 @@ class PlanAnalyzer:
         placement=None,
         batch=False,
         checkpoint_interval=None,
+        shards=None,
     ) -> None:
         self.cluster = cluster
         self.placement = placement
         self.batch = batch
         self.checkpoint_interval = checkpoint_interval
+        self.shards = shards
 
     def analyze(self, plan: LogicalPlan) -> AnalysisReport:
         """Collect every diagnostic for ``plan`` (never raises)."""
@@ -151,6 +155,7 @@ class PlanAnalyzer:
             order=order,
             has_cycle=has_cycle,
             checkpoint_interval=self.checkpoint_interval,
+            shards=self.shards,
         )
         report = AnalysisReport(plan_name=plan.name)
         report.extend(run_all_rules(ctx, include_batch=self.batch))
@@ -163,6 +168,7 @@ def analyze_plan(
     placement=None,
     batch=False,
     checkpoint_interval=None,
+    shards=None,
 ) -> AnalysisReport:
     """One-shot convenience wrapper around :class:`PlanAnalyzer`."""
     return PlanAnalyzer(
@@ -170,6 +176,7 @@ def analyze_plan(
         placement=placement,
         batch=batch,
         checkpoint_interval=checkpoint_interval,
+        shards=shards,
     ).analyze(plan)
 
 

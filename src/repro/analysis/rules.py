@@ -18,6 +18,7 @@ cost      ``COST501``-``COST506`` — cost, selectivity and state sanity
 determinism  ``DET601``-``DET609`` — reproducibility hazards
 batch     ``BAT701``-``BAT703`` — columnar micro-batch friendliness
 ft        ``FT701``-``FT703``  — checkpoint/recovery readiness
+shard     ``SHD701``-``SHD704`` — sharded-execution friendliness
 ========  ==========================================================
 
 The determinism family is different in kind: DET601-DET606 are *code*
@@ -46,6 +47,16 @@ operators must expose snapshotable state (FT702), and the interval must
 exceed the barrier's estimated round-trip through the DAG — a tighter
 cadence than barriers can complete means every checkpoint is skipped
 while its predecessor is still aligning (FT703).
+
+The shard family (:data:`SHD_RULES`) is opt-in the same way: sharded
+execution (DESIGN.md §14) never changes results, so its rules are pure
+speedup advice — broadcast edges that replicate traffic across every
+shard boundary (SHD701), non-keyed stateful exchanges with no shard
+locality (SHD702), parallelism degrees that leave shards idle (SHD703)
+— plus SHD704, which predicts the engine's hard rejection of more
+shards than placement nodes. It runs when the context carries a shard
+count (``repro lint-plan --shards K`` or
+``analyze_plan(..., shards=K)``).
 
 Rules never raise on malformed plans: they *report*. The analyzer runs
 every rule and aggregates, so a plan with five problems produces five
@@ -77,6 +88,7 @@ __all__ = [
     "ALL_RULES",
     "BATCH_RULES",
     "FT_RULES",
+    "SHD_RULES",
 ]
 
 
@@ -418,6 +430,37 @@ RULE_CATALOG: dict[str, RuleSpec] = {
             "most triggers are skipped while the previous checkpoint "
             "is still in flight",
         ),
+        _spec(
+            "SHD701", "shard", Severity.WARNING,
+            "broadcast edge multiplies cross-shard traffic",
+            "a broadcast exchange replicates every tuple to all "
+            "consumer instances, so K-1 of every K copies cross shard "
+            "boundaries and ride the serialized inter-shard channels; "
+            "the sharded speedup drowns in codec work",
+        ),
+        _spec(
+            "SHD702", "shard", Severity.WARNING,
+            "non-keyed stateful operator crossing shards",
+            "a stateful operator fed by a non-hash exchange spreads "
+            "its instances over shards while tuples reach them "
+            "round-robin; nearly every input then crosses a shard "
+            "boundary and the operator's state gains nothing from "
+            "locality",
+        ),
+        _spec(
+            "SHD703", "shard", Severity.INFO,
+            "operator parallelism below the shard count",
+            "an operator with fewer instances than shards leaves some "
+            "shards without any of its work; epochs synchronise on the "
+            "busiest shard, so the idle ones just wait",
+        ),
+        _spec(
+            "SHD704", "shard", Severity.ERROR,
+            "more shards than placement nodes",
+            "shards partition the simulated cluster by placement node, "
+            "so the engine rejects shard counts above the node count "
+            "outright",
+        ),
     )
 }
 
@@ -437,6 +480,9 @@ class AnalysisContext:
     #: aligned-barrier checkpoint interval in seconds; non-None enables
     #: the FT7xx readiness family
     checkpoint_interval: float | None = None
+    #: intended shard count; non-None enables the SHD7xx shardability
+    #: family
+    shards: int | None = None
 
     # ------------------------------------------------------------- helpers
 
@@ -1289,6 +1335,75 @@ def check_ft_readiness(ctx: AnalysisContext) -> Iterator[Diagnostic]:
 FT_RULES = (check_ft_readiness,)
 
 
+# ============================================================= shard rules
+
+
+def check_shardability(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    """SHD701-SHD704: will this plan profit from sharded execution?
+
+    Opt-in via ``ctx.shards`` (``repro lint-plan --shards K``) — only in
+    :data:`SHD_RULES`. Sharding never changes results (the shard
+    universe is K-invariant, DESIGN.md §14), so every finding here is
+    about *speedup*, except SHD704 which predicts an outright
+    :class:`~repro.common.errors.ConfigurationError` from the engine.
+    """
+    shards = ctx.shards
+    if shards is None or shards < 2:
+        return
+    plan = ctx.plan
+    if ctx.cluster is not None:
+        nodes = len(ctx.cluster.nodes)
+        if shards > nodes:
+            yield ctx.diag(
+                "SHD704",
+                f"{shards} shards requested but the cluster has only "
+                f"{nodes} placement node(s) to partition",
+                hint="use --shards <= the cluster's node count",
+            )
+    for edge in plan.edges:
+        consumer = plan.operators[edge.dst]
+        partitioner = edge.partitioner
+        if isinstance(partitioner, BroadcastPartitioner):
+            if consumer.parallelism > 1:
+                yield ctx.diag(
+                    "SHD701",
+                    f"broadcast into {consumer.op_id!r} (parallelism "
+                    f"{consumer.parallelism}) replicates every tuple "
+                    f"across all {shards} shards",
+                    edge=_edge_label(edge),
+                    hint="key the exchange, or keep broadcast-heavy "
+                    "plans on the single-kernel engine",
+                )
+            continue
+        if (
+            consumer.kind.is_stateful
+            and consumer.parallelism > 1
+            and not isinstance(partitioner, HashPartitioner)
+        ):
+            yield ctx.diag(
+                "SHD702",
+                f"stateful {consumer.kind.value} {consumer.op_id!r} "
+                f"receives {partitioner.name}-partitioned input; its "
+                "instances span shards with no key locality",
+                edge=_edge_label(edge),
+                hint="hash-partition the exchange on the state key",
+            )
+    for op in plan.operators.values():
+        if 1 < op.parallelism < shards:
+            yield ctx.diag(
+                "SHD703",
+                f"{op.kind.value} {op.op_id!r} has parallelism "
+                f"{op.parallelism} < {shards} shards; some shards "
+                "carry none of its instances",
+                op_id=op.op_id,
+            )
+
+
+#: Shardability rules, run only when the analysis context carries a
+#: shard count.
+SHD_RULES = (check_shardability,)
+
+
 #: All rules, in reporting order.
 ALL_RULES = (
     check_dag_structure,
@@ -1315,5 +1430,7 @@ def run_all_rules(
     rules = ALL_RULES + BATCH_RULES if include_batch else ALL_RULES
     if ctx.checkpoint_interval is not None:
         rules = rules + FT_RULES
+    if ctx.shards is not None:
+        rules = rules + SHD_RULES
     for rule in rules:
         yield from rule(ctx)

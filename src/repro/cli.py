@@ -60,6 +60,7 @@ def _runner_config(args) -> RunnerConfig:
         slo_latency=slo_ms / 1e3 if slo_ms is not None else None,
         checkpoint_ms=getattr(args, "checkpoint_ms", None),
         delivery=getattr(args, "delivery", "exactly_once"),
+        shards=getattr(args, "shards", None),
     )
 
 
@@ -113,6 +114,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         choices=("exactly_once", "at_least_once"),
         help="delivery guarantee applied on failure recovery "
         "(default exactly_once)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=None,
+        help="partition each run's simulated cluster onto this many "
+        "forked kernel shards (intra-run multi-core speedup; results "
+        "are bit-identical for every shard count)",
     )
     parser.add_argument(
         "--storage", default=None,
@@ -216,6 +223,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=None,
         help="per-workload wall-clock guard in seconds; a workload "
         "exceeding it fails the bench with its name",
+    )
+    bench.add_argument(
+        "--shard-identity", type=int, default=None, metavar="K",
+        help="instead of benchmarking, verify that K-shard execution "
+        "(in-process and forked) is bit-identical to the serial run "
+        "and exit non-zero on any divergence",
     )
 
     exp4 = commands.add_parser(
@@ -381,6 +394,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="additionally run the FT7xx checkpoint-readiness rules "
         "against this checkpoint interval in milliseconds (for plans "
         "destined to run with fault tolerance)",
+    )
+    lint.add_argument(
+        "--shards", type=int, default=None, metavar="K",
+        help="additionally run the SHD7xx shardability rules against "
+        "this shard count (for plans destined for sharded execution)",
     )
     lint.add_argument(
         "--cluster", default="m510",
@@ -1050,6 +1068,7 @@ def _cmd_lint_plan(args) -> int:
                 cluster=cluster,
                 batch=args.batch,
                 checkpoint_interval=checkpoint_interval,
+                shards=args.shards,
             ),
         )
         for name, plan in _lint_targets(args)
@@ -1209,8 +1228,21 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "exp5":
         return _cmd_exp5(args)
     if args.command == "bench":
-        from repro.core.perf import run_bench
+        from repro.core.perf import run_bench, run_shard_identity
 
+        if args.shard_identity is not None:
+            failures = run_shard_identity(
+                args.shard_identity, quick=args.quick
+            )
+            if failures:
+                for message in failures:
+                    print(f"SHARD IDENTITY FAILED: {message}")
+                return 1
+            print(
+                f"shard identity ok: shards={args.shard_identity} "
+                "(inline and forked) bit-identical to the serial run"
+            )
+            return 0
         return run_bench(
             quick=args.quick,
             check=args.check,

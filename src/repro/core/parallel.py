@@ -164,6 +164,14 @@ class ParallelRunner:
         self, fn: Callable[[_T], _R], items: Iterable[_T]
     ) -> list[_R]:
         """``[fn(item) for item in items]``, fanned out when possible."""
+        if self.workers <= 1:
+            # The serial path is the exact list-comprehension loop and
+            # must never consult fork machinery: a workers=1 runner is
+            # the in-process reference that sharded / pooled runs are
+            # compared against, and probing start methods (or touching
+            # the module-global task slot) from inside engine code or
+            # pool children is what the no-fork pin test forbids.
+            return [fn(item) for item in items]
         work: Sequence[_T] = (
             items if isinstance(items, (list, tuple)) else list(items)
         )

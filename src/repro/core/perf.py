@@ -38,6 +38,7 @@ size × throughput/latency trade-off
 from __future__ import annotations
 
 import json
+import os
 import signal
 import time
 from contextlib import contextmanager
@@ -73,6 +74,8 @@ __all__ = [
     "run_batch_sweep",
     "run_sweep_bench",
     "calibration_score",
+    "calibration_details",
+    "run_shard_identity",
     "run_bench",
 ]
 
@@ -98,11 +101,22 @@ ENGINE_WORKLOADS = (
     "hotpath-b256",
     "WC-b256",
     "hotpath-ckpt",
+    "hotpath-s4",
+    "WC-s4",
 )
 
 _BENCH_SEED = 17
 _BENCH_PARALLELISM = 4
 _BENCH_DILATION = 25.0
+
+#: Sharded ``-s<K>`` workload shape (DESIGN.md §14): a cloud-style
+#: network whose base latency is the conservative lookahead — wide
+#: enough that each epoch holds thousands of events — a source rate
+#: that saturates those epochs, and a larger tuple budget so the run
+#: spans enough epochs to amortise per-epoch synchronisation.
+_SHARD_RATE = 800_000.0
+_SHARD_LATENCY_S = 2e-3
+_SHARD_TUPLES_SCALE = 4
 
 #: Checkpoint cadence of the ``-ckpt`` workloads: short enough that a
 #: quick run completes several checkpoints, long enough that barriers
@@ -135,17 +149,22 @@ def _kv_generate_vec(rng: np.random.Generator, nows: np.ndarray) -> tuple:
     return (keys, np.ascontiguousarray(draws[:, 1])), 24.0
 
 
-def hotpath_plan(parallelism: int = _BENCH_PARALLELISM) -> LogicalPlan:
+def hotpath_plan(
+    parallelism: int = _BENCH_PARALLELISM,
+    event_rate: float = 4000.0,
+) -> LogicalPlan:
     """A synthetic engine-stress plan: source -> filter -> keyed agg -> sink.
 
     Operator logic is deliberately trivial, so nearly all wall-clock goes
     to the engine itself — arrival scheduling, queueing, routing (one
-    forward and one hash exchange) and window bookkeeping.
+    forward and one hash exchange) and window bookkeeping.  The sharded
+    ``-s<K>`` workloads raise ``event_rate`` so conservative epochs (one
+    network base latency wide) each contain thousands of events.
     """
     plan = LogicalPlan("bench-hotpath")
     plan.add_operator(
         builders.source(
-            "src", _kv_generate, _KV_SCHEMA, event_rate=4000.0,
+            "src", _kv_generate, _KV_SCHEMA, event_rate=event_rate,
             parallelism=parallelism,
             vector_generator=_kv_generate_vec,
         )
@@ -276,6 +295,7 @@ def _measure(
     rounds: int,
     batch_size: int | None = None,
     checkpoint_interval: float | None = None,
+    shards: int | None = None,
 ) -> dict:
     """Best-of-``rounds`` events/sec of one plan on fixed seeds."""
     sim = SimulationConfig(
@@ -283,6 +303,7 @@ def _measure(
         max_sim_time=8.0,
         batch_size=batch_size,
         checkpoint_interval=checkpoint_interval,
+        shards=shards,
     )
     best = 0.0
     events = 0
@@ -299,25 +320,50 @@ def _measure(
     return {"events_per_sec": round(best, 1), "events": int(events)}
 
 
-def _parse_workload(name: str) -> tuple[str, int | None, float | None]:
-    """Split a workload name into (base, batch_size, checkpoint_interval).
+def _parse_workload(
+    name: str,
+) -> tuple[str, int | None, float | None, int | None]:
+    """Split a workload name into (base, batch, checkpoint, shards).
 
-    ``"WC-b256"`` becomes ``("WC", 256, None)``, ``"hotpath-ckpt"``
-    becomes ``("hotpath", None, _CKPT_INTERVAL)``; plain names pass
-    through unchanged.
+    ``"WC-b256"`` becomes ``("WC", 256, None, None)``,
+    ``"hotpath-ckpt"`` becomes ``("hotpath", None, _CKPT_INTERVAL,
+    None)``, ``"hotpath-s4"`` becomes ``("hotpath", None, None, 4)``;
+    plain names pass through unchanged.
     """
     checkpoint = None
     if name.endswith("-ckpt"):
         name = name[: -len("-ckpt")]
         checkpoint = _CKPT_INTERVAL
+    base, sep, suffix = name.rpartition("-s")
+    if sep and suffix.isdigit():
+        return base, None, checkpoint, int(suffix)
     base, sep, suffix = name.rpartition("-b")
     if sep and suffix.isdigit():
-        return base, int(suffix), checkpoint
-    return name, None, checkpoint
+        return base, int(suffix), checkpoint, None
+    return name, None, checkpoint, None
 
 
-def _build_workload(name: str, cluster, tuples: int):
+def _shard_cluster():
+    """The cluster of the ``-s<K>`` workloads: cloud-style latency."""
+    from repro.cluster.network import NetworkSpec
+
+    return homogeneous_cluster(
+        "m510",
+        _BENCH_PARALLELISM,
+        network_spec=NetworkSpec(base_latency_s=_SHARD_LATENCY_S),
+    )
+
+
+def _build_workload(
+    name: str,
+    cluster,
+    tuples: int,
+    event_rate: float | None = None,
+    dilation: float = _BENCH_DILATION,
+):
     if name == "hotpath":
+        if event_rate is not None:
+            return hotpath_plan(event_rate=event_rate)
         return hotpath_plan()
     if name == "slide8":
         return slide8_plan()
@@ -327,13 +373,26 @@ def _build_workload(name: str, cluster, tuples: int):
         cluster,
         RunnerConfig(
             repeats=1,
-            dilation=_BENCH_DILATION,
+            dilation=dilation,
             max_tuples_per_source=tuples,
             max_sim_time=8.0,
             seed=_BENCH_SEED,
         ),
     )
-    return runner.prepare_app(name, _BENCH_PARALLELISM).plan
+    return runner.prepare_app(
+        name, _BENCH_PARALLELISM, event_rate=event_rate or 100_000.0
+    ).plan
+
+
+def _available_cores() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return len(getaffinity(0))
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return os.cpu_count() or 1
 
 
 def run_engine_bench(
@@ -345,6 +404,14 @@ def run_engine_bench(
 
     ``timeout`` bounds each workload's wall-clock; exceeding it raises
     :class:`WorkloadTimeout` naming the offender.
+
+    Sharded ``-s<K>`` workloads run the plan on the cloud-latency
+    :func:`_shard_cluster` under ``SimulationConfig(shards=K)`` with
+    forked shard processes, and additionally measure the identical
+    plan/cluster serially, recording ``speedup_vs_serial`` and the
+    host's usable core count — on a host with fewer than ``K`` cores
+    the fork buys nothing by construction, so only the events/sec
+    number (relative to this machine's committed baseline) gates.
     """
     tuples = 1500 if quick else 5000
     rounds = 2 if quick else 3
@@ -352,7 +419,28 @@ def run_engine_bench(
     results: dict[str, dict] = {}
     for name in workloads:
         with _deadline(name, timeout):
-            base, batch_size, checkpoint = _parse_workload(name)
+            base, batch_size, checkpoint, shards = _parse_workload(name)
+            if shards is not None:
+                w_cluster = _shard_cluster()
+                w_tuples = tuples * _SHARD_TUPLES_SCALE
+                plan = _build_workload(
+                    base,
+                    w_cluster,
+                    w_tuples,
+                    event_rate=_SHARD_RATE,
+                    dilation=1.0,
+                )
+                result = _measure(
+                    plan, w_cluster, w_tuples, rounds, shards=shards
+                )
+                serial = _measure(plan, w_cluster, w_tuples, rounds)
+                result["speedup_vs_serial"] = round(
+                    result["events_per_sec"] / serial["events_per_sec"],
+                    2,
+                )
+                result["cores"] = _available_cores()
+                results[name] = result
+                continue
             plan = _build_workload(base, cluster, tuples)
             results[name] = _measure(
                 plan,
@@ -464,12 +552,8 @@ def run_sweep_bench(
     }
 
 
-def calibration_score(iterations: int = 300_000) -> float:
-    """kops/s of a fixed heap workload — a proxy for host speed.
-
-    Used to scale the committed reference before comparing, so the
-    regression gate transfers across machines of different speeds.
-    """
+def _calibration_probe(iterations: int) -> float:
+    """One kops/s sample of the fixed heap workload."""
     heap: list = []
     start = time.perf_counter()
     for i in range(iterations):
@@ -478,6 +562,92 @@ def calibration_score(iterations: int = 300_000) -> float:
             heappop(heap)
     elapsed = time.perf_counter() - start
     return round(iterations / elapsed / 1000.0, 1)
+
+
+def calibration_score(
+    iterations: int = 300_000, probes: int = 3
+) -> float:
+    """Median kops/s of ``probes`` heap-workload runs — host speed proxy.
+
+    Used to scale the committed reference before comparing, so the
+    regression gate transfers across machines of different speeds. The
+    median of three probes (rather than a single one) keeps a scheduler
+    hiccup during the probe from shifting every workload's floor.
+    """
+    return calibration_details(iterations, probes)["kops"]
+
+
+def calibration_details(
+    iterations: int = 300_000, probes: int = 3
+) -> dict:
+    """Median and spread of the calibration probes.
+
+    The spread (max - min across probes) is recorded next to the score
+    in the bench report; a wide spread flags a noisy host whose check
+    results deserve suspicion.
+    """
+    scores = sorted(_calibration_probe(iterations) for _ in range(probes))
+    return {
+        "kops": scores[len(scores) // 2],
+        "spread_kops": round(scores[-1] - scores[0], 1),
+        "probes": scores,
+    }
+
+
+def run_shard_identity(
+    shards: int = 2, quick: bool = True
+) -> list[str]:
+    """Bit-identity failure messages for sharded vs. serial execution.
+
+    Runs the shard-shaped hotpath plan three ways — the shard universe
+    in a single in-process kernel (``shards=1``, the serial reference),
+    in-process with ``shards=K``, and with ``K`` forked shard processes
+    — and compares results, throughput, latency quantiles, event counts
+    and the merged per-stream RNG ledgers. Any difference is a protocol
+    or codec bug; CI runs this as part of the perf smoke lane.
+    """
+    cluster = _shard_cluster()
+    plan = hotpath_plan(event_rate=_SHARD_RATE)
+    tuples = 2000 if quick else 8000
+
+    def signature(shard_count: int, force_inline: bool):
+        sim = SimulationConfig(
+            max_tuples_per_source=tuples,
+            max_sim_time=8.0,
+            shards=shard_count,
+        )
+        engine = StreamEngine(
+            plan, cluster, config=sim,
+            rng_factory=RngFactory(_BENCH_SEED),
+        )
+        engine.shard_force_inline = force_inline
+        metrics = engine.run()
+        return {
+            "results": metrics.results,
+            "source_events": metrics.source_events,
+            "throughput": metrics.throughput,
+            "latency_mean": metrics.latency.mean,
+            "latency_p99": metrics.latency.p99,
+            "sim_duration": metrics.sim_duration,
+            "events": metrics.extras["events_processed"],
+            "epochs": metrics.extras["shards"]["epochs"],
+            "ledger": tuple(sorted(engine._shard_ledger.items())),
+        }
+
+    reference = signature(1, True)
+    failures: list[str] = []
+    for label, candidate in (
+        (f"inline shards={shards}", signature(shards, True)),
+        (f"forked shards={shards}", signature(shards, False)),
+    ):
+        for key, expected in reference.items():
+            got = candidate[key]
+            if got != expected:
+                failures.append(
+                    f"{label}: {key} diverged from the serial "
+                    f"reference ({got!r} != {expected!r})"
+                )
+    return failures
 
 
 def check_report(
@@ -530,9 +700,15 @@ def run_bench(
         results = run_engine_bench(quick=quick, timeout=timeout)
         print(f"engine benchmark ({mode}, seed {_BENCH_SEED}):")
         for name, result in results.items():
+            extra = ""
+            if "speedup_vs_serial" in result:
+                extra = (
+                    f"  [{result['speedup_vs_serial']}x vs serial, "
+                    f"{result['cores']} core(s)]"
+                )
             print(
                 f"  {name:8s} {result['events_per_sec']:>12,.0f} ev/s"
-                f"  ({result['events']} events)"
+                f"  ({result['events']} events){extra}"
             )
         sweep = None
         if with_sweep:
@@ -583,7 +759,9 @@ def run_bench(
     if write:
         section = report.setdefault(mode, {})
         section["current"] = results
-        report["calibration_kops"] = calibration_score()
+        calibration = calibration_details()
+        report["calibration_kops"] = calibration["kops"]
+        report["calibration_spread_kops"] = calibration["spread_kops"]
         if sweep is not None:
             report["sweep"] = sweep
         path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")

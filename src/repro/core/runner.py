@@ -97,6 +97,16 @@ class RunnerConfig:
     #: duplicates through and accounts them).
     checkpoint_ms: float | None = None
     delivery: str = "exactly_once"
+    #: sharded execution (DESIGN.md §14): partition the simulated
+    #: cluster by placement node onto this many kernel shards and run
+    #: them as forked processes under the conservative epoch protocol.
+    #: ``None`` (the default) keeps the single-kernel event loop and is
+    #: bit-identical to runs made before sharding existed; any ``K``
+    #: (including 1) selects the shard universe, whose results are
+    #: invariant in ``K`` and in the transport. With ``sanitize`` the
+    #: forked run's RNG ledger is cross-checked against an in-process
+    #: reference run (DET609).
+    shards: int | None = None
 
     def __post_init__(self) -> None:
         if self.repeats < 1:
@@ -114,6 +124,28 @@ class RunnerConfig:
             raise ConfigurationError(
                 "obs_sample_interval must be positive"
             )
+        if self.shards is not None:
+            if self.shards < 1:
+                raise ConfigurationError("shards must be >= 1")
+            if self.workers > 1:
+                raise ConfigurationError(
+                    "shards and workers > 1 both fork processes; "
+                    "pick repeat-level or intra-run parallelism"
+                )
+            incompatible = {
+                "observe": self.observe,
+                "batch_size": self.batch_size,
+                "autoscale": self.autoscale,
+                "scenario": self.scenario,
+                "rescales": self.rescales or None,
+                "checkpoint_ms": self.checkpoint_ms,
+            }
+            for knob, value in incompatible.items():
+                if value:
+                    raise ConfigurationError(
+                        f"shards is incompatible with {knob} "
+                        "(DESIGN.md §14 lists the sharded subset)"
+                    )
 
 
 class BenchmarkRunner:
@@ -173,6 +205,7 @@ class BenchmarkRunner:
                 else self.config.checkpoint_ms / 1000.0
             ),
             delivery=self.config.delivery,
+            shards=self.config.shards,
         )
 
         observe = self.config.observe
@@ -180,7 +213,7 @@ class BenchmarkRunner:
         if sanitize:
             self._static_sanitize(plan)
 
-        def one_repeat(repeat: int) -> RunMetrics:
+        def one_repeat(repeat: int, force_inline: bool = False) -> RunMetrics:
             observer = None
             if observe:
                 from repro.obs import EngineObserver
@@ -200,6 +233,8 @@ class BenchmarkRunner:
                 observer=observer,
                 sanitize=sanitize,
             )
+            if force_inline:
+                engine.shard_force_inline = True
             metrics = engine.run()
             if observer is not None:
                 metrics.extras["obs"] = observer.summary()
@@ -269,6 +304,28 @@ class BenchmarkRunner:
                 one_repeat(0).extras.get("race", {}).get("rng_ledger", {})
             )
             for diag in compare_ledgers(reference, pooled):
+                errors.append(
+                    (
+                        diag.code,
+                        f"{diag.code} [{diag.location}] {diag.message}",
+                    )
+                )
+        if (
+            not errors
+            and self.config.shards is not None
+            and self.config.shards > 1
+            and runs
+        ):
+            # Same DET609 cross-check for intra-run sharding: the
+            # forked shard processes' merged RNG-draw ledger must match
+            # an in-process reference of the identical shard universe.
+            forked = runs[0].extras.get("race", {}).get("rng_ledger", {})
+            reference = (
+                one_repeat(0, force_inline=True)
+                .extras.get("race", {})
+                .get("rng_ledger", {})
+            )
+            for diag in compare_ledgers(reference, forked):
                 errors.append(
                     (
                         diag.code,

@@ -1,0 +1,38 @@
+"""Shard partitioning: map simulated cluster nodes onto kernel shards.
+
+The sharding unit is the *placement node*, never the individual
+subtask: every channel between subtasks on the same node has zero
+simulated network delay, so splitting a node across shards would leave
+the conservative controller without lookahead (see
+:mod:`repro.kernel.sharded`). Cross-node channels all pay at least the
+network's base latency, which becomes the epoch width.
+
+Results are invariant under the choice of partition — any node→shard
+map yields the same simulation — so the map only matters for balance:
+nodes are dealt round-robin in sorted order, which spreads
+round-robin-placed subtasks evenly.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError
+
+__all__ = ["partition_nodes", "shard_of_gids"]
+
+
+def partition_nodes(node_ids, shards: int) -> dict[int, int]:
+    """Deal the distinct node ids round-robin onto ``shards`` shards."""
+    distinct = sorted(set(node_ids))
+    if shards < 1:
+        raise ConfigurationError("shards must be >= 1")
+    if shards > len(distinct):
+        raise ConfigurationError(
+            f"cannot split {len(distinct)} placement node(s) into "
+            f"{shards} shards; use shards <= nodes hosting subtasks"
+        )
+    return {node: i % shards for i, node in enumerate(distinct)}
+
+
+def shard_of_gids(node_of_gid, shard_of_node: dict[int, int]) -> list[int]:
+    """Per-gid shard ids from a per-gid node list and the node map."""
+    return [shard_of_node[node] for node in node_of_gid]

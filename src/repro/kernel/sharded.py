@@ -1,0 +1,155 @@
+"""Conservative parallel DES: epoch controller over K shard kernels.
+
+**Protocol.** The simulated cluster is partitioned by placement node
+(:mod:`repro.kernel.partition`); every cross-shard channel pays at least
+the network's base latency ``L``, which becomes the *lookahead*. The
+controller advances all shards through a shared sequence of epoch
+boundaries::
+
+    B_{n+1} = max(B_n, T_e) + L
+
+where ``T_e`` is the earliest pending event time anywhere (worker heaps
+plus in-flight cross-shard packets). Each epoch, every shard drains its
+local heap strictly below the boundary, collecting cross-shard sends
+into per-destination *packets* ``(dst_shard, min_time, count,
+payload)``; the controller forwards each packet to its destination's
+next-epoch inbox without ever opening the payload — an opaque blob on
+the forked transport, a raw message list in-process — so all
+serialization work stays inside the (parallel) workers.
+
+**Safety.** By induction ``T_e(n) >= B_{n-1}``: epoch ``n-1`` drained
+every local event below ``B_{n-1}``, and packets emitted during it have
+arrival times ``>= T_e(n-1) + L = B_{n-1}``. Any send during epoch ``n``
+then arrives at ``t + L >= T_e(n) + L >= B_n`` — never inside an epoch
+already being drained. No shard can receive a message in its past, so no
+rollback is ever needed.
+
+**Invariance.** The boundary sequence depends only on event times and
+the lookahead — both invariant under the node→shard map — and equal-time
+events order by ``(origin gid, origin seq)`` tie-breaks, which depend
+only on the producer. Hence ``shards=K`` produces bit-identical results
+for every K (including ``K=1``), which the runner's DET609 cross-check
+and the property suite exploit.
+
+**Termination.** Quiescence (zero data-plane work everywhere, nothing in
+flight) triggers a flush round at the current boundary: shards force
+remaining window panes closed in topological order, exactly like the
+serial engine's idle flush. Flush emissions are new work, so epochs
+resume; when a round emits nothing anywhere (or the round cap is hit)
+the run is finished at that boundary.
+
+Worker handles are duck-typed so the in-process and forked transports
+(:mod:`repro.sps.shard_exec`) share this controller: each handle
+implements ``begin_start() / begin_epoch(boundary, packets, budget) /
+begin_flush(boundary)`` to issue a command and ``collect()`` to block on
+its reply — issuing to all handles before collecting any is what lets
+forked shards run concurrently.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.kernel.core import BudgetExceededError
+
+__all__ = ["ShardController"]
+
+
+class ShardController:
+    """Drive K duck-typed shard handles to a deterministic finish.
+
+    Replies carry outboxes as packets ``(dst_shard, min_time, count,
+    payload)``; the payload is opaque to the controller — only the
+    destination, the earliest contained arrival time and the message
+    count feed the boundary and quiescence logic.
+    """
+
+    def __init__(
+        self,
+        handles,
+        *,
+        lookahead: float,
+        max_events: int,
+        max_flush_rounds: int,
+    ) -> None:
+        if lookahead <= 0.0:
+            raise ValueError("conservative sharding requires lookahead > 0")
+        self.handles = list(handles)
+        self.lookahead = lookahead
+        self.max_events = max_events
+        self.max_flush_rounds = max_flush_rounds
+        #: filled in by :meth:`run` for the host's metrics/reporting
+        self.events_processed = 0
+        self.epochs = 0
+        self.flush_rounds = 0
+
+    def run(self) -> float:
+        """Run all shards to completion; return the final simulated time."""
+        handles = self.handles
+        shards = len(handles)
+        lookahead = self.lookahead
+        max_events = self.max_events
+        pending: list[list] = [[] for _ in range(shards)]
+
+        for handle in handles:
+            handle.begin_start()
+        events = [0] * shards
+        work = [0] * shards
+        nxt = [math.inf] * shards
+        for i, handle in enumerate(handles):
+            _, work[i], nxt[i] = handle.collect()
+
+        boundary = 0.0
+        flush_rounds = 0
+        epochs = 0
+        while True:
+            in_flight = sum(
+                packet[2] for inbox in pending for packet in inbox
+            )
+            if sum(work) + in_flight == 0:
+                # Globally quiescent: no data-plane events anywhere.
+                if flush_rounds >= self.max_flush_rounds:
+                    break
+                flush_rounds += 1
+                for handle in handles:
+                    handle.begin_flush(boundary)
+                emitted = False
+                for i, handle in enumerate(handles):
+                    emit, events[i], work[i], nxt[i], outbox = (
+                        handle.collect()
+                    )
+                    emitted = emitted or emit
+                    for packet in outbox:
+                        pending[packet[0]].append(packet)
+                if not emitted:
+                    break
+                continue
+            earliest = min(nxt)
+            for inbox in pending:
+                for packet in inbox:
+                    if packet[1] < earliest:
+                        earliest = packet[1]
+            if earliest == math.inf:  # defensive; work>0 implies finite
+                break
+            boundary = max(boundary, earliest) + lookahead
+            epochs += 1
+            total = sum(events)
+            for i, handle in enumerate(handles):
+                # Per-shard budget: the global remainder as of the last
+                # sync point; the controller re-checks the true sum
+                # after collecting.
+                handle.begin_epoch(
+                    boundary, pending[i], max_events - (total - events[i])
+                )
+                pending[i] = []
+            for i, handle in enumerate(handles):
+                events[i], work[i], nxt[i], outbox = handle.collect()
+                for packet in outbox:
+                    pending[packet[0]].append(packet)
+            if sum(events) > max_events:
+                raise BudgetExceededError(max_events)
+
+        self.events_processed = sum(events)
+        self.epochs = epochs
+        self.flush_rounds = flush_rounds
+        return boundary

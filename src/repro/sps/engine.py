@@ -91,6 +91,7 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.network import Network
 from repro.common.errors import ConfigurationError, SimulationError
 from repro.common.rng import RngFactory
+from repro.kernel.core import BudgetExceededError, Kernel
 from repro.ft.store import StateStore, estimate_items, validate_delivery
 from repro.sps.costs import COORD_LOG_COST_S, SERDE_COST_S
 from repro.sps.logical import LogicalPlan, OperatorKind
@@ -126,6 +127,13 @@ __all__ = [
     _SCENARIO,
     _FT,
 ) = range(11)
+
+#: Data-plane kinds for the kernel's work accounting: everything except
+#: TIMER and the control-plane kinds at RESCALE and above keeps the run
+#: alive (REPLAY redelivers real tuples, so it counts).
+_WORK_MASK = tuple(
+    kind != _TIMER and kind < _RESCALE for kind in range(11)
+)
 
 # Recovery pause model (DESIGN.md §13): restoring from a checkpoint pays
 # a coordination handshake plus per-item state rehydration, with mild
@@ -275,6 +283,16 @@ class SimulationConfig:
     #: delivery guarantee under recovery: "exactly_once" (sink dedupe by
     #: provenance) or "at_least_once" (duplicates delivered + accounted)
     delivery: str = "exactly_once"
+    #: conservative parallel execution (DESIGN.md §14): partition the
+    #: simulated cluster by placement node into this many shards, one
+    #: kernel per shard, synchronized by epoch windows whose width is
+    #: the inter-node network latency (the lookahead). ``None`` (the
+    #: default) keeps the single-kernel loop bit-identical to engines
+    #: built before sharding existed. Sharded runs use per-subtask
+    #: arrival/noise RNG streams and producer-local tie-breaks, so the
+    #: results are identical for every shard count (including 1) but
+    #: form a distinct deterministic universe from ``shards=None``.
+    shards: int | None = None
 
     def __post_init__(self) -> None:
         if self.max_tuples_per_source < 1:
@@ -331,6 +349,29 @@ class SimulationConfig:
                 raise ConfigurationError(
                     "checkpointing does not support backpressure; barrier "
                     "alignment and source throttling would deadlock"
+                )
+        if self.shards is not None:
+            if self.shards < 1:
+                raise ConfigurationError("shards must be >= 1")
+            if self.batch_size is not None:
+                raise ConfigurationError(
+                    "sharded execution does not support batch mode; "
+                    "unset batch_size to use shards"
+                )
+            if self.backpressure_queue_limit is not None:
+                raise ConfigurationError(
+                    "sharded execution does not support backpressure; "
+                    "source throttling is a global feedback loop"
+                )
+            if self.rescales or self.autoscale or self.scenario:
+                raise ConfigurationError(
+                    "sharded execution does not support the elastic "
+                    "runtime (rescales/autoscale/scenario); unset shards"
+                )
+            if self.checkpoint_interval is not None:
+                raise ConfigurationError(
+                    "sharded execution does not support checkpointing; "
+                    "barrier alignment would need a global channel view"
                 )
 
 
@@ -490,7 +531,45 @@ class StreamEngine:
                 "barrier alignment needs per-subtask queues (disable "
                 "chaining to use checkpoint_interval)"
             )
+        if self.config.shards is not None:
+            if observer is not None:
+                raise ConfigurationError(
+                    "sharded execution does not support an observer; "
+                    "hooks would need cross-process event ordering"
+                )
+            if self.physical.chains:
+                raise ConfigurationError(
+                    "sharded execution does not support operator "
+                    "chaining; disable chaining to use shards"
+                )
+        #: force the sharded controller onto in-process workers even
+        #: where fork is available (the serial reference of the DET609
+        #: cross-check, and the property tests' fast path)
+        self.shard_force_inline = False
+        #: the discrete-event kernel; reset at every run() and shared
+        #: with the batch executor through the _now/_events_processed
+        #: properties below
+        self._k = Kernel(_WORK_MASK)
         self._build_runtimes()
+
+    # Compatibility mirrors: the kernel owns the clock and the event
+    # counter, but the batch executor and observers address them as
+    # plain engine attributes.
+    @property
+    def _now(self) -> float:
+        return self._k.now
+
+    @_now.setter
+    def _now(self, value: float) -> None:
+        self._k.now = value
+
+    @property
+    def _events_processed(self) -> int:
+        return self._k.events_processed
+
+    @_events_processed.setter
+    def _events_processed(self, value: int) -> None:
+        self._k.events_processed = value
 
     # ----------------------------------------------------------- build-time
 
@@ -671,11 +750,12 @@ class StreamEngine:
             from repro.sps.batch import ColumnarExecutor
 
             return ColumnarExecutor(self).run()
-        self._heap = []
-        self._seq = 0
-        self._work = 0
-        self._events_processed = 0
-        self._now = 0.0
+        if self.config.shards is not None:
+            from repro.sps.shard_exec import run_sharded
+
+            return run_sharded(self)
+        k = self._k
+        k.reset()
         self._finished = False
         self._flush_rounds = 0
         self._flush_time: float | None = None
@@ -695,6 +775,9 @@ class StreamEngine:
         self._route_live = self._route
         self._serve_next = self._begin_service_now
         self._state_loss: dict | None = None
+        # Instance binding: event producers schedule through the kernel
+        # directly, skipping the class-level _push delegation frame.
+        self._push = k.push
         if self._ft:
             self._ft_init()
 
@@ -718,92 +801,99 @@ class StreamEngine:
         if self._elastic:
             self._start_elastic()
 
-        max_ops = len(self.logical.operators) + 2
+        self._max_flush_rounds = len(self.logical.operators) + 2
         max_events = self.config.max_events
-        heap = self._heap
-        runtimes = self._runtimes
-        enqueue = self._ft_enqueue if self._ft else self._enqueue
-        handle_done = self._handle_done
         obs = self._obs
         if obs is not None:
             obs.on_run_start(self)
-        obs_next = obs.next_sample if obs is not None else math.inf
-        events = 0
-        while heap:
-            if events > max_events:
-                self._events_processed = events
-                raise SimulationError(
-                    f"event budget exceeded ({max_events}); "
-                    "the configuration likely diverged"
-                )
-            time, _, kind, gid, payload, port = heappop(heap)
-            events += 1
-            self._now = time
-            if time >= obs_next:
-                # Lazy sampling: piggy-back on the event already being
-                # processed instead of scheduling sampler events, so the
-                # heap and sequence numbers are untouched.
-                obs_next = obs.sample(time)
-            if kind == _TIMER:
-                if not self._finished:
-                    self._handle_timer(gid)
-                continue
-            if kind >= _RESCALE:
-                # Control-plane events: no work accounting, like TIMER.
-                if kind == _RESCALE:
-                    self._handle_rescale(payload)
-                elif kind == _CONTROL:
-                    self._handle_control()
-                elif kind == _SCENARIO:
-                    self._handle_scenario(payload)
-                else:
-                    self._handle_ft(payload)
-                continue
-            self._work -= 1
-            if kind == _DELIVER:
-                enqueue(runtimes[gid], payload, port)
-            elif kind == _DONE:
-                handle_done(gid, payload, port)
-            elif kind == _BEGIN:
-                runtime = runtimes[gid]
-                if runtime.draining or runtime.retired:
-                    self._drain_step(runtime)
-                else:
-                    runtime.busy = False
-                    if len(runtime.queue) > runtime.queue_head:
-                        self._serve_next(runtime)
-            elif kind == _ARRIVAL:
-                self._handle_arrival(gid)
-            elif kind == _STALL:
-                self._handle_stall(gid, payload)
-            else:
-                self._handle_replay(gid)
-            if self._work == 0:
-                if self._ft and self._ft_recovering:
-                    # A recovery pause drained the last in-flight work;
-                    # the scheduled ("restored", ...) control event
-                    # will re-arm the source replay, so neither flush
-                    # nor terminate yet.
-                    continue
-                if self._flush_rounds < max_ops and self._flush_all():
-                    self._flush_rounds += 1
-                else:
-                    self._finished = True
-                    break
-        self._events_processed = events
+            k.sampler = obs.sample
+            k.sample_next = obs.next_sample
+        try:
+            k.run(
+                self._make_handlers(),
+                max_events=max_events,
+                on_idle=self._on_idle,
+            )
+        except BudgetExceededError:
+            raise SimulationError(
+                f"event budget exceeded ({max_events}); "
+                "the configuration likely diverged"
+            ) from None
         if obs is not None:
-            obs.on_run_end(self._now)
+            obs.on_run_end(k.now)
         return self._collect_metrics()
+
+    def _make_handlers(self) -> list:
+        """The kernel's dispatch table, one entry per event kind."""
+        runtimes = self._runtimes
+        enqueue = self._ft_enqueue if self._ft else self._enqueue
+
+        def deliver(gid: int, payload, port: int) -> None:
+            enqueue(runtimes[gid], payload, port)
+
+        def arrival(gid: int, payload, port: int) -> None:
+            self._handle_arrival(gid)
+
+        def begin(gid: int, payload, port: int) -> None:
+            self._begin_service(gid)
+
+        def timer(gid: int, payload, port: int) -> None:
+            if not self._finished:
+                self._handle_timer(gid)
+
+        def stall(gid: int, payload, port: int) -> None:
+            self._handle_stall(gid, payload)
+
+        def replay(gid: int, payload, port: int) -> None:
+            self._handle_replay(gid)
+
+        def rescale(gid: int, payload, port: int) -> None:
+            self._handle_rescale(payload)
+
+        def control(gid: int, payload, port: int) -> None:
+            self._handle_control()
+
+        def scenario(gid: int, payload, port: int) -> None:
+            self._handle_scenario(payload)
+
+        def ft(gid: int, payload, port: int) -> None:
+            self._handle_ft(payload)
+
+        handlers: list = [None] * 11
+        handlers[_ARRIVAL] = arrival
+        handlers[_DELIVER] = deliver
+        handlers[_BEGIN] = begin
+        handlers[_DONE] = self._handle_done
+        handlers[_TIMER] = timer
+        handlers[_STALL] = stall
+        handlers[_REPLAY] = replay
+        handlers[_RESCALE] = rescale
+        handlers[_CONTROL] = control
+        handlers[_SCENARIO] = scenario
+        handlers[_FT] = ft
+        return handlers
+
+    def _on_idle(self) -> bool:
+        """Work counter hit zero: flush rounds, recovery, or stop."""
+        if self._ft and self._ft_recovering:
+            # A recovery pause drained the last in-flight work; the
+            # scheduled ("restored", ...) control event will re-arm the
+            # source replay, so neither flush nor terminate yet.
+            return True
+        if self._flush_rounds < self._max_flush_rounds and self._flush_all():
+            self._flush_rounds += 1
+            return True
+        self._finished = True
+        return False
 
     # -------------------------------------------------------------- events
 
     def _push(
         self, time: float, kind: int, gid: int, payload, port: int
     ) -> None:
-        self._seq += 1
-        if kind != _TIMER and kind < _RESCALE:
-            self._work += 1
-        heappush(self._heap, (time, self._seq, kind, gid, payload, port))
+        # Class-level fallback; run() shadows this with the bound
+        # kernel push so scheduling skips the delegation frame.
+        self._k.push(time, kind, gid, payload, port)
 
     def _schedule_next_arrival(
         self, runtime: _SubtaskRuntime, now: float
@@ -842,25 +932,26 @@ class StreamEngine:
 
     def _handle_arrival(self, gid: int) -> None:
         runtime = self._runtimes[gid]
+        now = self._k.now
         if self._congested:
             # Backpressure: hold the arrival without emitting; retry
             # shortly. The event stays "work" so the run cannot end
             # while sources are merely paused.
             self._throttled_arrivals += 1
-            retry = self._now + 1e-3
+            retry = now + 1e-3
             if retry <= self.config.max_sim_time:
                 self._push(retry, _ARRIVAL, gid, None, 0)
             return
-        tup = runtime.logic.generate(self._now)
+        tup = runtime.logic.generate(now)
         runtime.emitted += 1
-        if self._now < runtime.fail_until:
+        if now < runtime.fail_until:
             # Failed source (chaos, FT off): the tuple is generated for
             # RNG parity but never delivered — an explicit data loss.
             self._state_loss["lost_source_tuples"] += 1
-            self._schedule_next_arrival(runtime, self._now)
+            self._schedule_next_arrival(runtime, now)
             return
-        if self._now > self._last_source_time:
-            self._last_source_time = self._now
+        if now > self._last_source_time:
+            self._last_source_time = now
         if self._ft:
             # Durable source log (DESIGN.md §13): every generated tuple
             # is appended; delivery advances ft_head, and recovery
@@ -872,7 +963,7 @@ class StreamEngine:
                 self._ft_enqueue(runtime, (tup, -1), 0)
         else:
             self._enqueue(runtime, tup, 0)
-        self._schedule_next_arrival(runtime, self._now)
+        self._schedule_next_arrival(runtime, now)
 
     def _enqueue(
         self, runtime: _SubtaskRuntime, tup: StreamTuple, port: int
@@ -884,6 +975,8 @@ class StreamEngine:
             # multiple rescales, since the live set is looked up fresh).
             runtime = self._runtimes[self._forward_gid(runtime, tup, port)]
         obs = self._obs
+        k = self._k
+        now = k.now
         if obs is not None:
             obs.tuples_in[runtime.gid] += 1
         queue = runtime.queue
@@ -896,7 +989,7 @@ class StreamEngine:
                 runtime.queue_peak = 1
             if self._bp_limit is not None:
                 if obs is not None and runtime.gid in self._congested:
-                    obs.on_backpressure(runtime, self._now, False)
+                    obs.on_backpressure(runtime, now, False)
                 self._congested.discard(runtime.gid)
             runtime.served += 1
             runtime.busy = True
@@ -909,14 +1002,14 @@ class StreamEngine:
                 service *= self._lognormal(runtime.noise_mu, sigma)
             runtime.busy_time += service
             if obs is not None:
-                obs.on_serve(runtime, self._now, service, 0.0)
-            self._seq += 1
-            self._work += 1
+                obs.on_serve(runtime, now, service, 0.0)
+            k.seq += 1
+            k.work += 1
             heappush(
-                self._heap,
+                k.heap,
                 (
-                    self._now + service,
-                    self._seq,
+                    now + service,
+                    k.seq,
                     _DONE,
                     runtime.gid,
                     tup,
@@ -924,14 +1017,14 @@ class StreamEngine:
                 ),
             )
             return
-        queue.append((tup, port, self._now))
+        queue.append((tup, port, now))
         depth = len(queue) - runtime.queue_head
         if depth > runtime.queue_peak:
             runtime.queue_peak = depth
         limit = self._bp_limit
         if limit is not None and depth >= limit:
             if obs is not None and runtime.gid not in self._congested:
-                obs.on_backpressure(runtime, self._now, True)
+                obs.on_backpressure(runtime, now, True)
             self._congested.add(runtime.gid)
         if not runtime.busy:
             self._serve_next(runtime)
@@ -949,7 +1042,8 @@ class StreamEngine:
         queue = runtime.queue
         head = runtime.queue_head
         tup, port, enqueued_at = queue[head]
-        now = self._now
+        k = self._k
+        now = k.now
         wait = now - enqueued_at
         runtime.wait_time += wait
         runtime.served += 1
@@ -976,21 +1070,22 @@ class StreamEngine:
         runtime.busy_time += service
         if self._obs is not None:
             self._obs.on_serve(runtime, now, service, wait)
-        self._seq += 1
-        self._work += 1
+        k.seq += 1
+        k.work += 1
         heappush(
-            self._heap,
-            (now + service, self._seq, _DONE, runtime.gid, tup, port),
+            k.heap,
+            (now + service, k.seq, _DONE, runtime.gid, tup, port),
         )
 
     def _handle_done(self, gid: int, tup: StreamTuple, port: int) -> None:
         runtime = self._runtimes[gid]
+        now = self._k.now
         if runtime.is_source:
             outputs = [tup]
         else:
-            outputs = runtime.logic.process(tup, self._now, port)
+            outputs = runtime.logic.process(tup, now, port)
         if self._obs is not None:
-            self._obs.on_done(runtime, self._now, tup, outputs)
+            self._obs.on_done(runtime, now, tup, outputs)
         overhead = self._route_live(runtime, outputs)
         runtime.busy_time += overhead
         if runtime.draining:
@@ -998,12 +1093,12 @@ class StreamEngine:
             # once its routing overhead is paid, step the barrier. The
             # subtask stays busy so no further service starts.
             if overhead > 0:
-                self._push(self._now + overhead, _BEGIN, gid, None, 0)
+                self._push(now + overhead, _BEGIN, gid, None, 0)
             else:
                 self._drain_step(runtime)
             return
         if overhead > 0:
-            self._push(self._now + overhead, _BEGIN, gid, None, 0)
+            self._push(now + overhead, _BEGIN, gid, None, 0)
         else:
             runtime.busy = False
             if len(runtime.queue) > runtime.queue_head:
@@ -1011,6 +1106,7 @@ class StreamEngine:
 
     def _handle_stall(self, gid: int, duration: float) -> None:
         runtime = self._runtimes[gid]
+        now = self._k.now
         if runtime.retired:
             # The targeted subtask was replaced by a rescale; its
             # successors were built fresh, so the fault evaporates.
@@ -1019,31 +1115,32 @@ class StreamEngine:
             return
         if runtime.busy:
             # Pause begins once the in-flight tuple completes.
-            self._push(self._now + 1e-4, _STALL, gid, duration, 0)
+            self._push(now + 1e-4, _STALL, gid, duration, 0)
             return
         runtime.busy = True
         if self._obs is not None:
-            self._obs.on_stall(runtime, self._now, duration)
-        self._push(self._now + duration, _BEGIN, gid, None, 0)
+            self._obs.on_stall(runtime, now, duration)
+        self._push(now + duration, _BEGIN, gid, None, 0)
 
     def _handle_timer(self, gid: int) -> None:
         runtime = self._runtimes[gid]
+        now = self._k.now
         if runtime.retired:
             # Replacement subtasks re-armed their own timers at the
             # swap; let this one lapse without rescheduling.
             return
         logic = runtime.logic
-        outputs = logic.on_time(self._now)
+        outputs = logic.on_time(now)
         # Window logics fire through an end-ordered heap, so an idle
         # timer tick returns [] in O(1); skip routing entirely then
         # (identical result: routing nothing adds 0.0 busy time).
         if outputs:
             if self._obs is not None:
-                self._obs.on_window_fire(runtime, self._now, len(outputs))
+                self._obs.on_window_fire(runtime, now, len(outputs))
             overhead = self._route_live(runtime, outputs)
             runtime.busy_time += overhead
         interval = logic.timer_interval
-        next_time = self._now + interval
+        next_time = now + interval
         horizon = self.config.max_sim_time + 10.0 * interval
         if next_time <= horizon:
             self._push(next_time, _TIMER, gid, None, 0)
@@ -1900,11 +1997,12 @@ class StreamEngine:
         runtime.busy_time += service
         if self._obs is not None:
             self._obs.on_serve(runtime, now, service, wait)
-        self._seq += 1
-        self._work += 1
+        k = self._k
+        k.seq += 1
+        k.work += 1
         heappush(
-            self._heap,
-            (now + service, self._seq, _DONE, runtime.gid, tup, port),
+            k.heap,
+            (now + service, k.seq, _DONE, runtime.gid, tup, port),
         )
 
     def _ft_barrier_dequeued(
@@ -1956,9 +2054,10 @@ class StreamEngine:
         self, runtime: _SubtaskRuntime, ckpt_id: int
     ) -> None:
         """Send ``ckpt_id``'s barrier down every outgoing channel."""
-        now = self._now
-        heap = self._heap
-        seq = self._seq
+        k = self._k
+        now = k.now
+        heap = k.heap
+        seq = k.seq
         clock = self._ft_chan_clock
         runtimes = self._runtimes
         src_gid = runtime.gid
@@ -1990,8 +2089,8 @@ class StreamEngine:
                     heap,
                     (at, seq, _DELIVER, cgid, (_Barrier(ckpt_id), src_gid), port),
                 )
-        self._seq = seq
-        self._work += pushed
+        k.seq = seq
+        k.work += pushed
 
     def _handle_replay(self, gid: int) -> None:
         """Redeliver the next logged source tuple after a recovery."""
@@ -2022,9 +2121,9 @@ class StreamEngine:
             store.abort()
             self._ft_pending = 0
         record = store.latest()
-        now = self._now
+        now = self._k.now
         runtimes = self._runtimes
-        heap = self._heap
+        heap = self._k.heap
         # Purge in-flight work. Sink-bound events survive (their
         # deliveries and services complete; dedupe absorbs replays), as
         # do arrivals (sources keep generating into their logs), timers
@@ -2056,7 +2155,7 @@ class StreamEngine:
             kind = ev[2]
             if kind != _TIMER and kind < _RESCALE:
                 work += 1
-        self._work = work
+        self._k.work = work
         restored_items = 0
         replayed = 0
         for runtime in runtimes:
@@ -2173,13 +2272,13 @@ class StreamEngine:
                     self._push(self._now, _REPLAY, runtime.gid, None, 0)
             elif len(runtime.queue) > runtime.queue_head:
                 self._ft_begin_service_now(runtime)
-        if self._work == 0:
+        if self._k.work == 0:
             # The purge may have consumed the last work event without
             # the main loop seeing work hit zero; run the end-of-stream
             # flush rounds it would have run.
             max_ops = len(self.logical.operators) + 2
             while (
-                self._work == 0
+                self._k.work == 0
                 and self._flush_rounds < max_ops
                 and self._flush_all()
             ):
@@ -2202,9 +2301,10 @@ class StreamEngine:
         table = runtime.route_table
         if not table:
             return 0.0
-        now = self._now
-        heap = self._heap
-        seq = self._seq
+        k = self._k
+        now = k.now
+        heap = k.heap
+        seq = k.seq
         obs = self._obs
         clock = self._ft_chan_clock
         runtimes = self._runtimes
@@ -2267,8 +2367,8 @@ class StreamEngine:
                         heap,
                         (at, seq, _DELIVER, cgid, (out_d, src_gid), port),
                     )
-        self._seq = seq
-        self._work += pushed
+        k.seq = seq
+        k.work += pushed
         return offset
 
     # -------------------------------------------------------------- routing
@@ -2292,9 +2392,10 @@ class StreamEngine:
         table = runtime.route_table
         if not table:
             return 0.0
-        now = self._now
-        heap = self._heap
-        seq = self._seq
+        k = self._k
+        now = k.now
+        heap = k.heap
+        seq = k.seq
         obs = self._obs
         pushed = 0
         offset = 0.0
@@ -2445,8 +2546,8 @@ class StreamEngine:
                                 port,
                             ),
                         )
-        self._seq = seq
-        self._work += pushed
+        k.seq = seq
+        k.work += pushed
         return offset
 
     # ---------------------------------------------------------------- flush

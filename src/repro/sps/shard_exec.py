@@ -1,0 +1,858 @@
+"""Sharded execution: conservative parallel DES over the stream engine.
+
+``SimulationConfig(shards=K)`` partitions the simulated cluster by
+placement node (:mod:`repro.kernel.partition`), runs one
+:class:`~repro.kernel.core.Kernel` per shard and advances them together
+through conservative epochs (:mod:`repro.kernel.sharded`) whose
+lookahead is the network's base latency. Two transports share the
+controller and produce bit-identical results:
+
+- **fork** (the default on platforms with ``fork``): one OS process per
+  shard, inheriting the fully built engine copy-on-write so nothing is
+  pickled at start-up. Cross-shard tuple batches travel as typed
+  columns (:mod:`repro.kernel.wire`) under struct-packed control frames;
+  the single final stats frame is the one documented pickle exception.
+- **inline**: all shard executors in-process, driven by the same
+  controller. This is the no-fork fallback and the serial reference the
+  runner's DET609 cross-check compares a forked run against.
+
+**The shard universe.** ``shards=K`` is a *separate deterministic
+universe* from ``shards=None``: every subtask draws arrival gaps and
+service noise from its own named streams
+(``engine/<op>/<i>/arrivals|noise``) instead of the legacy engine's one
+shared arrival stream, equal-time events order by ``(origin gid, origin
+seq)`` instead of global push order, and end-of-stream flushes happen at
+epoch boundaries. Within the universe results are invariant in K — the
+property suite pins ``shards∈{1,2,4}`` plus both transports identical —
+but they intentionally differ from the ``shards=None`` event loop, which
+stays byte-identical to all committed goldens.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import struct
+import traceback
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.rng import state_fingerprint
+from repro.kernel.core import BudgetExceededError, Kernel
+from repro.kernel.partition import partition_nodes, shard_of_gids
+from repro.kernel.sharded import ShardController
+from repro.kernel.wire import decode_batch, encode_batch
+from repro.sps.engine import (
+    _ARR_BURSTY,
+    _ARR_CONSTANT,
+    _ARR_POISSON,
+    _ARRIVAL,
+    _BEGIN,
+    _DELIVER,
+    _DONE,
+    _STALL,
+    _TIMER,
+    _WORK_MASK,
+)
+from repro.sps.operators.sink import SinkLogic
+
+__all__ = ["ShardExecutor", "run_sharded"]
+
+
+class ShardExecutor:
+    """Drives the subset of an engine's subtasks owned by one shard.
+
+    Mirrors the serial engine's hot path (arrival → enqueue → serve →
+    done → route) over its own kernel, with three shard-mode changes:
+    per-runtime RNG streams, ``(origin gid, origin seq)`` tie-breaks via
+    :meth:`Kernel.push_tb`, and an outbox for deliveries whose consumer
+    lives on another shard. It never touches a runtime it doesn't own,
+    so inline executors can share one engine object safely.
+    """
+
+    def __init__(self, engine, shard_id, owned, shard_of_gid) -> None:
+        self.engine = engine
+        self.shard_id = shard_id
+        self.owned = list(owned)
+        self.owned_set = frozenset(owned)
+        self.shard_of_gid = shard_of_gid
+        self.kernel = Kernel(_WORK_MASK)
+        self.runtimes = engine._runtimes
+        #: per-gid producer sequence counters; every event a subtask
+        #: schedules gets the next number, so equal-time ordering
+        #: depends only on producers, never on the shard count
+        self.oseq = [0] * len(self.runtimes)
+        self.outbox: list = []
+        self.last_source_time = 0.0
+        self.flush_time: float | None = None
+        self.max_sim_time = engine.config.max_sim_time
+        # Shard-universe RNG streams. Derived purely from the factory
+        # seed and the subtask's stable name, so every transport and
+        # every K builds byte-identical generators.
+        rngs = engine._rngs
+        self.arr_rngs: dict = {}
+        self.noise_rngs: dict = {}
+        for gid in self.owned:
+            runtime = self.runtimes[gid]
+            name = (runtime.op_id, str(runtime.index))
+            if runtime.is_source:
+                self.arr_rngs[gid] = rngs.fresh("engine", *name, "arrivals")
+            if runtime.noise_sigma > 0:
+                self.noise_rngs[gid] = rngs.fresh("engine", *name, "noise")
+        self.handlers = self._make_handlers()
+
+    # ------------------------------------------------------------ scheduling
+
+    def _push(self, time, kind, gid, payload, port, origin) -> None:
+        seq = self.oseq[origin]
+        self.oseq[origin] = seq + 1
+        self.kernel.push_tb(time, (origin, seq), kind, gid, payload, port)
+
+    def _schedule_next_arrival(self, runtime, now: float) -> None:
+        if runtime.emitted >= runtime.arrival_budget:
+            return
+        kind = runtime.arrival_kind
+        rng = self.arr_rngs[runtime.gid]
+        if kind == _ARR_POISSON:
+            gap = rng.exponential(runtime.mean_gap)
+        elif kind == _ARR_CONSTANT:
+            gap = runtime.mean_gap
+        elif kind == _ARR_BURSTY:
+            phase = (now * 10.0) % 1.0
+            gap = rng.exponential(
+                runtime.burst_fast_gap
+                if phase < 0.25
+                else runtime.burst_slow_gap
+            )
+        else:
+            profile = runtime.rate_profile
+            if profile is None:
+                raise ConfigurationError(
+                    f"{runtime.op_id}: arrival 'profile' needs a "
+                    "'rate_profile' callable in the source metadata"
+                )
+            instant = max(
+                float(profile(now)) / runtime.profile_divisor, 1e-9
+            )
+            gap = rng.exponential(1.0 / instant)
+        at = now + gap
+        if at > self.max_sim_time:
+            return
+        self._push(at, _ARRIVAL, runtime.gid, None, 0, runtime.gid)
+
+    # -------------------------------------------------------------- handlers
+
+    def _make_handlers(self) -> list:
+        runtimes = self.runtimes
+
+        def arrival(gid: int, payload, port: int) -> None:
+            runtime = runtimes[gid]
+            now = self.kernel.now
+            tup = runtime.logic.generate(now)
+            runtime.emitted += 1
+            if now > self.last_source_time:
+                self.last_source_time = now
+            self._enqueue(runtime, tup, 0)
+            self._schedule_next_arrival(runtime, now)
+
+        def deliver(gid: int, payload, port: int) -> None:
+            self._enqueue(runtimes[gid], payload, port)
+
+        def begin(gid: int, payload, port: int) -> None:
+            runtime = runtimes[gid]
+            runtime.busy = False
+            if len(runtime.queue) > runtime.queue_head:
+                self._begin_service_now(runtime)
+
+        def timer(gid: int, payload, port: int) -> None:
+            runtime = runtimes[gid]
+            now = self.kernel.now
+            logic = runtime.logic
+            outputs = logic.on_time(now)
+            if outputs:
+                runtime.busy_time += self._route(runtime, outputs)
+            interval = logic.timer_interval
+            next_time = now + interval
+            if next_time <= self.max_sim_time + 10.0 * interval:
+                self._push(next_time, _TIMER, gid, None, 0, gid)
+
+        def stall(gid: int, duration, port: int) -> None:
+            runtime = runtimes[gid]
+            now = self.kernel.now
+            if runtime.busy:
+                self._push(now + 1e-4, _STALL, gid, duration, 0, gid)
+                return
+            runtime.busy = True
+            self._push(now + duration, _BEGIN, gid, None, 0, gid)
+
+        def done(gid: int, tup, port: int) -> None:
+            runtime = runtimes[gid]
+            now = self.kernel.now
+            if runtime.is_source:
+                outputs = [tup]
+            else:
+                outputs = runtime.logic.process(tup, now, port)
+            overhead = self._route(runtime, outputs)
+            runtime.busy_time += overhead
+            if overhead > 0:
+                self._push(now + overhead, _BEGIN, gid, None, 0, gid)
+            else:
+                runtime.busy = False
+                if len(runtime.queue) > runtime.queue_head:
+                    self._begin_service_now(runtime)
+
+        handlers: list = [None] * len(_WORK_MASK)
+        handlers[_ARRIVAL] = arrival
+        handlers[_DELIVER] = deliver
+        handlers[_BEGIN] = begin
+        handlers[_DONE] = done
+        handlers[_TIMER] = timer
+        handlers[_STALL] = stall
+        return handlers
+
+    def _enqueue(self, runtime, tup, port: int) -> None:
+        now = self.kernel.now
+        queue = runtime.queue
+        if not runtime.busy and runtime.queue_head == len(queue):
+            if runtime.queue_peak < 1:
+                runtime.queue_peak = 1
+            runtime.served += 1
+            runtime.busy = True
+            work = runtime.static_work
+            if work is None:
+                work = runtime.logic.work_units(tup)
+            service = runtime.base_service * work
+            sigma = runtime.noise_sigma
+            if sigma > 0:
+                service *= self.noise_rngs[runtime.gid].lognormal(
+                    runtime.noise_mu, sigma
+                )
+            runtime.busy_time += service
+            self._push(
+                now + service, _DONE, runtime.gid, tup, port, runtime.gid
+            )
+            return
+        queue.append((tup, port, now))
+        depth = len(queue) - runtime.queue_head
+        if depth > runtime.queue_peak:
+            runtime.queue_peak = depth
+        if not runtime.busy:
+            self._begin_service_now(runtime)
+
+    def _begin_service_now(self, runtime) -> None:
+        queue = runtime.queue
+        head = runtime.queue_head
+        tup, port, enqueued_at = queue[head]
+        now = self.kernel.now
+        wait = now - enqueued_at
+        runtime.wait_time += wait
+        runtime.served += 1
+        head += 1
+        runtime.queue_head = head
+        if head > 256 and head * 2 >= len(queue):
+            del queue[:head]
+            runtime.queue_head = 0
+        runtime.busy = True
+        work = runtime.static_work
+        if work is None:
+            work = runtime.logic.work_units(tup)
+        service = runtime.base_service * work
+        sigma = runtime.noise_sigma
+        if sigma > 0:
+            service *= self.noise_rngs[runtime.gid].lognormal(
+                runtime.noise_mu, sigma
+            )
+        runtime.busy_time += service
+        self._push(now + service, _DONE, runtime.gid, tup, port, runtime.gid)
+
+    def _route(self, runtime, outputs) -> float:
+        """The serial engine's affine routing with an outbox fork.
+
+        Same group-ordered overhead accounting as ``StreamEngine._route``
+        (sharding requires the affine network, so only the precompiled
+        latency path exists here); deliveries whose consumer lives on
+        another shard go to the outbox instead of the local heap, and
+        the producer's sequence counter advances identically either way.
+        """
+        if not outputs:
+            return 0.0
+        table = runtime.route_table
+        if not table:
+            return 0.0
+        kernel = self.kernel
+        now = kernel.now
+        origin = runtime.gid
+        oseq = self.oseq
+        outbox = self.outbox
+        shard_of = self.shard_of_gid
+        shard_id = self.shard_id
+        offset = 0.0
+        for (
+            select,
+            fixed,
+            rekey,
+            consumers,
+            num_channels,
+            latencies,
+            bandwidths,
+            port,
+            shuffle_cost,
+        ) in table:
+            if fixed is not None:
+                if shuffle_cost:
+                    per_output = shuffle_cost * len(fixed)
+                    group_overhead = 0.0
+                    for _ in outputs:
+                        group_overhead += per_output
+                    offset += group_overhead
+                routed = None
+            elif shuffle_cost:
+                routed = []
+                group_overhead = 0.0
+                for tup in outputs:
+                    out = (
+                        tup.with_key(rekey(tup)) if rekey is not None else tup
+                    )
+                    indices = select(out, num_channels)
+                    group_overhead += shuffle_cost * len(indices)
+                    routed.append((out, indices))
+                offset += group_overhead
+            else:
+                routed = None
+            if fixed is not None:
+                for out in outputs:
+                    size = out.size_bytes
+                    for idx in fixed:
+                        delay = latencies[idx] + size / bandwidths[idx]
+                        at = now + delay + offset
+                        dst = consumers[idx]
+                        seq = oseq[origin]
+                        oseq[origin] = seq + 1
+                        if shard_of[dst] == shard_id:
+                            kernel.push_tb(
+                                at, (origin, seq), _DELIVER, dst, out, port
+                            )
+                        else:
+                            outbox.append((at, origin, seq, dst, port, out))
+                continue
+            if routed is None:
+                routed = []
+                for tup in outputs:
+                    out = (
+                        tup.with_key(rekey(tup)) if rekey is not None else tup
+                    )
+                    routed.append((out, select(out, num_channels)))
+            for out, indices in routed:
+                size = out.size_bytes
+                for idx in indices:
+                    delay = latencies[idx] + size / bandwidths[idx]
+                    at = now + delay + offset
+                    dst = consumers[idx]
+                    seq = oseq[origin]
+                    oseq[origin] = seq + 1
+                    if shard_of[dst] == shard_id:
+                        kernel.push_tb(
+                            at, (origin, seq), _DELIVER, dst, out, port
+                        )
+                    else:
+                        outbox.append((at, origin, seq, dst, port, out))
+        return offset
+
+    # ----------------------------------------------------- controller verbs
+
+    def start(self):
+        """Seed initial events for owned subtasks; report (0, work, next)."""
+        for gid in self.owned:
+            runtime = self.runtimes[gid]
+            if runtime.is_source:
+                self._schedule_next_arrival(runtime, 0.0)
+            interval = getattr(runtime.logic, "timer_interval", None)
+            if interval:
+                self._push(interval, _TIMER, gid, None, 0, gid)
+        for injection in self.engine.config.stalls:
+            if injection.at_time > self.max_sim_time:
+                continue
+            gids = self.engine.physical.op_subtasks.get(injection.op_id, ())
+            for gid in gids:
+                if gid in self.owned_set:
+                    self._push(
+                        injection.at_time,
+                        _STALL,
+                        gid,
+                        injection.duration,
+                        0,
+                        gid,
+                    )
+        kernel = self.kernel
+        return (0, kernel.work, kernel.next_event_time())
+
+    def inject(self, messages) -> None:
+        """Queue cross-shard arrivals, tie-broken by (origin, seq).
+
+        The caller-supplied tie-break (not local insertion order) is
+        what keeps equal-time delivery order invariant in the shard
+        count — see DESIGN.md §14.
+        """
+        kernel = self.kernel
+        for at, origin, seq, dst, port, tup in messages:
+            kernel.push_tb(at, (origin, seq), _DELIVER, dst, tup, port)
+
+    def _collect_outbox(self) -> list:
+        """Drain the outbox into per-destination-shard packets.
+
+        Packets are ``(dst_shard, min_time, count, messages)`` — the
+        controller forwards them by destination without opening the
+        payload, so the (forked) transport can serialize each packet
+        once inside the worker instead of per hop in the parent.
+        """
+        outbox = self.outbox
+        if not outbox:
+            return []
+        self.outbox = []
+        shard_of = self.shard_of_gid
+        groups: dict[int, list] = {}
+        for message in outbox:
+            groups.setdefault(shard_of[message[3]], []).append(message)
+        return [
+            (
+                dst,
+                min(message[0] for message in messages),
+                len(messages),
+                messages,
+            )
+            for dst, messages in sorted(groups.items())
+        ]
+
+    def run_epoch(self, boundary: float, inbox, budget: int):
+        """Inject ``inbox``, drain strictly below ``boundary``, and
+        return ``(events, work, next_time, outbox)`` for the
+        controller — the outbox holding this epoch's cross-shard
+        emissions as per-destination packets.
+        """
+        self.inject(inbox)
+        kernel = self.kernel
+        kernel.run(self.handlers, max_events=budget, until=boundary)
+        return (
+            kernel.events_processed,
+            kernel.work,
+            kernel.next_event_time(),
+            self._collect_outbox(),
+        )
+
+    def flush_round(self, boundary: float):
+        """Force remaining window state out at the epoch boundary.
+
+        Unlike the serial engine (which flushes at the last work event's
+        time), shard flushes happen at the boundary — a K-invariant
+        float — so every shard count sees identical flush emissions.
+        """
+        kernel = self.kernel
+        kernel.now = boundary
+        if self.flush_time is None:
+            self.flush_time = boundary
+        emitted = False
+        engine = self.engine
+        owned = self.owned_set
+        for op_id in engine.logical.topological_order():
+            gids = engine._op_gids.get(op_id)
+            if gids is None:
+                continue
+            for gid in gids:
+                if gid not in owned:
+                    continue
+                runtime = self.runtimes[gid]
+                outputs = runtime.logic.flush(boundary)
+                if outputs:
+                    emitted = True
+                    self._route(runtime, outputs)
+        return (
+            emitted,
+            kernel.events_processed,
+            kernel.work,
+            kernel.next_event_time(),
+            self._collect_outbox(),
+        )
+
+    def stats(self) -> dict:
+        """Everything the parent needs to finish metrics collection."""
+        runtimes: dict = {}
+        sinks: dict = {}
+        ledger: dict = {}
+        for gid in self.owned:
+            runtime = self.runtimes[gid]
+            runtimes[gid] = (
+                runtime.busy_time,
+                runtime.queue_peak,
+                runtime.wait_time,
+                runtime.served,
+                runtime.emitted,
+            )
+            logic = runtime.logic
+            if isinstance(logic, SinkLogic):
+                sinks[gid] = (
+                    logic.received,
+                    logic.latencies,
+                    logic.arrival_times,
+                    logic.results,
+                )
+            label = f"{runtime.op_id}[{runtime.index}]"
+            rng = getattr(getattr(logic, "ctx", None), "rng", None)
+            if rng is not None:
+                ledger[label] = state_fingerprint(rng)
+            arr = self.arr_rngs.get(gid)
+            if arr is not None:
+                ledger[label + "/arrivals"] = state_fingerprint(arr)
+            noise = self.noise_rngs.get(gid)
+            if noise is not None:
+                ledger[label + "/noise"] = state_fingerprint(noise)
+        return {
+            "runtimes": runtimes,
+            "sinks": sinks,
+            "ledger": ledger,
+            "last_source_time": self.last_source_time,
+            "flush_time": self.flush_time,
+        }
+
+
+# ------------------------------------------------------------- transports
+
+
+class _InlineHandle:
+    """Controller handle over an in-process executor (serial reference)."""
+
+    def __init__(self, executor: ShardExecutor) -> None:
+        self.executor = executor
+        self._reply = None
+
+    def begin_start(self) -> None:
+        self._reply = self.executor.start()
+
+    def begin_epoch(self, boundary, packets, budget) -> None:
+        inbox = [
+            message for packet in packets for message in packet[3]
+        ]
+        self._reply = self.executor.run_epoch(boundary, inbox, budget)
+
+    def begin_flush(self, boundary) -> None:
+        self._reply = self.executor.flush_round(boundary)
+
+    def collect(self):
+        return self._reply
+
+    def fetch_stats(self) -> dict:
+        return self.executor.stats()
+
+    def close(self) -> None:
+        pass
+
+
+# Control frames are struct-packed, tuple batches ride as wire columns;
+# the single stats frame at the end is the documented pickle exception.
+_EPOCH = struct.Struct("<dqI")  # boundary, budget, num inbound blobs
+_FLUSH = struct.Struct("<d")  # boundary
+_RUN_REPLY = struct.Struct("<qqdI")  # events, work, next, num packets
+_FLUSH_REPLY = struct.Struct("<BqqdI")  # emitted, events, work, next, n
+_PACKET = struct.Struct("<idqI")  # dst shard, min_time, count, blob len
+_BLOB = struct.Struct("<I")  # blob length
+
+
+def _pack_outbox(packets) -> bytes:
+    """Wire-encode each per-destination packet (sender side, in-worker)."""
+    parts: list[bytes] = []
+    for dst, min_at, count, messages in packets:
+        blob = encode_batch(messages)
+        parts.append(_PACKET.pack(dst, min_at, count, len(blob)))
+        parts.append(blob)
+    return b"".join(parts)
+
+
+def _unpack_outbox(frame: bytes, pos: int, n: int) -> list:
+    """Parent side: packets with *undecoded* blob payloads."""
+    packets = []
+    for _ in range(n):
+        dst, min_at, count, blob_len = _PACKET.unpack_from(frame, pos)
+        pos += _PACKET.size
+        packets.append((dst, min_at, count, frame[pos : pos + blob_len]))
+        pos += blob_len
+    return packets
+
+
+def _shard_child(conn, parent_conn, engine, shard_id, owned, shard_of_gid):
+    parent_conn.close()
+    try:
+        executor = ShardExecutor(engine, shard_id, owned, shard_of_gid)
+        while True:
+            frame = conn.recv_bytes()
+            op = frame[:1]
+            if op == b"S":
+                events, work, nxt = executor.start()
+                conn.send_bytes(b"R" + _RUN_REPLY.pack(events, work, nxt, 0))
+            elif op == b"E":
+                boundary, budget, n_blobs = _EPOCH.unpack_from(frame, 1)
+                pos = 1 + _EPOCH.size
+                inbox: list = []
+                for _ in range(n_blobs):
+                    (blob_len,) = _BLOB.unpack_from(frame, pos)
+                    pos += _BLOB.size
+                    inbox.extend(decode_batch(frame[pos : pos + blob_len]))
+                    pos += blob_len
+                events, work, nxt, outbox = executor.run_epoch(
+                    boundary, inbox, budget
+                )
+                conn.send_bytes(
+                    b"R"
+                    + _RUN_REPLY.pack(events, work, nxt, len(outbox))
+                    + _pack_outbox(outbox)
+                )
+            elif op == b"F":
+                (boundary,) = _FLUSH.unpack_from(frame, 1)
+                emitted, events, work, nxt, outbox = executor.flush_round(
+                    boundary
+                )
+                conn.send_bytes(
+                    b"G"
+                    + _FLUSH_REPLY.pack(
+                        emitted, events, work, nxt, len(outbox)
+                    )
+                    + _pack_outbox(outbox)
+                )
+            elif op == b"T":
+                conn.send_bytes(
+                    b"X"
+                    + pickle.dumps(
+                        executor.stats(), protocol=pickle.HIGHEST_PROTOCOL
+                    )
+                )
+            else:  # b"Q" or unknown: orderly shutdown
+                break
+    except BudgetExceededError as exc:
+        try:
+            conn.send_bytes(b"B" + struct.pack("<q", exc.max_events))
+        except OSError:
+            pass
+    except BaseException:
+        try:
+            conn.send_bytes(b"!" + traceback.format_exc().encode("utf-8"))
+        except OSError:
+            pass
+    finally:
+        conn.close()
+        # Skip the parent's inherited atexit/teardown machinery.
+        os._exit(0)
+
+
+class _ForkHandle:
+    """Controller handle over one forked shard process."""
+
+    def __init__(self, conn, process) -> None:
+        self.conn = conn
+        self.process = process
+        self._pending = None
+
+    def begin_start(self) -> None:
+        self._pending = "start"
+        self.conn.send_bytes(b"S")
+
+    def begin_epoch(self, boundary, packets, budget) -> None:
+        self._pending = "epoch"
+        parts = [b"E", _EPOCH.pack(boundary, budget, len(packets))]
+        for packet in packets:
+            blob = packet[3]
+            parts.append(_BLOB.pack(len(blob)))
+            parts.append(blob)
+        self.conn.send_bytes(b"".join(parts))
+
+    def begin_flush(self, boundary) -> None:
+        self._pending = "flush"
+        self.conn.send_bytes(b"F" + _FLUSH.pack(boundary))
+
+    def _recv(self) -> bytes:
+        try:
+            frame = self.conn.recv_bytes()
+        except EOFError:
+            raise SimulationError(
+                "shard worker exited without a reply"
+            ) from None
+        op = frame[:1]
+        if op == b"B":
+            (max_events,) = struct.unpack_from("<q", frame, 1)
+            raise BudgetExceededError(max_events)
+        if op == b"!":
+            raise SimulationError(
+                "shard worker failed:\n" + frame[1:].decode("utf-8")
+            )
+        return frame
+
+    def collect(self):
+        frame = self._recv()
+        pending, self._pending = self._pending, None
+        if pending == "flush":
+            emitted, events, work, nxt, n = _FLUSH_REPLY.unpack_from(
+                frame, 1
+            )
+            outbox = _unpack_outbox(frame, 1 + _FLUSH_REPLY.size, n)
+            return (bool(emitted), events, work, nxt, outbox)
+        events, work, nxt, n = _RUN_REPLY.unpack_from(frame, 1)
+        if pending == "start":
+            return (events, work, nxt)
+        outbox = _unpack_outbox(frame, 1 + _RUN_REPLY.size, n)
+        return (events, work, nxt, outbox)
+
+    def fetch_stats(self) -> dict:
+        self.conn.send_bytes(b"T")
+        frame = self._recv()
+        return pickle.loads(frame[1:])
+
+    def close(self) -> None:
+        try:
+            self.conn.send_bytes(b"Q")
+        except OSError:
+            pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():  # pragma: no cover - defensive
+            self.process.terminate()
+            self.process.join(timeout=1.0)
+
+
+# ------------------------------------------------------------- entry point
+
+
+def _apply_stats(engine, stats, final_now, controller) -> None:
+    """Install shard results on the parent engine for metric collection.
+
+    All writes are absolute assignments, so applying inline-transport
+    stats (where executors already mutated the engine's own objects) is
+    idempotent and both transports land in identical states.
+    """
+    kernel = engine._k
+    kernel.reset()
+    kernel.now = final_now
+    kernel.events_processed = controller.events_processed
+    engine._finished = True
+    engine._throttled_arrivals = 0
+    flush_times = [
+        s["flush_time"] for s in stats if s["flush_time"] is not None
+    ]
+    engine._flush_time = min(flush_times) if flush_times else None
+    engine._last_source_time = max(
+        s["last_source_time"] for s in stats
+    )
+    runtimes = engine._runtimes
+    ledger: dict = {}
+    for shard_stats in stats:
+        for gid, (busy, peak, wait, served, emitted) in shard_stats[
+            "runtimes"
+        ].items():
+            runtime = runtimes[gid]
+            runtime.busy_time = busy
+            runtime.queue_peak = peak
+            runtime.wait_time = wait
+            runtime.served = served
+            runtime.emitted = emitted
+        for gid, (received, lats, arrivals, results) in shard_stats[
+            "sinks"
+        ].items():
+            logic = runtimes[gid].logic
+            logic.received = received
+            logic.latencies = list(lats)
+            logic.arrival_times = list(arrivals)
+            logic.results = list(results)
+        ledger.update(shard_stats["ledger"])
+    #: merged per-stream fingerprints; the runner's DET609 cross-check
+    #: compares a forked run's ledger against an inline reference rerun
+    engine._shard_ledger = ledger
+    detector = engine.race_detector
+    if detector is not None:
+        detector.rng_ledger = dict(ledger)
+
+
+def run_sharded(engine):
+    """Execute a built engine under ``config.shards`` and collect metrics."""
+    config = engine.config
+    shards = config.shards
+    if not engine._net_affine:
+        raise ConfigurationError(
+            "sharded execution requires the default affine network model; "
+            "a custom transfer_delay has no static lookahead"
+        )
+    lookahead = engine._net_base_latency
+    if lookahead <= 0.0:
+        raise ConfigurationError(
+            "sharded execution requires network base latency > 0; zero "
+            "inter-node delay leaves no conservative time window"
+        )
+    for injection in config.stalls:
+        if injection.op_id not in engine.physical.op_subtasks:
+            raise SimulationError(
+                f"stall targets unknown operator {injection.op_id!r}"
+            )
+    node_of_gid = [runtime.node_id for runtime in engine._runtimes]
+    shard_of_node = partition_nodes(node_of_gid, shards)
+    shard_of_gid = shard_of_gids(node_of_gid, shard_of_node)
+    owned: list[list[int]] = [[] for _ in range(shards)]
+    for gid, shard in enumerate(shard_of_gid):
+        owned[shard].append(gid)
+
+    use_fork = (
+        shards > 1
+        and not engine.shard_force_inline
+        and "fork" in multiprocessing.get_all_start_methods()
+    )
+    handles: list = []
+    if use_fork:
+        ctx = multiprocessing.get_context("fork")
+        for i in range(shards):
+            parent_conn, child_conn = ctx.Pipe()
+            process = ctx.Process(
+                target=_shard_child,
+                args=(
+                    child_conn,
+                    parent_conn,
+                    engine,
+                    i,
+                    owned[i],
+                    shard_of_gid,
+                ),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            handles.append(_ForkHandle(parent_conn, process))
+    else:
+        for i in range(shards):
+            handles.append(
+                _InlineHandle(
+                    ShardExecutor(engine, i, owned[i], shard_of_gid)
+                )
+            )
+
+    controller = ShardController(
+        handles,
+        lookahead=lookahead,
+        max_events=config.max_events,
+        max_flush_rounds=len(engine.logical.operators) + 2,
+    )
+    try:
+        final_now = controller.run()
+        stats = [handle.fetch_stats() for handle in handles]
+    except BudgetExceededError:
+        raise SimulationError(
+            f"event budget exceeded ({config.max_events}); "
+            "the configuration likely diverged"
+        ) from None
+    finally:
+        for handle in handles:
+            handle.close()
+
+    _apply_stats(engine, stats, final_now, controller)
+    metrics = engine._collect_metrics()
+    metrics.extras["shards"] = {
+        "shards": shards,
+        "epochs": controller.epochs,
+        "flush_rounds": controller.flush_rounds,
+    }
+    return metrics

@@ -144,11 +144,11 @@ class TestDiagnosticPrimitives:
         assert data["clean"] is True
         assert data["diagnostics"] == []
 
-    def test_catalogue_covers_all_nine_families(self):
+    def test_catalogue_covers_all_ten_families(self):
         families = {spec.family for spec in RULE_CATALOG.values()}
         assert families == {
             "dag", "schema", "keying", "window", "resource", "cost",
-            "determinism", "batch", "ft",
+            "determinism", "batch", "ft", "shard",
         }
 
     def test_every_diagnostic_code_is_catalogued(self):
@@ -584,3 +584,91 @@ def test_builtin_apps_are_diagnostic_clean(abbrev):
         app.plan, cluster=cluster, placement=RoundRobinPlacement()
     )
     assert report.is_clean, report.format()
+
+
+class TestShardRules:
+    """SHD701-SHD704 fire only when lint is asked about a shard count
+    (``repro lint-plan --shards K``); the plain report stays unchanged."""
+
+    def _plan_with_exchange(self, partitioner) -> LogicalPlan:
+        """``good_plan`` but with an explicit keep -> agg partitioner."""
+        plan = LogicalPlan("shard-lint")
+        plan.add_operator(_source())
+        plan.add_operator(
+            builders.filter_op(
+                "keep",
+                Predicate(1, FilterFunction.GT, 0.5, selectivity_hint=0.5),
+                parallelism=4,
+            )
+        )
+        plan.add_operator(
+            builders.window_agg(
+                "agg",
+                TumblingTimeWindows(0.5),
+                AggregateFunction.SUM,
+                value_field=1,
+                key_field=0,
+                parallelism=4,
+            )
+        )
+        plan.add_operator(builders.sink("sink"))
+        plan.connect("src", "keep")
+        plan.connect("keep", "agg", partitioner)
+        plan.connect("agg", "sink")
+        return plan
+
+    def test_shd_rules_are_catalogued(self):
+        for code in ("SHD701", "SHD702", "SHD703", "SHD704"):
+            assert code in RULE_CATALOG
+            assert RULE_CATALOG[code].family == "shard"
+
+    def test_shd_rules_are_opt_in(self):
+        plan = self._plan_with_exchange(BroadcastPartitioner())
+        report = analyze_plan(plan)
+        assert not any(d.code.startswith("SHD") for d in report)
+        report = analyze_plan(plan, shards=1)
+        assert not any(d.code.startswith("SHD") for d in report)
+
+    def test_broadcast_edge_warns_shd701(self):
+        plan = self._plan_with_exchange(BroadcastPartitioner())
+        report = analyze_plan(plan, shards=2)
+        assert any(
+            d.code == "SHD701" and d.severity is Severity.WARNING
+            for d in report
+        )
+
+    def test_nonkeyed_stateful_exchange_warns_shd702(self):
+        plan = self._plan_with_exchange(RebalancePartitioner())
+        report = analyze_plan(plan, shards=2)
+        assert any(
+            d.code == "SHD702" and d.edge == "keep->agg" for d in report
+        )
+
+    def test_underparallel_operator_notes_shd703(self):
+        report = analyze_plan(good_plan(parallelism=2), shards=4)
+        shd703 = [d for d in report if d.code == "SHD703"]
+        assert shd703 and all(
+            d.severity is Severity.INFO for d in shd703
+        )
+
+    def test_more_shards_than_nodes_errors_shd704(self):
+        cluster = homogeneous_cluster("m510", num_nodes=2)
+        report = analyze_plan(
+            good_plan(parallelism=2), cluster=cluster, shards=4
+        )
+        assert any(
+            d.code == "SHD704" and d.severity is Severity.ERROR
+            for d in report
+        )
+        wide = homogeneous_cluster("m510", num_nodes=8)
+        report_ok = analyze_plan(
+            good_plan(parallelism=4), cluster=wide, shards=4
+        )
+        assert "SHD704" not in [d.code for d in report_ok]
+
+    def test_keyed_plan_on_wide_cluster_is_shard_clean(self):
+        cluster = homogeneous_cluster("m510", num_nodes=8)
+        report = analyze_plan(
+            good_plan(parallelism=4), cluster=cluster, shards=4
+        )
+        assert not any(d.code.startswith("SHD") for d in report)

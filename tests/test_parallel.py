@@ -70,6 +70,62 @@ class TestParallelRunnerMap:
         assert default_workers() >= 1
 
 
+class TestSerialNeverTouchesForkMachinery:
+    """workers=1 is the in-process reference path: it must complete
+    without consulting multiprocessing, the fork-availability probe, or
+    the module-global task slot (the regression was a workers=1 map
+    routed through pool setup)."""
+
+    def test_workers_one_bypasses_fork_entirely(self, monkeypatch):
+        import repro.core.parallel as parallel_module
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError(
+                "workers=1 must not touch fork machinery"
+            )
+
+        monkeypatch.setattr(
+            parallel_module.multiprocessing, "get_context", forbidden
+        )
+        monkeypatch.setattr(
+            parallel_module.multiprocessing,
+            "get_all_start_methods",
+            forbidden,
+        )
+        monkeypatch.setattr(
+            parallel_module.ParallelRunner, "_fork_available", forbidden
+        )
+        runner = ParallelRunner(workers=1)
+        assert runner.map(_square, range(6)) == [0, 1, 4, 9, 16, 25]
+
+    def test_workers_one_leaves_task_slot_alone(self, monkeypatch):
+        import repro.core.parallel as parallel_module
+
+        class Untouchable(list):
+            def __setitem__(self, key, value):  # pragma: no cover
+                raise AssertionError(
+                    "workers=1 must not write the shared task slot"
+                )
+
+        monkeypatch.setattr(
+            parallel_module, "_TASK", Untouchable([None, None])
+        )
+        assert ParallelRunner(workers=1).map(_square, [2, 3]) == [4, 9]
+
+    def test_workers_one_accepts_a_lazy_generator(self, monkeypatch):
+        import repro.core.parallel as parallel_module
+
+        monkeypatch.setattr(
+            parallel_module.ParallelRunner,
+            "_fork_available",
+            lambda self=None: (_ for _ in ()).throw(AssertionError()),
+        )
+        result = ParallelRunner(workers=1).map(
+            _square, (x for x in range(4))
+        )
+        assert result == [0, 1, 4, 9]
+
+
 class TestRunnerFanOut:
     def _measure(self, workers: int) -> dict:
         cluster = homogeneous_cluster("m510", 4)

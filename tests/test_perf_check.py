@@ -99,3 +99,31 @@ class TestCheckFailureModes:
         assert code == 0
         report = json.loads(path.read_text())
         assert report["quick"]["current"] == _FAKE_RESULTS
+
+
+class TestCalibrationProbes:
+    def test_score_is_the_median_of_three_probes(self, monkeypatch):
+        probes = iter([80.0, 120.0, 100.0])
+        monkeypatch.setattr(
+            perf, "_calibration_probe", lambda iterations: next(probes)
+        )
+        details = perf.calibration_details(iterations=10, probes=3)
+        assert details["kops"] == 100.0
+        assert details["spread_kops"] == 40.0
+        assert details["probes"] == [80.0, 100.0, 120.0]
+
+    def test_write_records_spread(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            perf,
+            "calibration_details",
+            lambda **_: {
+                "kops": 100.0, "spread_kops": 5.0, "probes": [1.0]
+            },
+        )
+        path = tmp_path / "BENCH_engine.json"
+        assert perf.run_bench(
+            quick=True, write=True, report_path=path, with_sweep=False
+        ) == 0
+        report = json.loads(path.read_text())
+        assert report["calibration_kops"] == 100.0
+        assert report["calibration_spread_kops"] == 5.0
